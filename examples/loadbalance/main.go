@@ -1,0 +1,97 @@
+// loadbalance demonstrates the DORA resource manager (Appendix A.2.1):
+// executors are bound to key ranges of a table, a skewed client hammers the
+// low end of the key space, the resource manager observes the per-executor
+// load imbalance, and it moves the routing boundary to rebalance — without
+// physically moving any data, because the partitioning is purely logical.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"dora"
+)
+
+const (
+	keys      = 1000
+	executors = 2
+)
+
+func main() {
+	eng := dora.NewEngine(dora.EngineConfig{})
+	if _, err := eng.CreateTable(dora.TableDef{
+		Name: "ITEMS",
+		Schema: dora.NewSchema(
+			dora.Column{Name: "id", Kind: dora.KindInt},
+			dora.Column{Name: "hits", Kind: dora.KindInt},
+		),
+		PrimaryKey:    []string{"id"},
+		RoutingFields: []string{"id"},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	txn := eng.Begin()
+	for id := int64(1); id <= keys; id++ {
+		if _, err := eng.Insert(txn, "ITEMS", dora.Tuple{dora.Int(id), dora.Int(0)}, dora.Conventional()); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := eng.Commit(txn); err != nil {
+		log.Fatal(err)
+	}
+
+	sys := dora.NewSystem(eng, dora.SystemConfig{})
+	if err := sys.BindTableInts("ITEMS", 1, keys, executors); err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Stop()
+	rm := sys.ResourceManager()
+
+	// Skewed load: 90% of the requests touch the first quarter of the keys,
+	// which all live on executor 0 under the initial even split.
+	runSkewed := func(n int) {
+		rng := rand.New(rand.NewSource(1))
+		for i := 0; i < n; i++ {
+			id := 1 + rng.Int63n(keys/4)
+			if rng.Intn(10) == 9 {
+				id = 1 + rng.Int63n(keys)
+			}
+			tx := sys.NewTransaction()
+			key := dora.Key(dora.Int(id))
+			tx.Add(0, &dora.Action{
+				Table: "ITEMS", Key: key, Mode: dora.Exclusive,
+				Work: func(s *dora.Scope) error {
+					return s.Update("ITEMS", key, func(tu dora.Tuple) (dora.Tuple, error) {
+						tu[1] = dora.Int(tu[1].Int + 1)
+						return tu, nil
+					})
+				},
+			})
+			if err := tx.Run(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+
+	fmt.Println("Phase 1: skewed load with the initial even routing rule")
+	runSkewed(2000)
+	loads := rm.ExecutorLoads("ITEMS")
+	fmt.Printf("  actions routed per executor: %v  (executor 0 is overloaded)\n", loads)
+
+	// Rebalance: shrink executor 0's dataset down to half of the hot range so
+	// both executors see a comparable share of the skewed traffic.
+	fmt.Println("\nPhase 2: the resource manager moves the routing boundary (no data moves)")
+	if err := rm.MoveBoundary("ITEMS", 0, dora.Key(dora.Int(keys/8+1))); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  new routing boundaries: executor 0 owns [1..%d], executor 1 owns [%d..%d]\n",
+		keys/8, keys/8+1, keys)
+
+	runSkewed(2000)
+	loads = rm.ExecutorLoads("ITEMS")
+	fmt.Printf("  actions routed per executor after the resize: %v\n", loads)
+	fmt.Println("\nThe imbalance narrows without repartitioning any records — the contrast the")
+	fmt.Println("paper draws with shared-nothing systems, which must physically move rows and")
+	fmt.Println("rebuild indexes to rebalance.")
+}

@@ -1,0 +1,372 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dora/internal/storage"
+)
+
+func intKey(v int64) storage.Key { return storage.EncodeKey(storage.IntValue(v)) }
+
+func rid(i int) storage.RID {
+	return storage.RID{Page: storage.PageID(i / 100), Slot: uint16(i % 100)}
+}
+
+func TestInsertAndSearchUnique(t *testing.T) {
+	tr := New("pk", true)
+	for i := 0; i < 500; i++ {
+		if err := tr.Insert(Entry{Key: intKey(int64(i)), RID: rid(i)}); err != nil {
+			t.Fatalf("Insert %d: %v", i, err)
+		}
+	}
+	if tr.Len() != 500 {
+		t.Fatalf("Len = %d, want 500", tr.Len())
+	}
+	for i := 0; i < 500; i++ {
+		e, ok := tr.SearchUnique(intKey(int64(i)))
+		if !ok || e.RID != rid(i) {
+			t.Fatalf("SearchUnique(%d) = %v, %v", i, e, ok)
+		}
+	}
+	if _, ok := tr.SearchUnique(intKey(1000)); ok {
+		t.Fatal("found non-existent key")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniqueRejectsDuplicates(t *testing.T) {
+	tr := New("pk", true)
+	if err := tr.Insert(Entry{Key: intKey(1), RID: rid(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(Entry{Key: intKey(1), RID: rid(2)}); err != ErrDuplicateKey {
+		t.Fatalf("duplicate insert = %v, want ErrDuplicateKey", err)
+	}
+}
+
+func TestUniqueReinsertOverDeletedEntry(t *testing.T) {
+	tr := New("pk", true)
+	if err := tr.Insert(Entry{Key: intKey(1), RID: rid(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.MarkDeleted(intKey(1), rid(1), true) {
+		t.Fatal("MarkDeleted failed")
+	}
+	// The paper: transactions may safely re-insert a new record with the
+	// same primary key as a flagged-deleted entry.
+	if err := tr.Insert(Entry{Key: intKey(1), RID: rid(2)}); err != nil {
+		t.Fatalf("re-insert over deleted entry: %v", err)
+	}
+	e, ok := tr.SearchUnique(intKey(1))
+	if !ok || e.RID != rid(2) {
+		t.Fatalf("SearchUnique after re-insert = %v, %v", e, ok)
+	}
+}
+
+func TestSecondaryDuplicatesAndRouting(t *testing.T) {
+	tr := New("cust_name_idx", false)
+	key := storage.EncodeKey(storage.StringValue("SMITH"))
+	for i := 0; i < 10; i++ {
+		e := Entry{
+			Key:     key,
+			RID:     rid(i),
+			Routing: intKey(int64(i % 3)), // warehouse id
+		}
+		if err := tr.Insert(e); err != nil {
+			t.Fatalf("Insert dup %d: %v", i, err)
+		}
+	}
+	got := tr.Search(key)
+	if len(got) != 10 {
+		t.Fatalf("Search returned %d entries, want 10", len(got))
+	}
+	for _, e := range got {
+		if len(e.Routing) == 0 {
+			t.Fatal("secondary entry lost its routing fields")
+		}
+	}
+}
+
+func TestMarkDeletedHidesFromProbes(t *testing.T) {
+	tr := New("idx", false)
+	key := intKey(5)
+	tr.Insert(Entry{Key: key, RID: rid(1)})
+	tr.Insert(Entry{Key: key, RID: rid(2)})
+	if !tr.MarkDeleted(key, rid(1), true) {
+		t.Fatal("MarkDeleted failed")
+	}
+	got := tr.Search(key)
+	if len(got) != 1 || got[0].RID != rid(2) {
+		t.Fatalf("Search after MarkDeleted = %v", got)
+	}
+	// Rollback path: clearing the flag makes the entry visible again.
+	if !tr.MarkDeleted(key, rid(1), false) {
+		t.Fatal("clearing deleted flag failed")
+	}
+	if len(tr.Search(key)) != 2 {
+		t.Fatal("entry not visible after clearing deleted flag")
+	}
+	if tr.MarkDeleted(intKey(99), rid(1), true) {
+		t.Fatal("MarkDeleted of missing key should report false")
+	}
+}
+
+func TestDeletePhysical(t *testing.T) {
+	tr := New("idx", true)
+	for i := 0; i < 200; i++ {
+		tr.Insert(Entry{Key: intKey(int64(i)), RID: rid(i)})
+	}
+	for i := 0; i < 200; i += 2 {
+		if !tr.Delete(intKey(int64(i)), rid(i)) {
+			t.Fatalf("Delete %d failed", i)
+		}
+	}
+	if tr.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", tr.Len())
+	}
+	for i := 0; i < 200; i++ {
+		_, ok := tr.SearchUnique(intKey(int64(i)))
+		if (i%2 == 0) == ok {
+			t.Fatalf("key %d presence = %v, want %v", i, ok, i%2 == 1)
+		}
+	}
+	if tr.Delete(intKey(0), rid(0)) {
+		t.Fatal("deleting a deleted key should report false")
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanRangeAndPrefix(t *testing.T) {
+	tr := New("idx", true)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(Entry{Key: intKey(int64(i)), RID: rid(i)})
+	}
+	var got []int
+	tr.ScanRange(intKey(100), intKey(110), func(e Entry) bool {
+		r, _ := e.RID.Page, e.RID.Slot
+		_ = r
+		got = append(got, int(e.RID.Page)*100+int(e.RID.Slot))
+		return true
+	})
+	if len(got) != 10 || got[0] != 100 || got[9] != 109 {
+		t.Fatalf("ScanRange[100,110) = %v", got)
+	}
+
+	// Composite-key prefix scan: (warehouse, district) keys, scan one
+	// warehouse's districts.
+	comp := New("wd", true)
+	for w := 1; w <= 3; w++ {
+		for d := 1; d <= 10; d++ {
+			key := storage.EncodeKey(storage.IntValue(int64(w)), storage.IntValue(int64(d)))
+			comp.Insert(Entry{Key: key, RID: rid(w*100 + d)})
+		}
+	}
+	count := 0
+	comp.ScanPrefix(storage.EncodeKey(storage.IntValue(2)), func(e Entry) bool {
+		count++
+		return true
+	})
+	if count != 10 {
+		t.Fatalf("prefix scan of warehouse 2 visited %d entries, want 10", count)
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	tr := New("idx", true)
+	for i := 0; i < 100; i++ {
+		tr.Insert(Entry{Key: intKey(int64(i)), RID: rid(i)})
+	}
+	count := 0
+	tr.ScanAll(func(e Entry) bool {
+		count++
+		return count < 7
+	})
+	if count != 7 {
+		t.Fatalf("early-stop scan visited %d, want 7", count)
+	}
+}
+
+func TestLeafSplitGarbageCollectsDeleted(t *testing.T) {
+	tr := New("idx", false)
+	// Fill one leaf with deleted entries, then keep inserting: the split
+	// should first reclaim the flagged entries.
+	for i := 0; i < degree; i++ {
+		tr.Insert(Entry{Key: intKey(int64(i)), RID: rid(i)})
+		tr.MarkDeleted(intKey(int64(i)), rid(i), true)
+	}
+	for i := degree; i < degree+10; i++ {
+		tr.Insert(Entry{Key: intKey(int64(i)), RID: rid(i)})
+	}
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d, want 10 live entries", tr.Len())
+	}
+	// The tree should have collected the deleted entries rather than
+	// splitting: total physical entries is at most one leaf's worth plus
+	// the live ones.
+	total := 0
+	tr.latch.RLock()
+	for leaf := tr.leftmostLeaf(); leaf != nil; leaf = leaf.next {
+		total += len(leaf.entries)
+	}
+	tr.latch.RUnlock()
+	if total > degree+10 {
+		t.Fatalf("split did not garbage collect: %d physical entries", total)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomInsertDeleteMatchesShadowMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	tr := New("idx", true)
+	shadow := map[int64]storage.RID{}
+	for op := 0; op < 20000; op++ {
+		k := int64(rng.Intn(2000))
+		switch rng.Intn(3) {
+		case 0, 1:
+			if _, exists := shadow[k]; exists {
+				continue
+			}
+			r := rid(int(k))
+			if err := tr.Insert(Entry{Key: intKey(k), RID: r}); err != nil {
+				t.Fatalf("Insert(%d): %v", k, err)
+			}
+			shadow[k] = r
+		case 2:
+			if r, exists := shadow[k]; exists {
+				if !tr.Delete(intKey(k), r) {
+					t.Fatalf("Delete(%d) failed", k)
+				}
+				delete(shadow, k)
+			}
+		}
+	}
+	if tr.Len() != len(shadow) {
+		t.Fatalf("Len = %d, shadow has %d", tr.Len(), len(shadow))
+	}
+	for k, r := range shadow {
+		e, ok := tr.SearchUnique(intKey(k))
+		if !ok || e.RID != r {
+			t.Fatalf("SearchUnique(%d) = %v,%v want %v", k, e, ok, r)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanOrderProperty(t *testing.T) {
+	f := func(raw []int16) bool {
+		tr := New("idx", false)
+		vals := make([]int64, 0, len(raw))
+		for _, v := range raw {
+			vals = append(vals, int64(v))
+		}
+		for i, v := range vals {
+			tr.Insert(Entry{Key: intKey(v), RID: rid(i)})
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		i := 0
+		ok := true
+		tr.ScanAll(func(e Entry) bool {
+			if i >= len(vals) {
+				ok = false
+				return false
+			}
+			i++
+			return true
+		})
+		return ok && i == len(vals) && tr.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentReadersOneWriter(t *testing.T) {
+	tr := New("idx", true)
+	for i := 0; i < 1000; i++ {
+		tr.Insert(Entry{Key: intKey(int64(i)), RID: rid(i)})
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := int64(rng.Intn(1000))
+				tr.SearchUnique(intKey(k))
+			}
+		}(int64(g))
+	}
+	for i := 1000; i < 3000; i++ {
+		if err := tr.Insert(Entry{Key: intKey(int64(i)), RID: rid(i)}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTreeMetadata(t *testing.T) {
+	tr := New("my_index", true)
+	if tr.Name() != "my_index" || !tr.Unique() {
+		t.Fatalf("metadata wrong: %q %v", tr.Name(), tr.Unique())
+	}
+}
+
+func BenchmarkInsert(b *testing.B) {
+	tr := New("bench", true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Insert(Entry{Key: intKey(int64(i)), RID: rid(i)})
+	}
+}
+
+func BenchmarkSearchUnique(b *testing.B) {
+	tr := New("bench", true)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		tr.Insert(Entry{Key: intKey(int64(i)), RID: rid(i)})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.SearchUnique(intKey(int64(i % n)))
+	}
+}
+
+func ExampleTree() {
+	tr := New("example", true)
+	for i := 3; i >= 1; i-- {
+		tr.Insert(Entry{Key: intKey(int64(i)), RID: storage.RID{Page: 1, Slot: uint16(i)}})
+	}
+	tr.ScanAll(func(e Entry) bool {
+		fmt.Println(e.RID.Slot)
+		return true
+	})
+	// Output:
+	// 1
+	// 2
+	// 3
+}

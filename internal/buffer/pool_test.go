@@ -1,0 +1,193 @@
+package buffer
+
+import (
+	"sync"
+	"testing"
+
+	"dora/internal/storage"
+)
+
+func newTestPool(t *testing.T, frames int) (*Pool, *storage.MemDisk) {
+	t.Helper()
+	disk := storage.NewMemDisk()
+	return NewPool(disk, frames), disk
+}
+
+func TestNewPageAndFetch(t *testing.T) {
+	p, _ := newTestPool(t, 4)
+	fr, err := p.NewPage()
+	if err != nil {
+		t.Fatalf("NewPage: %v", err)
+	}
+	id := fr.Page().ID()
+	fr.Latch()
+	if _, err := fr.Page().Insert([]byte("record")); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	fr.Unlatch()
+	fr.MarkDirty()
+	fr.Unpin()
+
+	fr2, err := p.FetchPage(id)
+	if err != nil {
+		t.Fatalf("FetchPage: %v", err)
+	}
+	fr2.RLatch()
+	got, err := fr2.Page().Get(0)
+	fr2.RUnlatch()
+	if err != nil || string(got) != "record" {
+		t.Fatalf("fetched page lost record: %v %q", err, got)
+	}
+	fr2.Unpin()
+
+	st := p.Stats()
+	if st.Hits != 1 {
+		t.Fatalf("hits = %d, want 1", st.Hits)
+	}
+}
+
+func TestEvictionWritesBackDirtyPages(t *testing.T) {
+	p, disk := newTestPool(t, 2)
+	// Create 5 pages, each with a distinguishing record; pool holds only 2.
+	ids := make([]storage.PageID, 5)
+	for i := range ids {
+		fr, err := p.NewPage()
+		if err != nil {
+			t.Fatalf("NewPage %d: %v", i, err)
+		}
+		ids[i] = fr.Page().ID()
+		if _, err := fr.Page().Insert([]byte{byte('A' + i)}); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		fr.MarkDirty()
+		fr.Unpin()
+	}
+	// Re-fetch every page; contents must have survived eviction.
+	for i, id := range ids {
+		fr, err := p.FetchPage(id)
+		if err != nil {
+			t.Fatalf("FetchPage %d: %v", id, err)
+		}
+		got, err := fr.Page().Get(0)
+		if err != nil || got[0] != byte('A'+i) {
+			t.Fatalf("page %d lost its record after eviction: %v %q", id, err, got)
+		}
+		fr.Unpin()
+	}
+	st := p.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions with a 2-frame pool and 5 pages")
+	}
+	if disk.NumPages() != 5 {
+		t.Fatalf("disk has %d pages, want 5", disk.NumPages())
+	}
+}
+
+func TestAllFramesPinned(t *testing.T) {
+	p, _ := newTestPool(t, 2)
+	a, _ := p.NewPage()
+	b, _ := p.NewPage()
+	if _, err := p.NewPage(); err != ErrNoFreeFrames {
+		t.Fatalf("NewPage with all frames pinned = %v, want ErrNoFreeFrames", err)
+	}
+	a.Unpin()
+	if _, err := p.NewPage(); err != nil {
+		t.Fatalf("NewPage after unpin: %v", err)
+	}
+	b.Unpin()
+}
+
+func TestUnpinUnderflowPanics(t *testing.T) {
+	p, _ := newTestPool(t, 2)
+	fr, _ := p.NewPage()
+	fr.Unpin()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double unpin should panic")
+		}
+	}()
+	fr.Unpin()
+}
+
+func TestFlushPageAndFlushAll(t *testing.T) {
+	p, disk := newTestPool(t, 4)
+	fr, _ := p.NewPage()
+	id := fr.Page().ID()
+	fr.Page().Insert([]byte("durable"))
+	fr.MarkDirty()
+	fr.Unpin()
+	if err := p.FlushPage(id); err != nil {
+		t.Fatalf("FlushPage: %v", err)
+	}
+	img := make([]byte, storage.PageSize)
+	if err := disk.ReadPage(id, img); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	var pg storage.Page
+	pg.SetBytes(img)
+	if got, err := pg.Get(0); err != nil || string(got) != "durable" {
+		t.Fatalf("flushed image wrong: %v %q", err, got)
+	}
+	// FlushPage on clean or non-resident pages is a no-op.
+	if err := p.FlushPage(id); err != nil {
+		t.Fatalf("FlushPage clean: %v", err)
+	}
+	if err := p.FlushPage(9999); err != nil {
+		t.Fatalf("FlushPage non-resident: %v", err)
+	}
+
+	fr2, _ := p.NewPage()
+	fr2.Page().Insert([]byte("more"))
+	fr2.MarkDirty()
+	fr2.Unpin()
+	if err := p.FlushAll(); err != nil {
+		t.Fatalf("FlushAll: %v", err)
+	}
+}
+
+func TestConcurrentFetches(t *testing.T) {
+	p, _ := newTestPool(t, 8)
+	var ids []storage.PageID
+	for i := 0; i < 16; i++ {
+		fr, err := p.NewPage()
+		if err != nil {
+			t.Fatalf("NewPage: %v", err)
+		}
+		ids = append(ids, fr.Page().ID())
+		fr.Page().Insert([]byte{byte(i)})
+		fr.MarkDirty()
+		fr.Unpin()
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := ids[(seed+i)%len(ids)]
+				fr, err := p.FetchPage(id)
+				if err != nil {
+					t.Errorf("FetchPage: %v", err)
+					return
+				}
+				fr.RLatch()
+				_, err = fr.Page().Get(0)
+				fr.RUnlatch()
+				if err != nil {
+					t.Errorf("Get: %v", err)
+				}
+				fr.Unpin()
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestNewPoolPanicsOnZeroFrames(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPool(_, 0) should panic")
+		}
+	}()
+	NewPool(storage.NewMemDisk(), 0)
+}

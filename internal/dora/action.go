@@ -1,0 +1,150 @@
+package dora
+
+import (
+	"dora/internal/engine"
+	"dora/internal/storage"
+)
+
+// Action is one node of a transaction flow graph: a piece of transaction code
+// that accesses a single record or a small set of records of one table
+// (§4.1.2). Its identifier (Key) is the routing-field key of the records it
+// intends to access; the dispatcher routes the action to the executor owning
+// that dataset.
+type Action struct {
+	// Table is the table the action accesses.
+	Table string
+	// Key is the action identifier: the routing-field values (or a prefix of
+	// them) of the records the action intends to access, encoded with
+	// storage.EncodeKey. An empty key makes this a secondary action (§4.2.2),
+	// executed by the thread that zeroes the previous phase's RVP, unless
+	// Broadcast is set.
+	Key storage.Key
+	// Mode is the local lock mode the action needs (Shared for reads,
+	// Exclusive for updates/inserts/deletes).
+	Mode Mode
+	// Broadcast enqueues the action to every executor of the table; it is
+	// the paper's mechanism for operations that span every dataset, such as
+	// table scans. Broadcast actions lock the executor's whole dataset.
+	Broadcast bool
+	// Work is the action body. It runs on the owning executor's goroutine
+	// with DORA access options (no centralized locking for probes and
+	// updates, row-only locks for inserts and deletes).
+	Work func(*Scope) error
+}
+
+// Scope is the execution context handed to an action body: engine operations
+// pre-bound to the transaction and to DORA's access options, plus a shared
+// key/value area used to pass data between actions across rendezvous points.
+type Scope struct {
+	flow     *Transaction
+	executor *Executor
+}
+
+// Executor returns the executor running the action, or nil for secondary
+// actions executed by the RVP thread.
+func (s *Scope) Executor() *Executor { return s.executor }
+
+func (s *Scope) workerID() int {
+	if s.executor == nil {
+		return -1
+	}
+	return s.executor.global
+}
+
+func (s *Scope) readOpts() engine.AccessOptions {
+	opt := engine.DORARead()
+	opt.WorkerID = s.workerID()
+	return opt
+}
+
+func (s *Scope) writeOpts() engine.AccessOptions {
+	opt := engine.DORAInsertDelete()
+	opt.WorkerID = s.workerID()
+	return opt
+}
+
+// Probe reads the record with the given primary key without centralized
+// locking; isolation comes from the executor's local lock.
+func (s *Scope) Probe(table string, pk storage.Key) (storage.Tuple, error) {
+	return s.flow.sys.eng.Probe(s.flow.txn, table, pk, s.readOpts())
+}
+
+// ProbeRID reads the record at rid (the path used after secondary lookups).
+func (s *Scope) ProbeRID(table string, rid storage.RID) (storage.Tuple, error) {
+	return s.flow.sys.eng.ProbeRID(s.flow.txn, table, rid, s.readOpts())
+}
+
+// Update applies fn to the record with the given primary key.
+func (s *Scope) Update(table string, pk storage.Key, fn func(storage.Tuple) (storage.Tuple, error)) error {
+	return s.flow.sys.eng.Update(s.flow.txn, table, pk, s.readOpts(), fn)
+}
+
+// UpdateRID applies fn to the record at rid.
+func (s *Scope) UpdateRID(table string, rid storage.RID, fn func(storage.Tuple) (storage.Tuple, error)) error {
+	return s.flow.sys.eng.UpdateRID(s.flow.txn, table, rid, s.readOpts(), fn)
+}
+
+// Insert adds a record; the new RID is locked through the centralized lock
+// manager (row lock only) to coordinate slot reuse across executors (§4.2.1).
+func (s *Scope) Insert(table string, tuple storage.Tuple) (storage.RID, error) {
+	return s.flow.sys.eng.Insert(s.flow.txn, table, tuple, s.writeOpts())
+}
+
+// Delete removes the record with the given primary key, also taking the
+// centralized row lock (§4.2.1).
+func (s *Scope) Delete(table string, pk storage.Key) error {
+	return s.flow.sys.eng.Delete(s.flow.txn, table, pk, s.writeOpts())
+}
+
+// SecondaryLookup probes a secondary index, returning the matching RIDs and
+// their routing-field keys (stored in the index leaves per §4.2.2).
+func (s *Scope) SecondaryLookup(table, index string, key storage.Key) ([]engine.IndexMatch, error) {
+	return s.flow.sys.eng.SecondaryLookup(s.flow.txn, table, index, key, s.readOpts())
+}
+
+// Scan visits the live records of the table in primary-key order. It is meant
+// for Broadcast actions; the scan itself relies on the broadcast's
+// whole-dataset local locks rather than a centralized table lock.
+func (s *Scope) Scan(table string, fn func(storage.Tuple) bool) error {
+	return s.flow.sys.eng.ScanTable(s.flow.txn, table, s.readOpts(), fn)
+}
+
+// ScanPrefix visits the live records whose primary key starts with the given
+// prefix (for example one subscriber's call-forwarding rows).
+func (s *Scope) ScanPrefix(table string, prefix storage.Key, fn func(storage.Tuple) bool) error {
+	return s.flow.sys.eng.ScanPrefix(s.flow.txn, table, prefix, s.readOpts(), fn)
+}
+
+// Put stores a value in the transaction's shared area, used to pass data from
+// one phase to the next across an RVP.
+func (s *Scope) Put(key string, value any) {
+	s.flow.sharedMu.Lock()
+	if s.flow.shared == nil {
+		s.flow.shared = make(map[string]any)
+	}
+	s.flow.shared[key] = value
+	s.flow.sharedMu.Unlock()
+}
+
+// Get retrieves a value previously stored with Put.
+func (s *Scope) Get(key string) (any, bool) {
+	s.flow.sharedMu.Lock()
+	defer s.flow.sharedMu.Unlock()
+	v, ok := s.flow.shared[key]
+	return v, ok
+}
+
+// Txn exposes the underlying engine transaction (for advanced uses such as
+// conventional-locking escapes in tests).
+func (s *Scope) Txn() *engine.Txn { return s.flow.txn }
+
+// boundAction is an action bound to its transaction and phase, the unit that
+// travels through executor queues.
+type boundAction struct {
+	action *Action
+	flow   *Transaction
+	phase  int
+}
+
+// lockKey returns the identifier the executor's local lock table uses.
+func (b *boundAction) lockKey() storage.Key { return b.action.Key }

@@ -1,0 +1,279 @@
+// Package dora implements Data-Oriented transaction execution — the paper's
+// primary contribution. Instead of the conventional thread-to-transaction
+// assignment, DORA binds worker threads (executors) to disjoint logical
+// partitions of each table (datasets) via routing rules, decomposes every
+// transaction into a transaction flow graph of actions separated by
+// rendezvous points (RVPs), routes each action to the executor owning the data
+// it touches, and replaces centralized logical locking with per-executor
+// thread-local lock tables. Record inserts and deletes still take row-level
+// locks in the centralized manager to coordinate page-slot reuse (§4.2.1), and
+// commit is a one-off log flush followed by asynchronous local-lock release
+// messages to the participating executors (Appendix A.1).
+package dora
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"dora/internal/engine"
+	"dora/internal/metrics"
+	"dora/internal/storage"
+)
+
+// Mode is a thread-local lock mode. Local locks have only two modes (§4.1.3).
+type Mode int
+
+const (
+	// Shared is the read mode of the local lock table.
+	Shared Mode = iota
+	// Exclusive is the write mode of the local lock table.
+	Exclusive
+)
+
+// String returns the mode mnemonic.
+func (m Mode) String() string {
+	if m == Exclusive {
+		return "X"
+	}
+	return "S"
+}
+
+// Errors returned by the DORA runtime.
+var (
+	// ErrNoRoutingRule is returned when a transaction references a table
+	// that has not been bound to executors.
+	ErrNoRoutingRule = errors.New("dora: table has no routing rule")
+	// ErrTxnTimeout is returned when a transaction exceeds the system's
+	// transaction timeout and is aborted.
+	ErrTxnTimeout = errors.New("dora: transaction timed out")
+	// ErrSystemStopped is returned when work is submitted after Stop.
+	ErrSystemStopped = errors.New("dora: system stopped")
+)
+
+// Config configures a DORA system.
+type Config struct {
+	// TxnTimeout aborts transactions that run longer than this. Zero uses
+	// DefaultTxnTimeout.
+	TxnTimeout time.Duration
+	// DisableOrderedSubmission turns off the deadlock-avoidance mechanism of
+	// §4.2.3 (latching all target incoming queues in a strict executor order
+	// so a phase's submission appears atomic). It exists only for the
+	// ablation study; production use keeps it false.
+	DisableOrderedSubmission bool
+}
+
+// DefaultTxnTimeout is the default transaction timeout.
+const DefaultTxnTimeout = 10 * time.Second
+
+// System is a DORA execution engine layered over a storage engine.
+type System struct {
+	eng *engine.Engine
+	cfg Config
+
+	mu       sync.RWMutex
+	tables   map[string]*tableExecutors
+	stopped  bool
+	nextExec int // global executor ordinal, defines the submission order
+
+	rm *ResourceManager
+}
+
+// tableExecutors is the per-table routing rule plus its executors.
+type tableExecutors struct {
+	table string
+	// boundaries[i] is the lowest routing key owned by executors[i+1]; an
+	// action with routing key k is owned by the executor whose range
+	// contains k. len(boundaries) == len(executors)-1.
+	boundaries []storage.Key
+	executors  []*Executor
+}
+
+// NewSystem creates a DORA system over the given storage engine. Tables must
+// be bound to executors with BindTable (or BindTableInts) before transactions
+// that touch them are run.
+func NewSystem(eng *engine.Engine, cfg Config) *System {
+	if cfg.TxnTimeout <= 0 {
+		cfg.TxnTimeout = DefaultTxnTimeout
+	}
+	s := &System{
+		eng:    eng,
+		cfg:    cfg,
+		tables: make(map[string]*tableExecutors),
+	}
+	s.rm = newResourceManager(s)
+	return s
+}
+
+// Engine returns the underlying storage engine.
+func (s *System) Engine() *engine.Engine { return s.eng }
+
+// ResourceManager returns the system's resource manager.
+func (s *System) ResourceManager() *ResourceManager { return s.rm }
+
+func (s *System) collector() *metrics.Collector { return s.eng.Collector() }
+
+// BindTable binds a table to a set of executors with an explicit routing
+// rule: boundaries[i] is the smallest routing key assigned to executor i+1, so
+// numExecutors = len(boundaries)+1. Keys below boundaries[0] (or all keys,
+// when boundaries is empty) belong to executor 0.
+func (s *System) BindTable(table string, boundaries []storage.Key) error {
+	if _, err := s.eng.Table(table); err != nil {
+		return err
+	}
+	for i := 1; i < len(boundaries); i++ {
+		if string(boundaries[i-1]) >= string(boundaries[i]) {
+			return fmt.Errorf("dora: routing boundaries for %q are not strictly increasing", table)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopped {
+		return ErrSystemStopped
+	}
+	if old, exists := s.tables[table]; exists {
+		for _, ex := range old.executors {
+			ex.stop()
+		}
+	}
+	te := &tableExecutors{table: table, boundaries: append([]storage.Key(nil), boundaries...)}
+	numExec := len(boundaries) + 1
+	for i := 0; i < numExec; i++ {
+		ex := newExecutor(s, table, i, s.nextExec)
+		s.nextExec++
+		te.executors = append(te.executors, ex)
+		go ex.run()
+	}
+	s.tables[table] = te
+	return nil
+}
+
+// BindTableInts is a convenience wrapper for tables whose first routing field
+// is an integer in [lo, hi]: the key space is split into numExecutors
+// contiguous, equally sized datasets. This is the configuration used by all
+// three evaluation workloads (warehouse id, branch id, subscriber id ranges).
+func (s *System) BindTableInts(table string, lo, hi int64, numExecutors int) error {
+	if numExecutors <= 0 {
+		return fmt.Errorf("dora: need at least one executor for %q", table)
+	}
+	if hi < lo {
+		return fmt.Errorf("dora: invalid key range [%d,%d] for %q", lo, hi, table)
+	}
+	span := hi - lo + 1
+	boundaries := make([]storage.Key, 0, numExecutors-1)
+	for i := 1; i < numExecutors; i++ {
+		cut := lo + span*int64(i)/int64(numExecutors)
+		boundaries = append(boundaries, storage.EncodeKey(storage.IntValue(cut)))
+	}
+	return s.BindTable(table, boundaries)
+}
+
+// Executors returns the executors bound to a table, in dataset order.
+func (s *System) Executors(table string) []*Executor {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	te := s.tables[table]
+	if te == nil {
+		return nil
+	}
+	out := make([]*Executor, len(te.executors))
+	copy(out, te.executors)
+	return out
+}
+
+// RoutingBoundaries returns a copy of the table's routing boundaries.
+func (s *System) RoutingBoundaries(table string) []storage.Key {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	te := s.tables[table]
+	if te == nil {
+		return nil
+	}
+	out := make([]storage.Key, len(te.boundaries))
+	copy(out, te.boundaries)
+	return out
+}
+
+// routeLocked picks the executor that owns the routing key. Caller holds at
+// least the read lock.
+func (te *tableExecutors) route(key storage.Key) *Executor {
+	idx := sort.Search(len(te.boundaries), func(i int) bool {
+		return string(key) < string(te.boundaries[i])
+	})
+	return te.executors[idx]
+}
+
+// executorFor returns the executor owning the routing key of the given table.
+func (s *System) executorFor(table string, key storage.Key) (*Executor, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	te := s.tables[table]
+	if te == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoRoutingRule, table)
+	}
+	return te.route(key), nil
+}
+
+// allExecutors returns every executor of the table (for broadcast actions).
+func (s *System) allExecutors(table string) ([]*Executor, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	te := s.tables[table]
+	if te == nil {
+		return nil, fmt.Errorf("%w: %q", ErrNoRoutingRule, table)
+	}
+	out := make([]*Executor, len(te.executors))
+	copy(out, te.executors)
+	return out, nil
+}
+
+// Stop shuts down every executor. In-flight transactions are allowed to
+// finish their current actions; new submissions fail with ErrSystemStopped.
+func (s *System) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	var all []*Executor
+	for _, te := range s.tables {
+		all = append(all, te.executors...)
+	}
+	s.mu.Unlock()
+	for _, ex := range all {
+		ex.stop()
+	}
+}
+
+// Stats aggregates executor statistics for the whole system.
+type Stats struct {
+	// ActionsExecuted is the total number of actions executed.
+	ActionsExecuted uint64
+	// ActionsBlocked is the number of actions that had to wait on a local
+	// lock before executing.
+	ActionsBlocked uint64
+	// LocalLockAcquisitions is the number of thread-local locks taken.
+	LocalLockAcquisitions uint64
+	// ExecutorCount is the number of executors across all tables.
+	ExecutorCount int
+}
+
+// Stats returns aggregate statistics across all executors.
+func (s *System) Stats() Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out Stats
+	for _, te := range s.tables {
+		for _, ex := range te.executors {
+			st := ex.Stats()
+			out.ActionsExecuted += st.ActionsExecuted
+			out.ActionsBlocked += st.ActionsBlocked
+			out.LocalLockAcquisitions += st.LocalLockAcquisitions
+			out.ExecutorCount++
+		}
+	}
+	return out
+}

@@ -1,0 +1,283 @@
+package dora
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dora/internal/metrics"
+)
+
+// ExecutorStats reports one executor's activity.
+type ExecutorStats struct {
+	// ActionsExecuted is the number of actions this executor ran.
+	ActionsExecuted uint64
+	// ActionsBlocked is the number of actions that found a conflicting local
+	// lock and had to wait.
+	ActionsBlocked uint64
+	// LocalLockAcquisitions is the number of thread-local locks taken.
+	LocalLockAcquisitions uint64
+	// QueueLength is the current incoming-queue length.
+	QueueLength int
+	// LocalLocksHeld is the current number of locked identifiers.
+	LocalLocksHeld int
+}
+
+// message kinds processed by an executor.
+type messageKind int
+
+const (
+	msgAction messageKind = iota
+	msgCompletion
+	msgSystem
+	msgStop
+)
+
+// message is one entry in an executor's queues.
+type message struct {
+	kind messageKind
+	act  *boundAction
+	// txnID identifies the finished transaction for completion messages.
+	txnID uint64
+	// sys runs on the executor goroutine for system actions (dataset
+	// resizing, draining).
+	sys func()
+}
+
+// Executor is a worker thread bound to one dataset of one table (§4.1.1).
+// It serially processes the actions routed to it, coordinates conflicting
+// actions through its thread-local lock table, and releases local locks when
+// transaction-completion messages arrive.
+type Executor struct {
+	sys    *System
+	table  string
+	index  int // dataset index within the table
+	global int // global ordinal defining the queue-latching order (§4.2.3)
+
+	// The incoming and completion queues share one latch (mutex); completed
+	// messages are served with priority, as in the paper's prototype.
+	mu        sync.Mutex
+	cond      *sync.Cond
+	incoming  []*message
+	completed []*message
+	stopped   bool
+
+	locks   *localLockTable
+	blocked []*boundAction
+
+	statExecuted atomic.Uint64
+	statBlocked  atomic.Uint64
+	statLocks    atomic.Uint64
+	statLoad     atomic.Uint64 // actions enqueued; resource-manager load signal
+}
+
+func newExecutor(sys *System, table string, index, global int) *Executor {
+	e := &Executor{
+		sys:    sys,
+		table:  table,
+		index:  index,
+		global: global,
+		locks:  newLocalLockTable(),
+	}
+	e.cond = sync.NewCond(&e.mu)
+	return e
+}
+
+// Table returns the table this executor serves.
+func (e *Executor) Table() string { return e.table }
+
+// Index returns the executor's dataset index within its table.
+func (e *Executor) Index() int { return e.index }
+
+// Stats returns a snapshot of the executor's counters.
+func (e *Executor) Stats() ExecutorStats {
+	e.mu.Lock()
+	qlen := len(e.incoming)
+	held := e.locks.size()
+	e.mu.Unlock()
+	return ExecutorStats{
+		ActionsExecuted:       e.statExecuted.Load(),
+		ActionsBlocked:        e.statBlocked.Load(),
+		LocalLockAcquisitions: e.statLocks.Load(),
+		QueueLength:           qlen,
+		LocalLocksHeld:        held,
+	}
+}
+
+// load returns and resets the executor's load counter (actions enqueued since
+// the last call); the resource manager polls it.
+func (e *Executor) loadSince() uint64 {
+	return e.statLoad.Swap(0)
+}
+
+// lockQueue latches the incoming queue; part of the ordered-submission
+// protocol (§4.2.3).
+func (e *Executor) lockQueue() { e.mu.Lock() }
+
+// unlockQueue releases the queue latch and wakes the executor.
+func (e *Executor) unlockQueue() {
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+// enqueueActionLocked appends an action; the caller holds the queue latch.
+func (e *Executor) enqueueActionLocked(a *boundAction) {
+	e.incoming = append(e.incoming, &message{kind: msgAction, act: a})
+	e.statLoad.Add(1)
+}
+
+// enqueueAction appends an action, latching the queue itself.
+func (e *Executor) enqueueAction(a *boundAction) {
+	e.mu.Lock()
+	e.enqueueActionLocked(a)
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+// enqueueCompletion appends a transaction-completion message.
+func (e *Executor) enqueueCompletion(txnID uint64) {
+	e.mu.Lock()
+	e.completed = append(e.completed, &message{kind: msgCompletion, txnID: txnID})
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+// enqueueSystem appends a system action (used by the resource manager).
+func (e *Executor) enqueueSystem(fn func()) {
+	e.mu.Lock()
+	e.incoming = append(e.incoming, &message{kind: msgSystem, sys: fn})
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+// stop asks the executor to exit after draining already-queued messages.
+func (e *Executor) stop() {
+	e.mu.Lock()
+	if !e.stopped {
+		e.stopped = true
+		e.incoming = append(e.incoming, &message{kind: msgStop})
+	}
+	e.cond.Signal()
+	e.mu.Unlock()
+}
+
+// dequeue blocks until a message is available. Completions have priority so
+// that blocked actions are unblocked as soon as possible.
+func (e *Executor) dequeue() *message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for len(e.completed) == 0 && len(e.incoming) == 0 {
+		e.cond.Wait()
+	}
+	if len(e.completed) > 0 {
+		m := e.completed[0]
+		e.completed = e.completed[1:]
+		return m
+	}
+	m := e.incoming[0]
+	e.incoming = e.incoming[1:]
+	return m
+}
+
+// run is the executor main loop.
+func (e *Executor) run() {
+	for {
+		m := e.dequeue()
+		switch m.kind {
+		case msgStop:
+			return
+		case msgSystem:
+			m.sys()
+		case msgCompletion:
+			e.handleCompletion(m.txnID)
+		case msgAction:
+			e.handleAction(m.act, false)
+		}
+	}
+}
+
+// handleCompletion releases the finished transaction's local locks and
+// serially executes any blocked actions that can now proceed (steps 11-12 of
+// the Appendix A.1 walkthrough).
+func (e *Executor) handleCompletion(txnID uint64) {
+	start := e.doraClockStart()
+	e.locks.release(txnID)
+	e.doraClockStop(start)
+	// Retry blocked actions in arrival order.
+	still := e.blocked[:0]
+	for _, a := range e.blocked {
+		if !e.tryExecute(a) {
+			still = append(still, a)
+		}
+	}
+	e.blocked = still
+}
+
+// handleAction processes one routed action: probe the local lock table,
+// execute if granted, otherwise park the action in the blocked list
+// (steps 2-3 of the walkthrough). retry marks re-dispatch of a blocked action.
+func (e *Executor) handleAction(a *boundAction, retry bool) {
+	if !e.tryExecute(a) && !retry {
+		e.blocked = append(e.blocked, a)
+	}
+}
+
+// tryExecute attempts to acquire the action's local lock and run it. It
+// returns false when the action must stay blocked.
+func (e *Executor) tryExecute(a *boundAction) bool {
+	flow := a.flow
+	if !flow.running() {
+		// The transaction already aborted (for example another action of the
+		// same phase failed); drop the action without executing it.
+		return true
+	}
+	start := e.doraClockStart()
+	granted := e.locks.acquire(a.lockKey(), a.action.Mode, flow.txnID())
+	e.doraClockStop(start)
+	if !granted {
+		e.statBlocked.Add(1)
+		return false
+	}
+	// Register as a participant so the terminal completion message releases
+	// the lock just taken. If the flow died in the meantime, release
+	// immediately and drop the action.
+	if !flow.registerParticipant(e) {
+		e.locks.release(flow.txnID())
+		return true
+	}
+	e.statLocks.Add(1)
+	if col := e.sys.collector(); col != nil {
+		col.AddLock(metrics.LocalLock, 1)
+	}
+	e.execute(a)
+	return true
+}
+
+// execute runs the action body and reports to its RVP (steps 3-5).
+func (e *Executor) execute(a *boundAction) {
+	e.statExecuted.Add(1)
+	scope := &Scope{flow: a.flow, executor: e}
+	if err := a.action.Work(scope); err != nil {
+		a.flow.fail(err)
+		return
+	}
+	a.flow.actionDone(a)
+}
+
+// doraClockStart / doraClockStop attribute time spent in the DORA mechanism
+// (local locking, routing bookkeeping) to the metrics collector.
+func (e *Executor) doraClockStart() time.Time {
+	if e.sys.collector() == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (e *Executor) doraClockStop(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	if col := e.sys.collector(); col != nil {
+		col.AddTime(metrics.DORA, time.Since(start))
+	}
+}

@@ -1,0 +1,117 @@
+package dora
+
+import "dora/internal/storage"
+
+// localLockTable is an executor's thread-local lock table (§4.1.3). Conflict
+// resolution happens at the action-identifier level: identifiers may cover
+// only a prefix of the routing fields, so the scheme behaves like key-prefix
+// locks — two identifiers conflict when one is a prefix of the other (or they
+// are equal) and at least one of the requests is exclusive. Local locks are
+// held until the owning transaction commits or aborts.
+//
+// The table is accessed only by its executor goroutine, so it needs no
+// internal synchronization; that is precisely the "much lighter-weight
+// thread-local locking mechanism" the paper substitutes for the centralized
+// lock manager.
+type localLockTable struct {
+	// entries maps the exact identifier to its lock state.
+	entries map[string]*localLock
+}
+
+// localLock is the state of one locked identifier.
+type localLock struct {
+	key storage.Key
+	// holders maps transaction id to the number of acquisitions (merged
+	// actions of the same transaction may re-acquire).
+	holders map[uint64]int
+	mode    Mode
+}
+
+func newLocalLockTable() *localLockTable {
+	return &localLockTable{entries: make(map[string]*localLock)}
+}
+
+// prefixRelated reports whether two identifiers refer to overlapping record
+// sets under key-prefix semantics.
+func prefixRelated(a, b storage.Key) bool {
+	return a.HasPrefix(b) || b.HasPrefix(a)
+}
+
+// conflicts reports whether a request (key, mode, txn) conflicts with an
+// existing entry held by a different transaction.
+func (lt *localLockTable) conflicts(key storage.Key, mode Mode, txn uint64) bool {
+	for _, e := range lt.entries {
+		if !prefixRelated(key, e.key) {
+			continue
+		}
+		if mode == Shared && e.mode == Shared {
+			continue
+		}
+		// Exclusive somewhere in the pair: conflict unless the only holder
+		// is the requesting transaction itself.
+		if len(e.holders) == 1 {
+			if _, own := e.holders[txn]; own {
+				continue
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// acquire attempts to take the local lock. It returns false when the request
+// conflicts with a lock held by another transaction, in which case the caller
+// blocks the action.
+func (lt *localLockTable) acquire(key storage.Key, mode Mode, txn uint64) bool {
+	if lt.conflicts(key, mode, txn) {
+		return false
+	}
+	ks := string(key)
+	e := lt.entries[ks]
+	if e == nil {
+		e = &localLock{key: append(storage.Key(nil), key...), holders: make(map[uint64]int), mode: mode}
+		lt.entries[ks] = e
+	}
+	e.holders[txn]++
+	if mode == Exclusive {
+		e.mode = Exclusive
+	}
+	return true
+}
+
+// release drops every local lock held by the transaction and returns the
+// number of entries released.
+func (lt *localLockTable) release(txn uint64) int {
+	released := 0
+	for ks, e := range lt.entries {
+		if _, held := e.holders[txn]; !held {
+			continue
+		}
+		delete(e.holders, txn)
+		released++
+		if len(e.holders) == 0 {
+			delete(lt.entries, ks)
+		} else if e.mode == Exclusive {
+			// The remaining holders must all be shared (an exclusive entry
+			// has a single holder), so downgrade.
+			e.mode = Shared
+		}
+	}
+	return released
+}
+
+// held reports whether the transaction holds a local lock covering the key in
+// the given mode.
+func (lt *localLockTable) held(key storage.Key, mode Mode, txn uint64) bool {
+	e := lt.entries[string(key)]
+	if e == nil {
+		return false
+	}
+	if _, ok := e.holders[txn]; !ok {
+		return false
+	}
+	return mode == Shared || e.mode == Exclusive
+}
+
+// size returns the number of locked identifiers.
+func (lt *localLockTable) size() int { return len(lt.entries) }

@@ -1,0 +1,148 @@
+package dora
+
+import (
+	"testing"
+
+	"dora/internal/storage"
+)
+
+func key(vals ...int64) storage.Key {
+	vs := make([]storage.Value, len(vals))
+	for i, v := range vals {
+		vs[i] = storage.IntValue(v)
+	}
+	return storage.EncodeKey(vs...)
+}
+
+func TestLocalLockSharedCompatible(t *testing.T) {
+	lt := newLocalLockTable()
+	if !lt.acquire(key(1), Shared, 100) {
+		t.Fatal("first shared acquire failed")
+	}
+	if !lt.acquire(key(1), Shared, 200) {
+		t.Fatal("second shared acquire failed")
+	}
+	if lt.size() != 1 {
+		t.Fatalf("size = %d, want 1", lt.size())
+	}
+	if lt.acquire(key(1), Exclusive, 300) {
+		t.Fatal("exclusive granted over two shared holders")
+	}
+	lt.release(100)
+	lt.release(200)
+	if !lt.acquire(key(1), Exclusive, 300) {
+		t.Fatal("exclusive not granted after readers released")
+	}
+}
+
+func TestLocalLockExclusiveConflicts(t *testing.T) {
+	lt := newLocalLockTable()
+	if !lt.acquire(key(5), Exclusive, 1) {
+		t.Fatal("exclusive acquire failed")
+	}
+	if lt.acquire(key(5), Shared, 2) {
+		t.Fatal("shared granted over exclusive holder")
+	}
+	if lt.acquire(key(5), Exclusive, 2) {
+		t.Fatal("second exclusive granted")
+	}
+	// The same transaction may re-acquire (merged actions).
+	if !lt.acquire(key(5), Exclusive, 1) {
+		t.Fatal("re-acquire by holder failed")
+	}
+	if n := lt.release(1); n != 1 {
+		t.Fatalf("release freed %d entries, want 1", n)
+	}
+	if !lt.acquire(key(5), Shared, 2) {
+		t.Fatal("lock not available after release")
+	}
+}
+
+func TestLocalLockKeyPrefixConflicts(t *testing.T) {
+	lt := newLocalLockTable()
+	// Lock on (wh=1) conflicts with a lock on (wh=1, district=3) because the
+	// identifiers overlap under key-prefix semantics (§4.1.3).
+	if !lt.acquire(key(1), Exclusive, 1) {
+		t.Fatal("prefix lock failed")
+	}
+	if lt.acquire(key(1, 3), Exclusive, 2) {
+		t.Fatal("longer key granted despite exclusive prefix lock")
+	}
+	if lt.acquire(key(1, 3), Shared, 2) {
+		t.Fatal("shared longer key granted despite exclusive prefix lock")
+	}
+	// Disjoint prefixes do not conflict.
+	if !lt.acquire(key(2, 3), Exclusive, 2) {
+		t.Fatal("disjoint key rejected")
+	}
+	lt.release(1)
+	if !lt.acquire(key(1, 3), Exclusive, 2) {
+		t.Fatal("key not granted after prefix lock released")
+	}
+	// And the reverse direction: holding the longer key blocks the prefix.
+	if lt.acquire(key(1), Exclusive, 3) {
+		t.Fatal("prefix granted while longer key held exclusively")
+	}
+}
+
+func TestLocalLockEmptyKeyLocksEverything(t *testing.T) {
+	lt := newLocalLockTable()
+	if !lt.acquire(key(7), Shared, 1) {
+		t.Fatal("shared acquire failed")
+	}
+	// An empty identifier (whole-dataset action, e.g. a table scan) is a
+	// prefix of every key, so an exclusive whole-dataset lock conflicts with
+	// any held lock.
+	if lt.acquire(storage.Key{}, Exclusive, 2) {
+		t.Fatal("whole-dataset exclusive granted over a record lock")
+	}
+	lt.release(1)
+	if !lt.acquire(storage.Key{}, Exclusive, 2) {
+		t.Fatal("whole-dataset lock not granted when table idle")
+	}
+	if lt.acquire(key(9), Shared, 3) {
+		t.Fatal("record lock granted while whole dataset locked exclusively")
+	}
+}
+
+func TestLocalLockShareableEmptyKey(t *testing.T) {
+	lt := newLocalLockTable()
+	if !lt.acquire(storage.Key{}, Shared, 1) {
+		t.Fatal("shared whole-dataset lock failed")
+	}
+	if !lt.acquire(key(3), Shared, 2) {
+		t.Fatal("shared record lock should coexist with shared dataset lock")
+	}
+	if lt.acquire(key(3), Exclusive, 3) {
+		t.Fatal("exclusive record lock granted despite shared dataset lock")
+	}
+}
+
+func TestLocalLockHeld(t *testing.T) {
+	lt := newLocalLockTable()
+	lt.acquire(key(1), Exclusive, 9)
+	if !lt.held(key(1), Exclusive, 9) || !lt.held(key(1), Shared, 9) {
+		t.Fatal("held should report the holder's lock")
+	}
+	if lt.held(key(1), Shared, 8) {
+		t.Fatal("held reported for non-holder")
+	}
+	if lt.held(key(2), Shared, 9) {
+		t.Fatal("held reported for unlocked key")
+	}
+	lt.acquire(key(2), Shared, 9)
+	if lt.held(key(2), Exclusive, 9) {
+		t.Fatal("shared lock reported as exclusive")
+	}
+}
+
+func TestLocalLockReleaseUnknownTxn(t *testing.T) {
+	lt := newLocalLockTable()
+	lt.acquire(key(1), Shared, 1)
+	if n := lt.release(42); n != 0 {
+		t.Fatalf("releasing unknown txn freed %d entries", n)
+	}
+	if lt.size() != 1 {
+		t.Fatal("release of unknown txn disturbed the table")
+	}
+}

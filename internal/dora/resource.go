@@ -1,0 +1,225 @@
+package dora
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"dora/internal/storage"
+)
+
+// Plan selects between the two execution strategies of Appendix A.4 for
+// transactions whose actions can run in parallel but abort often.
+type Plan int
+
+const (
+	// PlanParallel executes independent actions of a phase concurrently
+	// (DORA-P): best latency, but wasted work when siblings abort.
+	PlanParallel Plan = iota
+	// PlanSerial inserts empty rendezvous points between the actions so they
+	// execute one at a time (DORA-S): no wasted work on aborts.
+	PlanSerial
+)
+
+// String returns the plan label used in Figure 11.
+func (p Plan) String() string {
+	if p == PlanSerial {
+		return "DORA-S"
+	}
+	return "DORA-P"
+}
+
+// DefaultSerialAbortThreshold is the abort rate above which the resource
+// manager switches a transaction type to the serial plan.
+const DefaultSerialAbortThreshold = 0.10
+
+// minPlanSamples is how many outcomes must be observed before the resource
+// manager overrides the parallel default.
+const minPlanSamples = 50
+
+// ResourceManager maintains DORA's runtime policies: routing-rule maintenance
+// and load balancing across executors (§4.1.1, A.2.1) and abort-rate
+// monitoring that switches high-abort transactions to serial plans (A.4).
+type ResourceManager struct {
+	sys *System
+
+	mu        sync.Mutex
+	outcomes  map[string]*outcomeStats
+	threshold float64
+}
+
+type outcomeStats struct {
+	committed uint64
+	aborted   uint64
+}
+
+func newResourceManager(s *System) *ResourceManager {
+	return &ResourceManager{
+		sys:       s,
+		outcomes:  make(map[string]*outcomeStats),
+		threshold: DefaultSerialAbortThreshold,
+	}
+}
+
+// SetSerialAbortThreshold overrides the abort rate above which PlanFor
+// returns PlanSerial.
+func (rm *ResourceManager) SetSerialAbortThreshold(t float64) {
+	rm.mu.Lock()
+	rm.threshold = t
+	rm.mu.Unlock()
+}
+
+// RecordOutcome feeds the abort-rate monitor with the outcome of one
+// transaction of the named type.
+func (rm *ResourceManager) RecordOutcome(txnName string, aborted bool) {
+	rm.mu.Lock()
+	st := rm.outcomes[txnName]
+	if st == nil {
+		st = &outcomeStats{}
+		rm.outcomes[txnName] = st
+	}
+	if aborted {
+		st.aborted++
+	} else {
+		st.committed++
+	}
+	rm.mu.Unlock()
+}
+
+// AbortRate returns the observed abort rate of the named transaction type and
+// the number of samples it is based on.
+func (rm *ResourceManager) AbortRate(txnName string) (rate float64, samples uint64) {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	st := rm.outcomes[txnName]
+	if st == nil {
+		return 0, 0
+	}
+	samples = st.committed + st.aborted
+	if samples == 0 {
+		return 0, 0
+	}
+	return float64(st.aborted) / float64(samples), samples
+}
+
+// PlanFor chooses the execution strategy for the named transaction type:
+// parallel by default, serial once the observed abort rate exceeds the
+// threshold (Figure 11's DORA-S).
+func (rm *ResourceManager) PlanFor(txnName string) Plan {
+	rate, samples := rm.AbortRate(txnName)
+	if samples >= minPlanSamples && rate > rm.serialThreshold() {
+		return PlanSerial
+	}
+	return PlanParallel
+}
+
+func (rm *ResourceManager) serialThreshold() float64 {
+	rm.mu.Lock()
+	defer rm.mu.Unlock()
+	return rm.threshold
+}
+
+// ExecutorLoads returns, for each executor of the table, the number of actions
+// enqueued since the previous call — the load signal the resource manager
+// monitors to decide when to resize datasets.
+func (rm *ResourceManager) ExecutorLoads(table string) []uint64 {
+	exs := rm.sys.Executors(table)
+	out := make([]uint64, len(exs))
+	for i, ex := range exs {
+		out[i] = ex.loadSince()
+	}
+	return out
+}
+
+// MoveBoundary shifts one routing boundary of the table, shrinking one
+// executor's dataset and growing its neighbour's, following the protocol of
+// Appendix A.2.1: the routing rule is updated, the shrinking executor drains
+// the actions it has already served (waits until their transactions complete
+// and release its local locks), and the growing executor does not serve
+// actions for the newly assigned region until the drain finishes.
+//
+// newKey must stay strictly between the neighbouring boundaries.
+func (rm *ResourceManager) MoveBoundary(table string, boundary int, newKey storage.Key) error {
+	s := rm.sys
+	s.mu.Lock()
+	te := s.tables[table]
+	if te == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %q", ErrNoRoutingRule, table)
+	}
+	if boundary < 0 || boundary >= len(te.boundaries) {
+		s.mu.Unlock()
+		return fmt.Errorf("dora: table %q has no boundary %d", table, boundary)
+	}
+	if boundary > 0 && bytes.Compare(newKey, te.boundaries[boundary-1]) <= 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("dora: new boundary below its left neighbour")
+	}
+	if boundary < len(te.boundaries)-1 && bytes.Compare(newKey, te.boundaries[boundary+1]) >= 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("dora: new boundary above its right neighbour")
+	}
+	old := te.boundaries[boundary]
+	cmp := bytes.Compare(newKey, old)
+	if cmp == 0 {
+		s.mu.Unlock()
+		return nil
+	}
+	// Moving the boundary up grows executor[boundary] (left) and shrinks
+	// executor[boundary+1] (right); moving it down does the opposite.
+	var shrinking, growing *Executor
+	if cmp > 0 {
+		shrinking, growing = te.executors[boundary+1], te.executors[boundary]
+	} else {
+		shrinking, growing = te.executors[boundary], te.executors[boundary+1]
+	}
+	// Update the routing rule first so new actions for the moved region are
+	// routed to the growing executor (where they queue behind the gate).
+	te.boundaries[boundary] = append(storage.Key(nil), newKey...)
+	s.mu.Unlock()
+
+	drained := make(chan struct{})
+	shrinking.enqueueSystem(func() {
+		shrinking.drainUntilQuiescent()
+		close(drained)
+	})
+	gateDone := make(chan struct{})
+	growing.enqueueSystem(func() {
+		<-drained
+		close(gateDone)
+	})
+	<-gateDone
+	return nil
+}
+
+// drainUntilQuiescent processes only completion messages until every local
+// lock has been released: the shrinking executor stops serving new actions
+// until all the actions it already served leave the system (A.2.1). It runs on
+// the executor goroutine.
+func (e *Executor) drainUntilQuiescent() {
+	for e.locks.size() > 0 {
+		m := e.dequeueCompletionOnly()
+		if m == nil {
+			return // executor stopping
+		}
+		e.handleCompletion(m.txnID)
+	}
+}
+
+// dequeueCompletionOnly blocks until a completion message arrives, leaving
+// action messages queued. It returns nil if the executor is asked to stop.
+func (e *Executor) dequeueCompletionOnly() *message {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for {
+		if len(e.completed) > 0 {
+			m := e.completed[0]
+			e.completed = e.completed[1:]
+			return m
+		}
+		if e.stopped {
+			return nil
+		}
+		e.cond.Wait()
+	}
+}

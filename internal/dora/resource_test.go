@@ -1,0 +1,165 @@
+package dora
+
+import (
+	"testing"
+
+	"dora/internal/engine"
+	"dora/internal/storage"
+)
+
+func TestPlanForSwitchesToSerialOnHighAbortRate(t *testing.T) {
+	sys, _ := newBankSystem(t, 2)
+	rm := sys.ResourceManager()
+
+	// Not enough samples: stay parallel even with aborts.
+	for i := 0; i < 10; i++ {
+		rm.RecordOutcome("UpdSubData", true)
+	}
+	if rm.PlanFor("UpdSubData") != PlanParallel {
+		t.Fatal("plan switched to serial with too few samples")
+	}
+	// TM1 UpdateSubscriberData aborts ~37.5% of the time; after enough
+	// samples the resource manager must pick the serial plan (A.4).
+	for i := 0; i < 200; i++ {
+		rm.RecordOutcome("UpdSubData", i%8 < 3)
+	}
+	if rm.PlanFor("UpdSubData") != PlanSerial {
+		rate, n := rm.AbortRate("UpdSubData")
+		t.Fatalf("plan still parallel at abort rate %.2f over %d samples", rate, n)
+	}
+	// A low-abort transaction type stays parallel.
+	for i := 0; i < 200; i++ {
+		rm.RecordOutcome("GetSubData", false)
+	}
+	if rm.PlanFor("GetSubData") != PlanParallel {
+		t.Fatal("low-abort transaction switched to serial")
+	}
+	if PlanSerial.String() != "DORA-S" || PlanParallel.String() != "DORA-P" {
+		t.Fatal("plan labels wrong")
+	}
+	rm.SetSerialAbortThreshold(0.99)
+	if rm.PlanFor("UpdSubData") != PlanParallel {
+		t.Fatal("threshold override not honoured")
+	}
+	if rate, _ := rm.AbortRate("unknown"); rate != 0 {
+		t.Fatal("unknown transaction type should have zero abort rate")
+	}
+}
+
+func TestExecutorLoads(t *testing.T) {
+	sys, e := newBankSystem(t, 2)
+	loadAccounts(t, e, 2, 1, 0)
+	rm := sys.ResourceManager()
+	// Route everything to branch 0 (executor 0): the loads must be skewed.
+	for i := 0; i < 10; i++ {
+		tx := sys.NewTransaction()
+		tx.Add(0, &Action{Table: "accounts", Key: key(0), Mode: Shared,
+			Work: func(s *Scope) error {
+				_, err := s.Probe("accounts", accountPK(0, 0))
+				return err
+			}})
+		if err := tx.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	loads := rm.ExecutorLoads("accounts")
+	if len(loads) != 2 {
+		t.Fatalf("loads = %v", loads)
+	}
+	if loads[0] < 10 || loads[1] != 0 {
+		t.Fatalf("loads = %v, want all on executor 0", loads)
+	}
+	// Polling resets the counters.
+	loads = rm.ExecutorLoads("accounts")
+	if loads[0] != 0 {
+		t.Fatalf("loads not reset: %v", loads)
+	}
+}
+
+func TestMoveBoundaryReroutesKeys(t *testing.T) {
+	sys, e := newBankSystem(t, 2)
+	loadAccounts(t, e, 100, 1, 10)
+	rm := sys.ResourceManager()
+
+	// Initially the boundary splits [0,99] at 50.
+	ex, _ := sys.executorFor("accounts", key(60))
+	if ex.Index() != 1 {
+		t.Fatalf("key 60 initially on executor %d, want 1", ex.Index())
+	}
+	// Grow executor 0 to cover [0,79].
+	if err := rm.MoveBoundary("accounts", 0, key(80)); err != nil {
+		t.Fatalf("MoveBoundary: %v", err)
+	}
+	ex, _ = sys.executorFor("accounts", key(60))
+	if ex.Index() != 0 {
+		t.Fatalf("key 60 routed to executor %d after resize, want 0", ex.Index())
+	}
+	// The system keeps executing correctly after the resize.
+	tx := sys.NewTransaction()
+	tx.Add(0, &Action{Table: "accounts", Key: key(60), Mode: Exclusive,
+		Work: func(s *Scope) error {
+			return s.Update("accounts", accountPK(60, 0), func(tu storage.Tuple) (storage.Tuple, error) {
+				tu[3] = storage.FloatValue(123)
+				return tu, nil
+			})
+		}})
+	if err := tx.Run(); err != nil {
+		t.Fatalf("post-resize transaction: %v", err)
+	}
+	check := e.Begin()
+	got, _ := e.Probe(check, "accounts", accountPK(60, 0), engine.Conventional())
+	if got[3].Float != 123 {
+		t.Fatalf("post-resize update lost: %v", got)
+	}
+	e.Commit(check)
+
+	boundaries := sys.RoutingBoundaries("accounts")
+	if len(boundaries) != 1 || string(boundaries[0]) != string(key(80)) {
+		t.Fatalf("boundaries = %v", boundaries)
+	}
+}
+
+func TestMoveBoundaryValidation(t *testing.T) {
+	sys, _ := newBankSystem(t, 4) // boundaries at 25, 50, 75
+	rm := sys.ResourceManager()
+	if err := rm.MoveBoundary("accounts", 5, key(10)); err == nil {
+		t.Fatal("out-of-range boundary index accepted")
+	}
+	if err := rm.MoveBoundary("accounts", 1, key(10)); err == nil {
+		t.Fatal("boundary below left neighbour accepted")
+	}
+	if err := rm.MoveBoundary("accounts", 1, key(90)); err == nil {
+		t.Fatal("boundary above right neighbour accepted")
+	}
+	if err := rm.MoveBoundary("nope", 0, key(1)); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	// Moving a boundary onto its current value is a no-op.
+	cur := sys.RoutingBoundaries("accounts")[1]
+	if err := rm.MoveBoundary("accounts", 1, cur); err != nil {
+		t.Fatalf("no-op move failed: %v", err)
+	}
+}
+
+func TestMoveBoundaryDown(t *testing.T) {
+	sys, e := newBankSystem(t, 2)
+	loadAccounts(t, e, 100, 1, 10)
+	rm := sys.ResourceManager()
+	// Shrink executor 0 to [0,19].
+	if err := rm.MoveBoundary("accounts", 0, key(20)); err != nil {
+		t.Fatalf("MoveBoundary: %v", err)
+	}
+	ex, _ := sys.executorFor("accounts", key(30))
+	if ex.Index() != 1 {
+		t.Fatalf("key 30 routed to executor %d after shrink, want 1", ex.Index())
+	}
+	tx := sys.NewTransaction()
+	tx.Add(0, &Action{Table: "accounts", Key: key(30), Mode: Shared,
+		Work: func(s *Scope) error {
+			_, err := s.Probe("accounts", accountPK(30, 0))
+			return err
+		}})
+	if err := tx.Run(); err != nil {
+		t.Fatalf("post-shrink transaction: %v", err)
+	}
+}

@@ -1,0 +1,356 @@
+package dora
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dora/internal/engine"
+)
+
+// flow states.
+const (
+	flowRunning int32 = iota
+	flowCommitted
+	flowAborted
+)
+
+// rvp is a rendezvous point: the synchronization object separating two phases
+// of a transaction flow graph (§4.1.2). Its counter starts at the number of
+// actions that must report to it; the executor that zeroes it initiates the
+// next phase, and zeroing the terminal RVP calls for commit.
+type rvp struct {
+	remaining atomic.Int32
+}
+
+// Transaction is a DORA transaction: a flow graph of actions grouped into
+// phases, executed collectively by the executors owning the touched data.
+type Transaction struct {
+	sys *System
+	txn *engine.Txn
+
+	phases [][]*Action
+	rvps   []*rvp
+
+	state atomic.Int32
+	done  chan struct{}
+	errMu sync.Mutex
+	err   error
+
+	partMu       sync.Mutex
+	participants map[*Executor]struct{}
+
+	sharedMu sync.Mutex
+	shared   map[string]any
+
+	start     time.Time
+	started   bool
+	dispatchN int // total actions dispatched, for stats
+}
+
+// NewTransaction starts building a DORA transaction.
+func (s *System) NewTransaction() *Transaction {
+	return &Transaction{
+		sys:          s,
+		done:         make(chan struct{}),
+		participants: make(map[*Executor]struct{}),
+	}
+}
+
+// Add appends an action to the given phase (phases are numbered from 0 and
+// executed in order, separated by RVPs). Consecutive accesses to the same
+// identifier should be merged into one action by the caller, as the paper
+// does for the Payment transaction's probe+update pairs.
+func (t *Transaction) Add(phase int, a *Action) *Transaction {
+	for len(t.phases) <= phase {
+		t.phases = append(t.phases, nil)
+	}
+	t.phases[phase] = append(t.phases[phase], a)
+	return t
+}
+
+// NumPhases returns the number of phases added so far.
+func (t *Transaction) NumPhases() int { return len(t.phases) }
+
+// NumActions returns the total number of actions added so far.
+func (t *Transaction) NumActions() int {
+	n := 0
+	for _, p := range t.phases {
+		n += len(p)
+	}
+	return n
+}
+
+// Err returns the transaction's final error (nil after a successful commit).
+func (t *Transaction) Err() error {
+	t.errMu.Lock()
+	defer t.errMu.Unlock()
+	return t.err
+}
+
+// State reports whether the transaction committed, aborted, or is running.
+func (t *Transaction) State() string {
+	switch t.state.Load() {
+	case flowCommitted:
+		return "committed"
+	case flowAborted:
+		return "aborted"
+	default:
+		return "running"
+	}
+}
+
+func (t *Transaction) running() bool { return t.state.Load() == flowRunning }
+
+func (t *Transaction) txnID() uint64 { return t.txn.ID() }
+
+// Run dispatches the transaction and waits for it to commit or abort. It
+// returns nil on commit and the failure cause on abort.
+func (t *Transaction) Run() error {
+	if err := t.start_(); err != nil {
+		return err
+	}
+	timeout := t.sys.cfg.TxnTimeout
+	select {
+	case <-t.done:
+	case <-time.After(timeout):
+		t.fail(fmt.Errorf("%w after %v", ErrTxnTimeout, timeout))
+		<-t.done
+	}
+	return t.Err()
+}
+
+// RunAsync dispatches the transaction and returns a channel that receives the
+// final error (nil on commit) exactly once.
+func (t *Transaction) RunAsync() <-chan error {
+	out := make(chan error, 1)
+	if err := t.start_(); err != nil {
+		out <- err
+		return out
+	}
+	go func() {
+		timeout := t.sys.cfg.TxnTimeout
+		select {
+		case <-t.done:
+		case <-time.After(timeout):
+			t.fail(fmt.Errorf("%w after %v", ErrTxnTimeout, timeout))
+			<-t.done
+		}
+		out <- t.Err()
+	}()
+	return out
+}
+
+// start_ validates the flow graph, begins the engine transaction, and submits
+// the first phase. Step 1 of the Appendix A.1 walkthrough: the dispatcher
+// (the thread that received the request) enqueues the first phase's actions.
+func (t *Transaction) start_() error {
+	if t.started {
+		return fmt.Errorf("dora: transaction already started")
+	}
+	t.started = true
+	t.sys.mu.RLock()
+	stopped := t.sys.stopped
+	t.sys.mu.RUnlock()
+	if stopped {
+		return ErrSystemStopped
+	}
+	// Pre-resolve routing for every action so an unbound table fails fast.
+	for _, phase := range t.phases {
+		for _, a := range phase {
+			if a.Table == "" || a.Work == nil {
+				return fmt.Errorf("dora: action needs a table and a body")
+			}
+			if len(a.Key) > 0 || a.Broadcast {
+				if _, err := t.sys.allExecutors(a.Table); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	t.start = time.Now()
+	t.txn = t.sys.eng.Begin()
+	t.rvps = make([]*rvp, len(t.phases))
+	for i := range t.rvps {
+		t.rvps[i] = &rvp{}
+	}
+	if t.NumActions() == 0 {
+		t.finalize()
+		return nil
+	}
+	t.submitPhase(0)
+	return nil
+}
+
+// submitPhase routes and enqueues every action of the phase. The incoming
+// queues of all target executors are latched in the global executor order
+// before any action is enqueued, so the submission appears atomic and two
+// transactions with the same flow graph can never deadlock (§4.2.3).
+func (t *Transaction) submitPhase(idx int) {
+	if !t.running() {
+		return
+	}
+	// Skip empty phases.
+	for idx < len(t.phases) && len(t.phases[idx]) == 0 {
+		idx++
+	}
+	if idx >= len(t.phases) {
+		t.finalize()
+		return
+	}
+	phase := t.phases[idx]
+
+	type target struct {
+		ex  *Executor
+		act *boundAction
+	}
+	var targets []target
+	var inline []*boundAction
+	for _, a := range phase {
+		ba := &boundAction{action: a, flow: t, phase: idx}
+		switch {
+		case a.Broadcast:
+			exs, err := t.sys.allExecutors(a.Table)
+			if err != nil {
+				t.fail(err)
+				return
+			}
+			for _, ex := range exs {
+				targets = append(targets, target{ex: ex, act: &boundAction{action: a, flow: t, phase: idx}})
+			}
+		case len(a.Key) == 0:
+			// Secondary action: executed by the RVP-executing thread itself.
+			inline = append(inline, ba)
+		default:
+			ex, err := t.sys.executorFor(a.Table, a.Key)
+			if err != nil {
+				t.fail(err)
+				return
+			}
+			targets = append(targets, target{ex: ex, act: ba})
+		}
+	}
+	t.rvps[idx].remaining.Store(int32(len(targets) + len(inline)))
+	t.dispatchN += len(targets) + len(inline)
+
+	if t.sys.cfg.DisableOrderedSubmission {
+		for _, tg := range targets {
+			tg.ex.enqueueAction(tg.act)
+		}
+	} else {
+		// Latch the queues of all distinct target executors in global order.
+		distinct := make([]*Executor, 0, len(targets))
+		seen := make(map[*Executor]bool, len(targets))
+		for _, tg := range targets {
+			if !seen[tg.ex] {
+				seen[tg.ex] = true
+				distinct = append(distinct, tg.ex)
+			}
+		}
+		sort.Slice(distinct, func(i, j int) bool { return distinct[i].global < distinct[j].global })
+		for _, ex := range distinct {
+			ex.lockQueue()
+		}
+		for _, tg := range targets {
+			tg.ex.enqueueActionLocked(tg.act)
+		}
+		for i := len(distinct) - 1; i >= 0; i-- {
+			distinct[i].unlockQueue()
+		}
+	}
+
+	// Secondary actions run on this thread (the previous phase's
+	// RVP-executing thread, or the dispatcher for phase 0).
+	for _, ba := range inline {
+		if !t.running() {
+			return
+		}
+		scope := &Scope{flow: t, executor: nil}
+		if err := ba.action.Work(scope); err != nil {
+			t.fail(err)
+			return
+		}
+		t.actionDone(ba)
+	}
+}
+
+// actionDone reports an action's completion to its phase RVP; the caller that
+// zeroes the RVP initiates the next phase or, for the terminal RVP, the
+// commit (steps 4-5 and 9 of the walkthrough).
+func (t *Transaction) actionDone(a *boundAction) {
+	if t.rvps[a.phase].remaining.Add(-1) != 0 {
+		return
+	}
+	if a.phase == len(t.phases)-1 {
+		t.finalize()
+		return
+	}
+	t.submitPhase(a.phase + 1)
+}
+
+// registerParticipant records that the executor holds local locks on behalf of
+// this transaction, so the commit/abort completion message reaches it. It
+// returns false when the transaction is no longer running, in which case the
+// caller must not execute the action.
+func (t *Transaction) registerParticipant(e *Executor) bool {
+	t.partMu.Lock()
+	defer t.partMu.Unlock()
+	if !t.running() {
+		return false
+	}
+	t.participants[e] = struct{}{}
+	return true
+}
+
+// finalize commits the transaction: it calls the underlying storage engine's
+// commit (which forces the log), then enqueues completion messages to every
+// participating executor so they release their local locks (steps 9-12).
+func (t *Transaction) finalize() {
+	if !t.state.CompareAndSwap(flowRunning, flowCommitted) {
+		return
+	}
+	err := t.sys.eng.Commit(t.txn)
+	if err != nil {
+		t.errMu.Lock()
+		t.err = err
+		t.errMu.Unlock()
+	} else if col := t.sys.collector(); col != nil {
+		col.TxnCommitted(time.Since(t.start))
+	}
+	t.broadcastCompletions()
+	close(t.done)
+}
+
+// fail aborts the transaction: the first failure wins, the engine rolls back
+// the transaction's changes, and completion messages release the local locks
+// held on its behalf.
+func (t *Transaction) fail(cause error) {
+	if !t.state.CompareAndSwap(flowRunning, flowAborted) {
+		return
+	}
+	t.errMu.Lock()
+	t.err = cause
+	t.errMu.Unlock()
+	if t.txn != nil {
+		_ = t.sys.eng.Abort(t.txn)
+	}
+	t.broadcastCompletions()
+	close(t.done)
+}
+
+// broadcastCompletions enqueues the transaction-completion message to every
+// participant executor. It must be called exactly once, after the state left
+// flowRunning (so no new participants can register).
+func (t *Transaction) broadcastCompletions() {
+	t.partMu.Lock()
+	parts := make([]*Executor, 0, len(t.participants))
+	for ex := range t.participants {
+		parts = append(parts, ex)
+	}
+	t.partMu.Unlock()
+	for _, ex := range parts {
+		ex.enqueueCompletion(t.txnID())
+	}
+}

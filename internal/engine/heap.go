@@ -1,0 +1,228 @@
+package engine
+
+import (
+	"fmt"
+	"sync"
+
+	"dora/internal/buffer"
+	"dora/internal/storage"
+)
+
+// pagesPerExtent is the number of heap pages allocated per space-management
+// extent. Allocating a new extent is the operation that takes the one
+// non-row-level centralized lock DORA still acquires under TPC-B (Figure 5).
+const pagesPerExtent = 8
+
+// heapFile is a table's record heap: an append-oriented list of slotted pages
+// fixed in the buffer pool. Record placement favours the most recently
+// allocated page; slots freed by deletes are reused by later inserts on the
+// same page, which is the physical conflict that keeps row locks necessary for
+// inserts and deletes even under DORA (§4.2.1).
+type heapFile struct {
+	pool *buffer.Pool
+
+	mu    sync.Mutex
+	pages []storage.PageID
+	// pageIndex maps a page id to its position in pages, for RID validity
+	// checks and scans.
+	pageIndex map[storage.PageID]int
+}
+
+func newHeapFile(pool *buffer.Pool) *heapFile {
+	return &heapFile{pool: pool, pageIndex: make(map[storage.PageID]int)}
+}
+
+// insert stores the record and returns its RID. The second return value is
+// the number of the space-management extent allocated by this insert, or -1
+// when no extent was allocated; the engine takes the extent lock on behalf of
+// the inserting transaction when one is.
+func (h *heapFile) insert(record []byte) (storage.RID, int64, error) {
+	if len(record) > storage.PageSize/2 {
+		return storage.InvalidRID, -1, fmt.Errorf("engine: record of %d bytes exceeds page capacity", len(record))
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// Try the existing pages, most recent first: OLTP inserts cluster at the
+	// tail of the heap.
+	for i := len(h.pages) - 1; i >= 0; i-- {
+		rid, ok, err := h.tryInsertAt(h.pages[i], record)
+		if err != nil {
+			return storage.InvalidRID, -1, err
+		}
+		if ok {
+			return rid, -1, nil
+		}
+		if i < len(h.pages)-2 {
+			break // give up after a couple of candidates; allocate instead
+		}
+	}
+	// Allocate a new page (and possibly a new extent).
+	newExtent := int64(-1)
+	if len(h.pages)%pagesPerExtent == 0 {
+		newExtent = int64(len(h.pages) / pagesPerExtent)
+	}
+	fr, err := h.pool.NewPage()
+	if err != nil {
+		return storage.InvalidRID, -1, err
+	}
+	id := fr.Page().ID()
+	h.pages = append(h.pages, id)
+	h.pageIndex[id] = len(h.pages) - 1
+	fr.Latch()
+	slot, err := fr.Page().Insert(record)
+	fr.Unlatch()
+	fr.MarkDirty()
+	fr.Unpin()
+	if err != nil {
+		return storage.InvalidRID, -1, err
+	}
+	return storage.RID{Page: id, Slot: slot}, newExtent, nil
+}
+
+// tryInsertAt attempts to insert into one page. Caller holds h.mu.
+func (h *heapFile) tryInsertAt(id storage.PageID, record []byte) (storage.RID, bool, error) {
+	fr, err := h.pool.FetchPage(id)
+	if err != nil {
+		return storage.InvalidRID, false, err
+	}
+	fr.Latch()
+	slot, err := fr.Page().Insert(record)
+	fr.Unlatch()
+	if err == storage.ErrPageFull {
+		fr.Unpin()
+		return storage.InvalidRID, false, nil
+	}
+	if err != nil {
+		fr.Unpin()
+		return storage.InvalidRID, false, err
+	}
+	fr.MarkDirty()
+	fr.Unpin()
+	return storage.RID{Page: id, Slot: slot}, true, nil
+}
+
+// insertAt re-creates a record at a specific RID; rollback of deletes and
+// recovery redo use it so that RIDs remain stable.
+func (h *heapFile) insertAt(rid storage.RID, record []byte) error {
+	h.mu.Lock()
+	if _, known := h.pageIndex[rid.Page]; !known {
+		h.mu.Unlock()
+		return fmt.Errorf("engine: insertAt on page %d not owned by this heap", rid.Page)
+	}
+	h.mu.Unlock()
+	fr, err := h.pool.FetchPage(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer fr.Unpin()
+	fr.Latch()
+	defer fr.Unlatch()
+	if err := fr.Page().InsertAt(rid.Slot, record); err != nil {
+		return err
+	}
+	fr.MarkDirty()
+	return nil
+}
+
+// get returns a copy of the record at rid.
+func (h *heapFile) get(rid storage.RID) ([]byte, error) {
+	fr, err := h.pool.FetchPage(rid.Page)
+	if err != nil {
+		return nil, err
+	}
+	defer fr.Unpin()
+	fr.RLatch()
+	defer fr.RUnlatch()
+	data, err := fr.Page().Get(rid.Slot)
+	if err != nil {
+		return nil, ErrNotFound
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// update replaces the record at rid.
+func (h *heapFile) update(rid storage.RID, record []byte) error {
+	fr, err := h.pool.FetchPage(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer fr.Unpin()
+	fr.Latch()
+	defer fr.Unlatch()
+	if err := fr.Page().Update(rid.Slot, record); err != nil {
+		if err == storage.ErrNoSuchSlot {
+			return ErrNotFound
+		}
+		return err
+	}
+	fr.MarkDirty()
+	return nil
+}
+
+// delete removes the record at rid.
+func (h *heapFile) delete(rid storage.RID) error {
+	fr, err := h.pool.FetchPage(rid.Page)
+	if err != nil {
+		return err
+	}
+	defer fr.Unpin()
+	fr.Latch()
+	defer fr.Unlatch()
+	if err := fr.Page().Delete(rid.Slot); err != nil {
+		if err == storage.ErrNoSuchSlot {
+			return ErrNotFound
+		}
+		return err
+	}
+	fr.MarkDirty()
+	return nil
+}
+
+// scan visits every live record of the heap in RID order.
+func (h *heapFile) scan(fn func(rid storage.RID, data []byte) error) error {
+	h.mu.Lock()
+	pages := append([]storage.PageID(nil), h.pages...)
+	h.mu.Unlock()
+	for _, id := range pages {
+		fr, err := h.pool.FetchPage(id)
+		if err != nil {
+			return err
+		}
+		fr.RLatch()
+		slots := fr.Page().LiveRecords()
+		for _, slot := range slots {
+			data, err := fr.Page().Get(slot)
+			if err != nil {
+				continue
+			}
+			cp := make([]byte, len(data))
+			copy(cp, data)
+			if err := fn(storage.RID{Page: id, Slot: slot}, cp); err != nil {
+				fr.RUnlatch()
+				fr.Unpin()
+				return err
+			}
+		}
+		fr.RUnlatch()
+		fr.Unpin()
+	}
+	return nil
+}
+
+// numPages returns the number of heap pages.
+func (h *heapFile) numPages() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.pages)
+}
+
+// ownsPage reports whether the heap owns the page (used to validate RIDs
+// during logical redo).
+func (h *heapFile) ownsPage(id storage.PageID) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, ok := h.pageIndex[id]
+	return ok
+}

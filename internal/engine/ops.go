@@ -1,0 +1,390 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"dora/internal/btree"
+	"dora/internal/lockmgr"
+	"dora/internal/storage"
+	"dora/internal/wal"
+)
+
+// AccessOptions select how a record operation coordinates with the
+// centralized lock manager, mirroring the flags the paper adds to Shore-MT's
+// record access and iterator functions (§4.3).
+type AccessOptions struct {
+	// NoLock skips logical locking entirely. DORA probes and updates rely on
+	// the owning executor's thread-local lock table instead.
+	NoLock bool
+	// RowLockOnly acquires only the row-level lock, not the intention-lock
+	// hierarchy. DORA record inserts and deletes use it to coordinate page
+	// slot reuse across executors (§4.2.1).
+	RowLockOnly bool
+	// WorkerID attributes the access in record-access traces (Figure 10).
+	WorkerID int
+}
+
+// Conventional returns the options of a conventionally executed access: full
+// hierarchical locking.
+func Conventional() AccessOptions { return AccessOptions{} }
+
+// DORARead returns the options DORA uses for probes and updates.
+func DORARead() AccessOptions { return AccessOptions{NoLock: true} }
+
+// DORAInsertDelete returns the options DORA uses for inserts and deletes.
+func DORAInsertDelete() AccessOptions { return AccessOptions{RowLockOnly: true} }
+
+// IndexMatch is one secondary-index match: the heap RID plus the routing-field
+// key stored in the leaf entry, which DORA uses to pick the owning executor.
+type IndexMatch struct {
+	RID     storage.RID
+	Routing storage.Key
+}
+
+// lockErr converts lock-manager failures into engine errors that callers
+// treat as "abort and retry".
+func lockErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, lockmgr.ErrDeadlock) || errors.Is(err, lockmgr.ErrTimeout) {
+		return fmt.Errorf("engine: %w", err)
+	}
+	return err
+}
+
+// Probe reads the record with the given primary key.
+func (e *Engine) Probe(t *Txn, table string, pk storage.Key, opt AccessOptions) (storage.Tuple, error) {
+	if err := t.ensureActive(); err != nil {
+		return nil, err
+	}
+	tbl, err := e.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	entry, ok := tbl.primary.SearchUnique(pk)
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return e.probeRID(t, tbl, entry.RID, lockmgr.ModeS, opt)
+}
+
+// ProbeRID reads the record at the given RID (the access path used after a
+// secondary-index lookup).
+func (e *Engine) ProbeRID(t *Txn, table string, rid storage.RID, opt AccessOptions) (storage.Tuple, error) {
+	if err := t.ensureActive(); err != nil {
+		return nil, err
+	}
+	tbl, err := e.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return e.probeRID(t, tbl, rid, lockmgr.ModeS, opt)
+}
+
+func (e *Engine) probeRID(t *Txn, tbl *Table, rid storage.RID, mode lockmgr.Mode, opt AccessOptions) (storage.Tuple, error) {
+	if !opt.NoLock {
+		if opt.RowLockOnly {
+			if err := e.lm.Acquire(t.lockID(), lockmgr.RowLock(uint32(tbl.id), rid.Key()), mode); err != nil {
+				return nil, lockErr(err)
+			}
+		} else if err := e.lm.LockRow(t.lockID(), uint32(tbl.id), rid.Key(), mode); err != nil {
+			return nil, lockErr(err)
+		}
+	}
+	data, err := tbl.heap.get(rid)
+	if err != nil {
+		return nil, err
+	}
+	tuple, err := storage.DecodeTuple(data)
+	if err != nil {
+		return nil, err
+	}
+	e.emitTrace(opt.WorkerID, tbl, tuple, rid)
+	return tuple, nil
+}
+
+// Update applies fn to the record with the given primary key and stores the
+// result. fn receives a copy of the current tuple and returns the new version.
+func (e *Engine) Update(t *Txn, table string, pk storage.Key, opt AccessOptions, fn func(storage.Tuple) (storage.Tuple, error)) error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	tbl, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	entry, ok := tbl.primary.SearchUnique(pk)
+	if !ok {
+		return ErrNotFound
+	}
+	return e.updateRID(t, tbl, entry.RID, opt, fn)
+}
+
+// UpdateRID applies fn to the record at the given RID.
+func (e *Engine) UpdateRID(t *Txn, table string, rid storage.RID, opt AccessOptions, fn func(storage.Tuple) (storage.Tuple, error)) error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	tbl, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	return e.updateRID(t, tbl, rid, opt, fn)
+}
+
+func (e *Engine) updateRID(t *Txn, tbl *Table, rid storage.RID, opt AccessOptions, fn func(storage.Tuple) (storage.Tuple, error)) error {
+	if !opt.NoLock {
+		if opt.RowLockOnly {
+			if err := e.lm.Acquire(t.lockID(), lockmgr.RowLock(uint32(tbl.id), rid.Key()), lockmgr.ModeX); err != nil {
+				return lockErr(err)
+			}
+		} else if err := e.lm.LockRow(t.lockID(), uint32(tbl.id), rid.Key(), lockmgr.ModeX); err != nil {
+			return lockErr(err)
+		}
+	}
+	beforeBytes, err := tbl.heap.get(rid)
+	if err != nil {
+		return err
+	}
+	before, err := storage.DecodeTuple(beforeBytes)
+	if err != nil {
+		return err
+	}
+	after, err := fn(before.Clone())
+	if err != nil {
+		return err
+	}
+	if err := tbl.def.Schema.Validate(after); err != nil {
+		return err
+	}
+	afterBytes := after.Encode(nil)
+	rec := &wal.Record{
+		Txn:     t.walID(),
+		Type:    wal.RecUpdate,
+		TableID: uint32(tbl.id),
+		RID:     rid,
+		Before:  beforeBytes,
+		After:   afterBytes,
+	}
+	e.log.Append(rec)
+	t.recordChange(rec)
+	if err := tbl.heap.update(rid, afterBytes); err != nil {
+		return err
+	}
+	if keysDiffer(tbl, before, after) {
+		if err := tbl.replaceIndexEntries(before, after, rid); err != nil {
+			return err
+		}
+	}
+	e.emitTrace(opt.WorkerID, tbl, after, rid)
+	return nil
+}
+
+// Insert adds a new record and returns its RID. Even under DORA the new
+// record's RID is locked through the centralized lock manager (row-level only)
+// to coordinate page-slot reuse across executors.
+func (e *Engine) Insert(t *Txn, table string, tuple storage.Tuple, opt AccessOptions) (storage.RID, error) {
+	if err := t.ensureActive(); err != nil {
+		return storage.InvalidRID, err
+	}
+	tbl, err := e.Table(table)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	if err := tbl.def.Schema.Validate(tuple); err != nil {
+		return storage.InvalidRID, err
+	}
+	data := tuple.Encode(nil)
+	rid, extent, err := tbl.heap.insert(data)
+	if err != nil {
+		return storage.InvalidRID, err
+	}
+	if extent >= 0 {
+		// Space management: allocating a new extent of pages takes a
+		// higher-level lock regardless of execution mode (the one non-row
+		// Baseline-and-DORA lock visible in Figure 5's TPC-B census).
+		if err := e.lm.Acquire(t.lockID(), lockmgr.ExtentLock(uint32(tbl.id), uint64(extent)), lockmgr.ModeX); err != nil {
+			tbl.heap.delete(rid)
+			return storage.InvalidRID, lockErr(err)
+		}
+	}
+	if !opt.NoLock {
+		var lerr error
+		if opt.RowLockOnly {
+			lerr = e.lm.Acquire(t.lockID(), lockmgr.RowLock(uint32(tbl.id), rid.Key()), lockmgr.ModeX)
+		} else {
+			lerr = e.lm.LockRow(t.lockID(), uint32(tbl.id), rid.Key(), lockmgr.ModeX)
+		}
+		if lerr != nil {
+			tbl.heap.delete(rid)
+			return storage.InvalidRID, lockErr(lerr)
+		}
+	}
+	if err := tbl.insertIndexEntries(tuple, rid); err != nil {
+		tbl.heap.delete(rid)
+		return storage.InvalidRID, err
+	}
+	rec := &wal.Record{
+		Txn:     t.walID(),
+		Type:    wal.RecInsert,
+		TableID: uint32(tbl.id),
+		RID:     rid,
+		After:   data,
+	}
+	e.log.Append(rec)
+	t.recordChange(rec)
+	e.emitTrace(opt.WorkerID, tbl, tuple, rid)
+	return rid, nil
+}
+
+// Delete removes the record with the given primary key. The record's index
+// entries are flagged deleted immediately (so concurrent secondary probes see
+// the pending delete, §4.2.2) and physically removed only when the
+// transaction commits.
+func (e *Engine) Delete(t *Txn, table string, pk storage.Key, opt AccessOptions) error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	tbl, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	entry, ok := tbl.primary.SearchUnique(pk)
+	if !ok {
+		return ErrNotFound
+	}
+	rid := entry.RID
+	if !opt.NoLock {
+		var lerr error
+		if opt.RowLockOnly {
+			lerr = e.lm.Acquire(t.lockID(), lockmgr.RowLock(uint32(tbl.id), rid.Key()), lockmgr.ModeX)
+		} else {
+			lerr = e.lm.LockRow(t.lockID(), uint32(tbl.id), rid.Key(), lockmgr.ModeX)
+		}
+		if lerr != nil {
+			return lockErr(lerr)
+		}
+	}
+	beforeBytes, err := tbl.heap.get(rid)
+	if err != nil {
+		return err
+	}
+	before, err := storage.DecodeTuple(beforeBytes)
+	if err != nil {
+		return err
+	}
+	rec := &wal.Record{
+		Txn:     t.walID(),
+		Type:    wal.RecDelete,
+		TableID: uint32(tbl.id),
+		RID:     rid,
+		Before:  beforeBytes,
+	}
+	e.log.Append(rec)
+	t.recordChange(rec)
+	if err := tbl.heap.delete(rid); err != nil {
+		return err
+	}
+	tbl.markIndexEntriesDeleted(before, rid, true)
+	t.deferOnCommit(func() { tbl.removeIndexEntries(before, rid) })
+	e.emitTrace(opt.WorkerID, tbl, before, rid)
+	return nil
+}
+
+// SecondaryLookup returns the matches of a secondary index probe: RIDs and
+// routing keys, without touching the heap. DORA uses it to resolve secondary
+// actions; the Baseline follows it with locked ProbeRID calls.
+func (e *Engine) SecondaryLookup(t *Txn, table, index string, key storage.Key, opt AccessOptions) ([]IndexMatch, error) {
+	if err := t.ensureActive(); err != nil {
+		return nil, err
+	}
+	tbl, err := e.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	si, err := tbl.secondary(index)
+	if err != nil {
+		return nil, err
+	}
+	entries := si.tree.Search(key)
+	out := make([]IndexMatch, 0, len(entries))
+	for _, en := range entries {
+		out = append(out, IndexMatch{RID: en.RID, Routing: en.Routing})
+	}
+	return out, nil
+}
+
+// ScanPrefix visits, in key order, every live record whose primary key starts
+// with the given prefix (for example all CALL_FORWARDING rows of one
+// subscriber). Under conventional execution each visited row is locked in
+// shared mode; under DORA the caller's local lock on the routing prefix covers
+// the range.
+func (e *Engine) ScanPrefix(t *Txn, table string, prefix storage.Key, opt AccessOptions, fn func(storage.Tuple) bool) error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	tbl, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	var rids []storage.RID
+	tbl.primary.ScanPrefix(prefix, func(en btree.Entry) bool {
+		rids = append(rids, en.RID)
+		return true
+	})
+	for _, rid := range rids {
+		tuple, err := e.probeRID(t, tbl, rid, lockmgr.ModeS, opt)
+		if err != nil {
+			if errors.Is(err, ErrNotFound) {
+				continue // deleted between index scan and heap read
+			}
+			return err
+		}
+		if !fn(tuple) {
+			return nil
+		}
+	}
+	return nil
+}
+
+// ScanTable visits every live record of the table in primary-key order,
+// invoking fn until it returns false. A conventional scan takes a table S
+// lock; a DORA "multi-partition" scan instead enqueues actions on every
+// executor, so it passes NoLock.
+func (e *Engine) ScanTable(t *Txn, table string, opt AccessOptions, fn func(storage.Tuple) bool) error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	tbl, err := e.Table(table)
+	if err != nil {
+		return err
+	}
+	if !opt.NoLock {
+		if err := e.lm.LockTable(t.lockID(), uint32(tbl.id), lockmgr.ModeS); err != nil {
+			return lockErr(err)
+		}
+	}
+	return e.scanHeapInKeyOrder(tbl, opt, fn)
+}
+
+// scanHeapInKeyOrder walks the primary index and reads each record.
+func (e *Engine) scanHeapInKeyOrder(tbl *Table, opt AccessOptions, fn func(storage.Tuple) bool) error {
+	_ = opt
+	var outerErr error
+	tbl.primaryScan(func(rid storage.RID) bool {
+		data, err := tbl.heap.get(rid)
+		if err != nil {
+			outerErr = err
+			return false
+		}
+		tuple, err := storage.DecodeTuple(data)
+		if err != nil {
+			outerErr = err
+			return false
+		}
+		return fn(tuple)
+	})
+	return outerErr
+}

@@ -1,0 +1,227 @@
+package engine
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+
+	"dora/internal/lockmgr"
+	"dora/internal/storage"
+	"dora/internal/wal"
+)
+
+// TxnState is the lifecycle state of a transaction.
+type TxnState int
+
+const (
+	// TxnActive is a running transaction.
+	TxnActive TxnState = iota
+	// TxnCommitted is a successfully committed transaction.
+	TxnCommitted
+	// TxnAborted is a rolled-back transaction.
+	TxnAborted
+)
+
+// String returns the state name.
+func (s TxnState) String() string {
+	switch s {
+	case TxnActive:
+		return "active"
+	case TxnCommitted:
+		return "committed"
+	case TxnAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("TxnState(%d)", int(s))
+	}
+}
+
+// Txn is a transaction context. Under DORA a transaction's actions execute on
+// several executor threads concurrently, so the context is safe for concurrent
+// use by multiple goroutines.
+type Txn struct {
+	id     uint64
+	engine *Engine
+
+	mu    sync.Mutex
+	state TxnState
+	// undo holds the transaction's change records in append order; rollback
+	// walks it backwards. It mirrors the transaction's log chain without
+	// re-reading the log device.
+	undo []*wal.Record
+	// onCommit holds deferred physical cleanups (removing flagged index
+	// entries of deleted records) that run only if the transaction commits.
+	onCommit []func()
+}
+
+// Begin starts a new transaction.
+func (e *Engine) Begin() *Txn {
+	id := e.nextTxn.Add(1)
+	t := &Txn{id: id, engine: e, state: TxnActive}
+	e.log.Append(&wal.Record{Txn: wal.TxnID(id), Type: wal.RecBegin})
+	return t
+}
+
+// ID returns the transaction id.
+func (t *Txn) ID() uint64 { return t.id }
+
+// State returns the transaction's current state.
+func (t *Txn) State() TxnState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.state
+}
+
+// Active reports whether the transaction can still execute operations.
+func (t *Txn) Active() bool { return t.State() == TxnActive }
+
+func (t *Txn) lockID() lockmgr.TxnID { return lockmgr.TxnID(t.id) }
+func (t *Txn) walID() wal.TxnID      { return wal.TxnID(t.id) }
+
+// recordChange remembers a change record for rollback.
+func (t *Txn) recordChange(r *wal.Record) {
+	t.mu.Lock()
+	t.undo = append(t.undo, r)
+	t.mu.Unlock()
+}
+
+// deferOnCommit registers a cleanup to run if the transaction commits.
+func (t *Txn) deferOnCommit(fn func()) {
+	t.mu.Lock()
+	t.onCommit = append(t.onCommit, fn)
+	t.mu.Unlock()
+}
+
+func (t *Txn) ensureActive() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.state != TxnActive {
+		return fmt.Errorf("%w (state %s)", ErrTxnDone, t.state)
+	}
+	return nil
+}
+
+// Commit makes the transaction durable: it forces the log up to the commit
+// record, applies deferred index cleanups, and releases the transaction's
+// centralized locks.
+func (e *Engine) Commit(t *Txn) error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	commitLSN := e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecCommit})
+	e.log.Flush(commitLSN)
+
+	t.mu.Lock()
+	cleanups := t.onCommit
+	t.onCommit = nil
+	t.state = TxnCommitted
+	t.mu.Unlock()
+	for _, fn := range cleanups {
+		fn()
+	}
+	e.lm.ReleaseAll(t.lockID())
+	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd})
+	return nil
+}
+
+// Abort rolls the transaction back: every change is undone youngest-first with
+// compensation log records, then the transaction's locks are released.
+func (e *Engine) Abort(t *Txn) error {
+	if err := t.ensureActive(); err != nil {
+		return err
+	}
+	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecAbort})
+
+	t.mu.Lock()
+	undo := t.undo
+	t.undo = nil
+	t.onCommit = nil
+	t.state = TxnAborted
+	t.mu.Unlock()
+
+	var firstErr error
+	for i := len(undo) - 1; i >= 0; i-- {
+		r := undo[i]
+		if err := e.undoRecord(r); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("engine: rollback of txn %d: %w", t.id, err)
+		}
+		e.log.Append(&wal.Record{
+			Txn:      t.walID(),
+			Type:     wal.RecCLR,
+			TableID:  r.TableID,
+			RID:      r.RID,
+			After:    r.Before,
+			UndoNext: r.PrevLSN,
+		})
+	}
+	e.lm.ReleaseAll(t.lockID())
+	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd})
+	if col := e.Collector(); col != nil {
+		col.TxnAborted()
+	}
+	return firstErr
+}
+
+// undoRecord reverses the effect of one change record during rollback.
+func (e *Engine) undoRecord(r *wal.Record) error {
+	tbl := e.tableByID(TableID(r.TableID))
+	if tbl == nil {
+		return fmt.Errorf("undo references unknown table %d", r.TableID)
+	}
+	switch r.Type {
+	case wal.RecInsert:
+		after, err := storage.DecodeTuple(r.After)
+		if err != nil {
+			return err
+		}
+		tbl.removeIndexEntries(after, r.RID)
+		return tbl.heap.delete(r.RID)
+	case wal.RecDelete:
+		before, err := storage.DecodeTuple(r.Before)
+		if err != nil {
+			return err
+		}
+		if err := tbl.heap.insertAt(r.RID, r.Before); err != nil {
+			return err
+		}
+		tbl.markIndexEntriesDeleted(before, r.RID, false)
+		return nil
+	case wal.RecUpdate:
+		before, err := storage.DecodeTuple(r.Before)
+		if err != nil {
+			return err
+		}
+		after, err := storage.DecodeTuple(r.After)
+		if err != nil {
+			return err
+		}
+		if err := tbl.heap.update(r.RID, r.Before); err != nil {
+			return err
+		}
+		if keysDiffer(tbl, before, after) {
+			return tbl.replaceIndexEntries(after, before, r.RID)
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// keysDiffer reports whether any index key or the routing key of the table
+// differs between the two tuple versions.
+func keysDiffer(tbl *Table, a, b storage.Tuple) bool {
+	if !bytes.Equal(tbl.PrimaryKey(a), tbl.PrimaryKey(b)) {
+		return true
+	}
+	if !bytes.Equal(tbl.RoutingKey(a), tbl.RoutingKey(b)) {
+		return true
+	}
+	for _, si := range tbl.secondaries {
+		ka := storage.EncodeKey(a.Project(si.keyCols)...)
+		kb := storage.EncodeKey(b.Project(si.keyCols)...)
+		if !bytes.Equal(ka, kb) {
+			return true
+		}
+	}
+	return false
+}

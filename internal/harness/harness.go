@@ -1,0 +1,262 @@
+// Package harness drives the evaluation experiments on the real engine: it
+// sets up a workload on either execution system (Baseline or DORA), runs
+// closed-loop clients for a fixed duration or transaction count, and collects
+// the measurements the paper reports — throughput, response times, time
+// breakdowns, and lock-acquisition censuses.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/metrics"
+	"dora/internal/workload"
+)
+
+// SystemKind selects the execution system under test.
+type SystemKind int
+
+const (
+	// Baseline is the conventional thread-to-transaction system.
+	Baseline SystemKind = iota
+	// DORA is the data-oriented thread-to-data system.
+	DORA
+)
+
+// String returns the system label used in reports.
+func (s SystemKind) String() string {
+	if s == DORA {
+		return "DORA"
+	}
+	return "Baseline"
+}
+
+// Config describes one experiment run.
+type Config struct {
+	// Driver is the workload to run.
+	Driver workload.Driver
+	// System selects Baseline or DORA execution.
+	System SystemKind
+	// Workers is the number of closed-loop client goroutines.
+	Workers int
+	// Duration bounds the measurement interval. If zero, TxnsPerWorker is
+	// used instead.
+	Duration time.Duration
+	// TxnsPerWorker bounds the run by transaction count when Duration is 0.
+	TxnsPerWorker int
+	// Mix overrides the workload's default transaction mix. A single-entry
+	// mix pins the run to one transaction kind (as the paper's
+	// GetSubscriberData and OrderStatus experiments do).
+	Mix workload.Mix
+	// ExecutorsPerTable is the number of DORA executors per table.
+	ExecutorsPerTable int
+	// Seed seeds the per-worker random generators.
+	Seed int64
+}
+
+// Result is the measurement output of one run.
+type Result struct {
+	System     SystemKind
+	Workload   string
+	Workers    int
+	Elapsed    time.Duration
+	Committed  uint64
+	Aborted    uint64
+	Errors     uint64
+	Throughput float64 // committed transactions per second
+
+	MeanLatency time.Duration
+	P95Latency  time.Duration
+
+	// Breakdown is the normalized time breakdown (work / lock manager /
+	// lock-manager contention / DORA overhead), Figure 1b/1c and Figure 2.
+	Breakdown metrics.Breakdown
+	// LockMgr is the inside-the-lock-manager breakdown, Figure 3.
+	LockMgr metrics.LockMgrBreakdown
+	// LocksPer100Txns is the Figure 5 census.
+	LocksPer100Txns map[metrics.LockClass]float64
+}
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s/%s workers=%d tps=%.0f committed=%d aborted=%d mean=%s",
+		r.Workload, r.System, r.Workers, r.Throughput, r.Committed, r.Aborted, r.MeanLatency)
+}
+
+// Bench is a prepared experiment environment: a loaded engine plus an
+// optional DORA system, reusable across runs (the data is loaded once).
+type Bench struct {
+	Driver workload.Driver
+	Engine *engine.Engine
+	DORA   *dora.System
+}
+
+// Setup creates an engine, loads the workload, and (when executors > 0)
+// builds a DORA system bound to it.
+func Setup(driver workload.Driver, executorsPerTable int, seed int64) (*Bench, error) {
+	e := engine.New(engine.Config{BufferPoolFrames: 1 << 15})
+	if err := driver.CreateTables(e); err != nil {
+		return nil, err
+	}
+	if err := driver.Load(e, rand.New(rand.NewSource(seed))); err != nil {
+		return nil, err
+	}
+	b := &Bench{Driver: driver, Engine: e}
+	if executorsPerTable > 0 {
+		sys := dora.NewSystem(e, dora.Config{})
+		if err := driver.BindDORA(sys, executorsPerTable); err != nil {
+			return nil, err
+		}
+		b.DORA = sys
+	}
+	return b, nil
+}
+
+// Close stops the DORA executors.
+func (b *Bench) Close() {
+	if b.DORA != nil {
+		b.DORA.Stop()
+	}
+}
+
+// Run executes one measurement run against the prepared environment.
+func (b *Bench) Run(cfg Config) Result {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 1
+	}
+	if cfg.Duration <= 0 && cfg.TxnsPerWorker <= 0 {
+		cfg.TxnsPerWorker = 100
+	}
+	mix := cfg.Mix
+	if len(mix) == 0 {
+		mix = b.Driver.Mix()
+	}
+	col := metrics.NewCollector()
+	b.Engine.SetCollector(col)
+	defer b.Engine.SetCollector(nil)
+
+	var committed, aborted, errs atomic.Uint64
+	var busyNanos atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)*7919 + 1))
+			count := 0
+			for {
+				if cfg.Duration > 0 {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				} else if count >= cfg.TxnsPerWorker {
+					return
+				}
+				kind := mix.Pick(rng)
+				t0 := time.Now()
+				var err error
+				if cfg.System == DORA {
+					err = b.Driver.RunDORA(b.DORA, kind, rng, id)
+				} else {
+					err = b.Driver.RunBaseline(b.Engine, kind, rng, id)
+				}
+				elapsed := time.Since(t0)
+				busyNanos.Add(int64(elapsed))
+				count++
+				switch {
+				case err == nil:
+					committed.Add(1)
+					if cfg.System == Baseline {
+						// DORA records commit latencies itself (it knows the
+						// dispatch time); the Baseline path records here.
+						col.TxnCommitted(elapsed)
+					}
+				case errors.Is(err, workload.ErrAborted):
+					aborted.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}(w)
+	}
+	if cfg.Duration > 0 {
+		time.Sleep(cfg.Duration)
+		close(stop)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Attribute the time not accounted to the lock manager or the DORA
+	// mechanism as useful work, completing the three-way breakdown.
+	accounted := col.Breakdown().Total
+	if busy := time.Duration(busyNanos.Load()); busy > accounted {
+		col.AddTime(metrics.Work, busy-accounted)
+	}
+
+	res := Result{
+		System:          cfg.System,
+		Workload:        b.Driver.Name(),
+		Workers:         cfg.Workers,
+		Elapsed:         elapsed,
+		Committed:       committed.Load(),
+		Aborted:         aborted.Load(),
+		Errors:          errs.Load(),
+		Throughput:      float64(committed.Load()) / elapsed.Seconds(),
+		MeanLatency:     col.MeanLatency(),
+		P95Latency:      col.LatencyPercentile(95),
+		Breakdown:       col.Breakdown(),
+		LockMgr:         col.LockMgrBreakdown(),
+		LocksPer100Txns: col.LocksPer100Txns(),
+	}
+	return res
+}
+
+// PeakResult is the outcome of a perfect-admission-control search (Figure 8):
+// the best throughput over a sweep of concurrency levels and the concurrency
+// (as a proxy for CPU utilization) at which it was achieved.
+type PeakResult struct {
+	Best          Result
+	WorkersAtPeak int
+	Sweep         []Result
+}
+
+// FindPeak runs the configuration at each worker count and returns the
+// highest-throughput run, modeling a perfectly tuned admission control.
+func (b *Bench) FindPeak(cfg Config, workerCounts []int) PeakResult {
+	var out PeakResult
+	for _, w := range workerCounts {
+		c := cfg
+		c.Workers = w
+		r := b.Run(c)
+		out.Sweep = append(out.Sweep, r)
+		if r.Throughput > out.Best.Throughput {
+			out.Best = r
+			out.WorkersAtPeak = w
+		}
+	}
+	return out
+}
+
+// DefaultWorkerSweep returns a reasonable worker-count sweep for the host,
+// from one client to a small multiple of GOMAXPROCS.
+func DefaultWorkerSweep() []int {
+	p := runtime.GOMAXPROCS(0)
+	sweep := []int{1, 2, 4}
+	for _, m := range []int{1, 2, 4} {
+		if v := p * m; v > 4 {
+			sweep = append(sweep, v)
+		}
+	}
+	return sweep
+}

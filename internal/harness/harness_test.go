@@ -1,0 +1,182 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"dora/internal/metrics"
+	"dora/internal/workload"
+	"dora/internal/workload/tm1"
+	"dora/internal/workload/tpcb"
+)
+
+func setupTM1(t *testing.T) *Bench {
+	t.Helper()
+	b, err := Setup(tm1.New(500), 2, 1)
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	t.Cleanup(b.Close)
+	return b
+}
+
+func TestRunBaselineCollectsResults(t *testing.T) {
+	b := setupTM1(t)
+	res := b.Run(Config{
+		System:        Baseline,
+		Workers:       2,
+		TxnsPerWorker: 50,
+		Mix:           workload.Mix{{Name: tm1.GetSubscriberData, Weight: 100}},
+		Seed:          7,
+	})
+	if res.Committed != 100 {
+		t.Fatalf("committed = %d, want 100 (read-only kind never aborts)", res.Committed)
+	}
+	if res.Throughput <= 0 {
+		t.Fatal("throughput not computed")
+	}
+	if res.MeanLatency <= 0 {
+		t.Fatal("latency not recorded")
+	}
+	// Baseline GetSubscriberData must acquire centralized locks.
+	if res.LocksPer100Txns[metrics.RowLock] <= 0 {
+		t.Fatalf("baseline acquired no row locks: %v", res.LocksPer100Txns)
+	}
+	if res.LocksPer100Txns[metrics.HigherLevelLock] <= 0 {
+		t.Fatal("baseline acquired no higher-level locks")
+	}
+	// The breakdown must normalize and include useful work.
+	sum := 0.0
+	for _, f := range res.Breakdown.Fractions {
+		sum += f
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("breakdown does not normalize: %v", res.Breakdown.Fractions)
+	}
+	if res.Breakdown.Fractions[metrics.Work] <= 0 {
+		t.Fatal("no work fraction recorded")
+	}
+	if !strings.Contains(res.String(), "Baseline") {
+		t.Fatal("String() should mention the system")
+	}
+}
+
+func TestRunDORAEliminatesCentralizedLocks(t *testing.T) {
+	b := setupTM1(t)
+	res := b.Run(Config{
+		System:        DORA,
+		Workers:       2,
+		TxnsPerWorker: 50,
+		Mix:           workload.Mix{{Name: tm1.GetSubscriberData, Weight: 100}},
+		Seed:          7,
+	})
+	if res.Committed != 100 {
+		t.Fatalf("committed = %d, want 100", res.Committed)
+	}
+	// The headline Figure 5 property: a read-only TM1 transaction under DORA
+	// takes thread-local locks and essentially no centralized locks.
+	if res.LocksPer100Txns[metrics.LocalLock] < 90 {
+		t.Fatalf("local locks per 100 txns = %v, want about 100", res.LocksPer100Txns[metrics.LocalLock])
+	}
+	if res.LocksPer100Txns[metrics.RowLock] != 0 {
+		t.Fatalf("DORA read-only run acquired row locks: %v", res.LocksPer100Txns)
+	}
+	if res.LocksPer100Txns[metrics.HigherLevelLock] != 0 {
+		t.Fatalf("DORA read-only run acquired higher-level locks: %v", res.LocksPer100Txns)
+	}
+	if res.System.String() != "DORA" {
+		t.Fatal("system label wrong")
+	}
+}
+
+func TestBaselineVsDORALockCensusOnTPCB(t *testing.T) {
+	b, err := Setup(tpcb.New(4), 2, 1)
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	defer b.Close()
+	base := b.Run(Config{System: Baseline, Workers: 2, TxnsPerWorker: 50, Seed: 3})
+	dra := b.Run(Config{System: DORA, Workers: 2, TxnsPerWorker: 50, Seed: 3})
+	if base.Committed == 0 || dra.Committed == 0 {
+		t.Fatalf("runs did not commit: base=%d dora=%d", base.Committed, dra.Committed)
+	}
+	// Figure 5's TPC-B shape: the Baseline acquires several higher-level
+	// locks per transaction (intention locks on four tables), DORA at most a
+	// stray space-management lock; DORA's local locks replace them.
+	if base.LocksPer100Txns[metrics.HigherLevelLock] < 300 {
+		t.Fatalf("baseline higher-level locks per 100 txns = %v, want >= 300",
+			base.LocksPer100Txns[metrics.HigherLevelLock])
+	}
+	if dra.LocksPer100Txns[metrics.HigherLevelLock] > 50 {
+		t.Fatalf("DORA higher-level locks per 100 txns = %v, want close to 0",
+			dra.LocksPer100Txns[metrics.HigherLevelLock])
+	}
+	if dra.LocksPer100Txns[metrics.LocalLock] < 300 {
+		t.Fatalf("DORA local locks per 100 txns = %v, want about 400",
+			dra.LocksPer100Txns[metrics.LocalLock])
+	}
+	// Both systems must still take the row lock for the History insert.
+	if dra.LocksPer100Txns[metrics.RowLock] < 90 {
+		t.Fatalf("DORA row locks per 100 txns = %v, want about 100 (History insert)",
+			dra.LocksPer100Txns[metrics.RowLock])
+	}
+}
+
+func TestDurationBoundedRun(t *testing.T) {
+	b := setupTM1(t)
+	res := b.Run(Config{
+		System:   Baseline,
+		Workers:  2,
+		Duration: 150 * time.Millisecond,
+		Mix:      workload.Mix{{Name: tm1.GetSubscriberData, Weight: 100}},
+	})
+	if res.Committed == 0 {
+		t.Fatal("nothing committed in a duration-bounded run")
+	}
+	if res.Elapsed < 150*time.Millisecond {
+		t.Fatalf("elapsed %v shorter than requested duration", res.Elapsed)
+	}
+}
+
+func TestFindPeak(t *testing.T) {
+	b := setupTM1(t)
+	peak := b.FindPeak(Config{
+		System:        DORA,
+		TxnsPerWorker: 30,
+		Mix:           workload.Mix{{Name: tm1.GetSubscriberData, Weight: 100}},
+	}, []int{1, 2, 4})
+	if len(peak.Sweep) != 3 {
+		t.Fatalf("sweep has %d entries", len(peak.Sweep))
+	}
+	if peak.Best.Throughput <= 0 || peak.WorkersAtPeak == 0 {
+		t.Fatalf("no peak found: %+v", peak.Best)
+	}
+	found := false
+	for _, r := range peak.Sweep {
+		if r.Workers == peak.WorkersAtPeak && r.Throughput == peak.Best.Throughput {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("best result not part of the sweep")
+	}
+}
+
+func TestDefaultWorkerSweep(t *testing.T) {
+	sweep := DefaultWorkerSweep()
+	if len(sweep) < 3 || sweep[0] != 1 {
+		t.Fatalf("sweep = %v", sweep)
+	}
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	b := setupTM1(t)
+	res := b.Run(Config{System: Baseline, Mix: workload.Mix{{Name: tm1.GetSubscriberData, Weight: 100}}})
+	if res.Workers != 1 {
+		t.Fatalf("default workers = %d, want 1", res.Workers)
+	}
+	if res.Committed == 0 {
+		t.Fatal("default run committed nothing")
+	}
+}

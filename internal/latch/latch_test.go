@@ -1,0 +1,152 @@
+package latch
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestLatchAcquireRelease(t *testing.T) {
+	var l Latch
+	if l.Held() {
+		t.Fatal("zero-value latch should be free")
+	}
+	if w := l.Acquire(); w != 0 {
+		t.Fatalf("uncontended acquire waited %v", w)
+	}
+	if !l.Held() {
+		t.Fatal("latch should be held after Acquire")
+	}
+	l.Release()
+	if l.Held() {
+		t.Fatal("latch should be free after Release")
+	}
+}
+
+func TestLatchTryAcquire(t *testing.T) {
+	var l Latch
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire on free latch should succeed")
+	}
+	if l.TryAcquire() {
+		t.Fatal("TryAcquire on held latch should fail")
+	}
+	l.Release()
+	if !l.TryAcquire() {
+		t.Fatal("TryAcquire after Release should succeed")
+	}
+}
+
+func TestLatchMutualExclusion(t *testing.T) {
+	var l Latch
+	const goroutines = 8
+	const iters = 2000
+	counter := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				l.Acquire()
+				counter++
+				l.Release()
+			}
+		}()
+	}
+	wg.Wait()
+	if counter != goroutines*iters {
+		t.Fatalf("counter = %d, want %d (lost updates imply broken mutual exclusion)",
+			counter, goroutines*iters)
+	}
+	st := l.Stats()
+	if st.Acquisitions != goroutines*iters {
+		t.Fatalf("Acquisitions = %d, want %d", st.Acquisitions, goroutines*iters)
+	}
+}
+
+func TestLatchStatsCountContention(t *testing.T) {
+	var l Latch
+	l.Acquire()
+	done := make(chan struct{})
+	started := make(chan struct{})
+	go func() {
+		close(started)
+		l.Acquire()
+		l.Release()
+		close(done)
+	}()
+	<-started
+	// Give the waiter a moment to register contention, then release.
+	for i := 0; i < 1000; i++ {
+	}
+	l.Release()
+	<-done
+	st := l.Stats()
+	if st.Acquisitions != 2 {
+		t.Fatalf("Acquisitions = %d, want 2", st.Acquisitions)
+	}
+	l.ResetStats()
+	if s := l.Stats(); s.Acquisitions != 0 || s.Contended != 0 || s.WaitNanos != 0 {
+		t.Fatalf("ResetStats left %+v", s)
+	}
+}
+
+func TestRWLatchSharedReaders(t *testing.T) {
+	var l RWLatch
+	l.RLock()
+	l.RLock()
+	// Two concurrent readers must both be admitted.
+	l.RUnlock()
+	l.RUnlock()
+	l.Lock()
+	l.Unlock()
+}
+
+func TestRWLatchWriterExcludesReaders(t *testing.T) {
+	var l RWLatch
+	const goroutines = 6
+	const iters = 1500
+	shared := 0
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				if id%2 == 0 {
+					l.Lock()
+					shared++
+					l.Unlock()
+				} else {
+					l.RLock()
+					_ = shared
+					l.RUnlock()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	want := (goroutines / 2) * iters
+	if shared != want {
+		t.Fatalf("shared = %d, want %d", shared, want)
+	}
+}
+
+func BenchmarkLatchUncontended(b *testing.B) {
+	var l Latch
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		l.Acquire()
+		l.Release()
+	}
+}
+
+func BenchmarkLatchContended(b *testing.B) {
+	var l Latch
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			l.Acquire()
+			l.Release()
+		}
+	})
+}

@@ -1,0 +1,411 @@
+package lockmgr
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"dora/internal/metrics"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	cases := []struct {
+		a, b Mode
+		want bool
+	}{
+		{ModeIS, ModeIS, true},
+		{ModeIS, ModeIX, true},
+		{ModeIS, ModeX, false},
+		{ModeIX, ModeIX, true},
+		{ModeIX, ModeS, false},
+		{ModeS, ModeS, true},
+		{ModeS, ModeX, false},
+		{ModeSIX, ModeIS, true},
+		{ModeSIX, ModeIX, false},
+		{ModeX, ModeIS, false},
+		{ModeNone, ModeX, true},
+	}
+	for _, c := range cases {
+		if got := Compatible(c.a, c.b); got != c.want {
+			t.Errorf("Compatible(%s,%s) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestSupremumAndCovers(t *testing.T) {
+	if Supremum(ModeS, ModeIX) != ModeSIX {
+		t.Fatalf("Supremum(S,IX) = %s, want SIX", Supremum(ModeS, ModeIX))
+	}
+	if Supremum(ModeIS, ModeX) != ModeX {
+		t.Fatal("Supremum(IS,X) should be X")
+	}
+	if !Covers(ModeX, ModeS) || Covers(ModeS, ModeX) {
+		t.Fatal("Covers relation wrong for S/X")
+	}
+	if !Covers(ModeSIX, ModeIX) {
+		t.Fatal("SIX should cover IX")
+	}
+	if IntentionFor(ModeX) != ModeIX || IntentionFor(ModeS) != ModeIS {
+		t.Fatal("IntentionFor wrong")
+	}
+}
+
+func TestLockIDHashStableAndInRange(t *testing.T) {
+	ids := []LockID{
+		TableLock(1), TableLock(2), RowLock(1, 55), RowLock(2, 55),
+		ExtentLock(1, 9), DatabaseLock(),
+	}
+	for _, id := range ids {
+		h := id.hash(DefaultNumBuckets)
+		if h < 0 || h >= DefaultNumBuckets {
+			t.Fatalf("hash of %s out of range: %d", id, h)
+		}
+		if h != id.hash(DefaultNumBuckets) {
+			t.Fatalf("hash of %s not stable", id)
+		}
+	}
+}
+
+func TestAcquireSharedCompatible(t *testing.T) {
+	m := New()
+	id := RowLock(1, 10)
+	if err := m.Acquire(1, id, ModeS); err != nil {
+		t.Fatalf("txn1 S: %v", err)
+	}
+	if err := m.Acquire(2, id, ModeS); err != nil {
+		t.Fatalf("txn2 S: %v", err)
+	}
+	if !m.Holds(1, id, ModeS) || !m.Holds(2, id, ModeS) {
+		t.Fatal("both transactions should hold S")
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+	if m.Holds(1, id, ModeS) {
+		t.Fatal("lock survived ReleaseAll")
+	}
+}
+
+func TestExclusiveBlocksUntilRelease(t *testing.T) {
+	m := New()
+	id := RowLock(1, 20)
+	if err := m.Acquire(1, id, ModeX); err != nil {
+		t.Fatalf("txn1 X: %v", err)
+	}
+	acquired := make(chan error, 1)
+	go func() {
+		acquired <- m.Acquire(2, id, ModeX)
+	}()
+	select {
+	case <-acquired:
+		t.Fatal("txn2 acquired X while txn1 still holds it")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(1)
+	select {
+	case err := <-acquired:
+		if err != nil {
+			t.Fatalf("txn2 acquire after release: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("txn2 never granted after release")
+	}
+	m.ReleaseAll(2)
+}
+
+func TestReacquireIsNoOp(t *testing.T) {
+	m := New()
+	id := TableLock(3)
+	if err := m.Acquire(1, id, ModeIX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, id, ModeIX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, id, ModeIS); err != nil {
+		t.Fatal(err)
+	}
+	if n := m.ReleaseAll(1); n != 1 {
+		t.Fatalf("released %d locks, want 1 (re-acquisitions must not duplicate)", n)
+	}
+}
+
+func TestUpgradeSToX(t *testing.T) {
+	m := New()
+	id := RowLock(1, 30)
+	if err := m.Acquire(1, id, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(1, id, ModeX); err != nil {
+		t.Fatalf("upgrade with no other holders should succeed immediately: %v", err)
+	}
+	if !m.Holds(1, id, ModeX) {
+		t.Fatal("transaction should hold X after upgrade")
+	}
+	m.ReleaseAll(1)
+}
+
+func TestUpgradeWaitsForOtherReaders(t *testing.T) {
+	m := New()
+	id := RowLock(1, 31)
+	if err := m.Acquire(1, id, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, id, ModeS); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Acquire(1, id, ModeX) }()
+	select {
+	case <-done:
+		t.Fatal("upgrade granted while another reader holds S")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(2)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("upgrade after reader left: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("upgrade never granted")
+	}
+	if !m.Holds(1, id, ModeX) {
+		t.Fatal("upgraded transaction should hold X")
+	}
+	m.ReleaseAll(1)
+}
+
+func TestLockRowAcquiresIntentionLocks(t *testing.T) {
+	m := New()
+	if err := m.LockRow(1, 7, 99, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Holds(1, TableLock(7), ModeIX) {
+		t.Fatal("row X lock must imply table IX")
+	}
+	if !m.Holds(1, RowLock(7, 99), ModeX) {
+		t.Fatal("row lock not held")
+	}
+	// Another transaction can still read other rows of the same table.
+	if err := m.LockRow(2, 7, 100, ModeS); err != nil {
+		t.Fatalf("compatible row lock on other row failed: %v", err)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+}
+
+func TestTableXBlocksRowLockers(t *testing.T) {
+	m := New(WithTimeout(100 * time.Millisecond))
+	if err := m.LockTable(1, 5, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	err := m.LockRow(2, 5, 1, ModeS)
+	if !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("row lock under table X = %v, want timeout/deadlock", err)
+	}
+	m.ReleaseAll(1)
+	m.ReleaseAll(2)
+}
+
+func TestDeadlockDetected(t *testing.T) {
+	m := New(WithTimeout(5 * time.Second))
+	a, b := RowLock(1, 1), RowLock(1, 2)
+	if err := m.Acquire(1, a, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Acquire(2, b, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	errs := make(chan error, 2)
+	go func() { errs <- m.Acquire(1, b, ModeX) }()
+	time.Sleep(20 * time.Millisecond)
+	go func() { errs <- m.Acquire(2, a, ModeX) }()
+
+	// One of the two must be aborted as a deadlock victim, quickly (well
+	// before the 5s timeout).
+	select {
+	case err := <-errs:
+		if !errors.Is(err, ErrDeadlock) {
+			t.Fatalf("first completed acquire = %v, want ErrDeadlock", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("deadlock not detected in time")
+	}
+	// The victim aborts: release its locks so the other can finish.
+	st := m.Stats()
+	if st.Deadlocks == 0 {
+		t.Fatal("deadlock counter not incremented")
+	}
+	m.ReleaseAll(2)
+	select {
+	case err := <-errs:
+		if err != nil {
+			t.Fatalf("survivor acquire = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("survivor never granted")
+	}
+	m.ReleaseAll(1)
+}
+
+func TestTimeoutWhenHolderNeverReleases(t *testing.T) {
+	m := New(WithTimeout(50 * time.Millisecond))
+	id := RowLock(9, 9)
+	if err := m.Acquire(1, id, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := m.Acquire(2, id, ModeX)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("blocked acquire = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("timeout took far longer than configured")
+	}
+	m.ReleaseAll(1)
+}
+
+func TestFIFOGrantOrder(t *testing.T) {
+	m := New()
+	id := RowLock(2, 2)
+	if err := m.Acquire(1, id, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	order := make(chan TxnID, 2)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := m.Acquire(2, id, ModeX); err == nil {
+			order <- 2
+			m.ReleaseAll(2)
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	go func() {
+		defer wg.Done()
+		if err := m.Acquire(3, id, ModeX); err == nil {
+			order <- 3
+			m.ReleaseAll(3)
+		}
+	}()
+	time.Sleep(30 * time.Millisecond)
+	m.ReleaseAll(1)
+	wg.Wait()
+	close(order)
+	var got []TxnID
+	for id := range order {
+		got = append(got, id)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 3 {
+		t.Fatalf("grant order = %v, want [2 3]", got)
+	}
+}
+
+func TestMetricsCensusAndTiming(t *testing.T) {
+	m := New()
+	col := metrics.NewCollector()
+	m.SetCollector(col)
+	if err := m.LockRow(1, 1, 5, ModeX); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.LockTable(1, 2, ModeIS); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(1)
+	census := col.LockCensus()
+	if census[metrics.RowLock] != 1 {
+		t.Fatalf("row lock census = %d, want 1", census[metrics.RowLock])
+	}
+	if census[metrics.HigherLevelLock] != 2 {
+		t.Fatalf("higher-level census = %d, want 2 (table IX + table IS)", census[metrics.HigherLevelLock])
+	}
+	lb := col.LockMgrBreakdown()
+	sum := lb.Acquire + lb.AcquireContention + lb.Release + lb.ReleaseContention + lb.Other
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("lock manager breakdown does not normalize: %v", lb)
+	}
+}
+
+func TestConcurrentDisjointRowLocks(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const rowsPerTxn = 20
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			txn := TxnID(id + 1)
+			for i := 0; i < rowsPerTxn; i++ {
+				if err := m.LockRow(txn, 1, uint64(id*1000+i), ModeX); err != nil {
+					errs <- err
+					return
+				}
+			}
+			m.ReleaseAll(txn)
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatalf("disjoint row locking failed: %v", err)
+	}
+}
+
+func TestConcurrentConflictingWorkload(t *testing.T) {
+	// Many transactions hammer a small set of rows with X locks; the
+	// invariant is that no two transactions ever hold the same row lock at
+	// once (verified with a shadow owner map) and that nothing deadlocks
+	// permanently.
+	m := New(WithTimeout(2 * time.Second))
+	var ownersMu sync.Mutex
+	owners := map[uint64]TxnID{}
+
+	var wg sync.WaitGroup
+	const goroutines = 6
+	const iters = 100
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				txn := TxnID(id*iters + i + 1)
+				row := uint64(i % 5)
+				if err := m.LockRow(txn, 1, row, ModeX); err != nil {
+					m.ReleaseAll(txn)
+					continue
+				}
+				ownersMu.Lock()
+				if prev, busy := owners[row]; busy {
+					t.Errorf("row %d already owned by txn %d while txn %d acquired it", row, prev, txn)
+				}
+				owners[row] = txn
+				ownersMu.Unlock()
+
+				ownersMu.Lock()
+				delete(owners, row)
+				ownersMu.Unlock()
+				m.ReleaseAll(txn)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+func TestModeAndScopeStrings(t *testing.T) {
+	if ModeSIX.String() != "SIX" || ModeIX.String() != "IX" {
+		t.Fatal("mode labels wrong")
+	}
+	if ScopeRow.String() != "row" || ScopeExtent.String() != "extent" {
+		t.Fatal("scope labels wrong")
+	}
+	if RowLock(1, 2).String() == "" {
+		t.Fatal("LockID String() should not be empty")
+	}
+	if New().String() == "" {
+		t.Fatal("Manager String() should not be empty")
+	}
+}

@@ -1,0 +1,336 @@
+// Package metrics provides the instrumentation used to reproduce the paper's
+// measurements: per-component time breakdowns (useful work vs. lock-manager
+// work vs. lock-manager contention), lock-acquisition censuses by lock class,
+// and throughput/response-time series.
+//
+// The accounting model follows the paper's profiling methodology (Figures 1-3
+// and 5): every worker thread attributes its wall-clock time to exactly one
+// component at a time, and the lock manager separately reports how much of its
+// time was spent spinning on latches (contention) versus doing useful lock
+// bookkeeping.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Component identifies where a slice of execution time was spent.
+type Component int
+
+const (
+	// Work is useful transaction work outside the lock manager (record
+	// access, index traversal, logging, commit processing).
+	Work Component = iota
+	// LockMgr is time inside the centralized lock manager doing useful
+	// bookkeeping (hash probes, request-list maintenance).
+	LockMgr
+	// LockMgrContention is time inside the centralized lock manager spent
+	// waiting: spinning on bucket latches or blocked on incompatible locks.
+	LockMgrContention
+	// OtherContention is contention outside the lock manager (buffer pool,
+	// log manager, DORA queue latches).
+	OtherContention
+	// DORA is time spent in DORA's own mechanism: local lock tables, action
+	// routing, RVP bookkeeping.
+	DORA
+	numComponents
+)
+
+// String returns the human-readable component label used in figure output.
+func (c Component) String() string {
+	switch c {
+	case Work:
+		return "Work"
+	case LockMgr:
+		return "LockMgr"
+	case LockMgrContention:
+		return "LockMgrCont"
+	case OtherContention:
+		return "OtherCont"
+	case DORA:
+		return "DORA"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// LockClass classifies acquired locks for the Figure 5 census.
+type LockClass int
+
+const (
+	// RowLock is a record-level (RID) lock in the centralized manager.
+	RowLock LockClass = iota
+	// HigherLevelLock is any non-row centralized lock: table intention
+	// locks, extent/space-management locks, database locks.
+	HigherLevelLock
+	// LocalLock is a DORA thread-local lock table entry.
+	LocalLock
+	numLockClasses
+)
+
+// String returns the census label for the lock class.
+func (c LockClass) String() string {
+	switch c {
+	case RowLock:
+		return "Row-level"
+	case HigherLevelLock:
+		return "Higher-level"
+	case LocalLock:
+		return "Thread-local"
+	default:
+		return fmt.Sprintf("LockClass(%d)", int(c))
+	}
+}
+
+// Collector accumulates time and counter statistics for one experiment run.
+// It is safe for concurrent use by many worker goroutines.
+type Collector struct {
+	times [numComponents]atomic.Int64
+	locks [numLockClasses]atomic.Uint64
+	// Inside-the-lock-manager split for Figure 3.
+	acquireNanos     atomic.Int64
+	acquireContNanos atomic.Int64
+	releaseNanos     atomic.Int64
+	releaseContNanos atomic.Int64
+
+	committed atomic.Uint64
+	aborted   atomic.Uint64
+
+	mu        sync.Mutex
+	latencies []time.Duration
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// AddTime attributes d to component c.
+func (m *Collector) AddTime(c Component, d time.Duration) {
+	if m == nil || d <= 0 {
+		return
+	}
+	m.times[c].Add(int64(d))
+}
+
+// AddLock records the acquisition of n locks of class c.
+func (m *Collector) AddLock(c LockClass, n int) {
+	if m == nil {
+		return
+	}
+	m.locks[c].Add(uint64(n))
+}
+
+// AddAcquire records time spent inside lock-manager acquire, split into useful
+// and contention portions (Figure 3).
+func (m *Collector) AddAcquire(useful, contention time.Duration) {
+	if m == nil {
+		return
+	}
+	m.acquireNanos.Add(int64(useful))
+	m.acquireContNanos.Add(int64(contention))
+	m.times[LockMgr].Add(int64(useful))
+	m.times[LockMgrContention].Add(int64(contention))
+}
+
+// AddRelease records time spent inside lock-manager release, split into useful
+// and contention portions (Figure 3).
+func (m *Collector) AddRelease(useful, contention time.Duration) {
+	if m == nil {
+		return
+	}
+	m.releaseNanos.Add(int64(useful))
+	m.releaseContNanos.Add(int64(contention))
+	m.times[LockMgr].Add(int64(useful))
+	m.times[LockMgrContention].Add(int64(contention))
+}
+
+// TxnCommitted records a committed transaction and its latency.
+func (m *Collector) TxnCommitted(latency time.Duration) {
+	if m == nil {
+		return
+	}
+	m.committed.Add(1)
+	m.mu.Lock()
+	m.latencies = append(m.latencies, latency)
+	m.mu.Unlock()
+}
+
+// TxnAborted records an aborted transaction.
+func (m *Collector) TxnAborted() {
+	if m == nil {
+		return
+	}
+	m.aborted.Add(1)
+}
+
+// Committed returns the number of committed transactions.
+func (m *Collector) Committed() uint64 { return m.committed.Load() }
+
+// Aborted returns the number of aborted transactions.
+func (m *Collector) Aborted() uint64 { return m.aborted.Load() }
+
+// Breakdown is a normalized time breakdown across components.
+type Breakdown struct {
+	// Fractions maps each component to its share of total attributed time;
+	// the shares sum to 1 unless no time was recorded.
+	Fractions map[Component]float64
+	// Total is the total attributed time.
+	Total time.Duration
+}
+
+// Breakdown returns the normalized component time breakdown.
+func (m *Collector) Breakdown() Breakdown {
+	var total int64
+	vals := make([]int64, numComponents)
+	for c := Component(0); c < numComponents; c++ {
+		vals[c] = m.times[c].Load()
+		total += vals[c]
+	}
+	b := Breakdown{Fractions: make(map[Component]float64, numComponents), Total: time.Duration(total)}
+	for c := Component(0); c < numComponents; c++ {
+		if total > 0 {
+			b.Fractions[c] = float64(vals[c]) / float64(total)
+		} else {
+			b.Fractions[c] = 0
+		}
+	}
+	return b
+}
+
+// LockMgrBreakdown is the inside-the-lock-manager split of Figure 3.
+type LockMgrBreakdown struct {
+	Acquire           float64
+	AcquireContention float64
+	Release           float64
+	ReleaseContention float64
+	Other             float64
+}
+
+// LockMgrBreakdown returns the normalized Figure 3 breakdown. The Other share
+// covers lock-manager time not attributed to acquire or release (deadlock
+// detection, upgrades); it is derived as the remainder of LockMgr time.
+func (m *Collector) LockMgrBreakdown() LockMgrBreakdown {
+	aq := float64(m.acquireNanos.Load())
+	aqc := float64(m.acquireContNanos.Load())
+	rl := float64(m.releaseNanos.Load())
+	rlc := float64(m.releaseContNanos.Load())
+	lm := float64(m.times[LockMgr].Load() + m.times[LockMgrContention].Load())
+	other := lm - aq - aqc - rl - rlc
+	if other < 0 {
+		other = 0
+	}
+	total := aq + aqc + rl + rlc + other
+	if total == 0 {
+		return LockMgrBreakdown{}
+	}
+	return LockMgrBreakdown{
+		Acquire:           aq / total,
+		AcquireContention: aqc / total,
+		Release:           rl / total,
+		ReleaseContention: rlc / total,
+		Other:             other / total,
+	}
+}
+
+// LockCensus returns the number of locks acquired per lock class.
+func (m *Collector) LockCensus() map[LockClass]uint64 {
+	out := make(map[LockClass]uint64, numLockClasses)
+	for c := LockClass(0); c < numLockClasses; c++ {
+		out[c] = m.locks[c].Load()
+	}
+	return out
+}
+
+// LocksPer100Txns returns the Figure 5 metric: locks acquired per 100
+// committed transactions, by class. It returns zeros when nothing committed.
+func (m *Collector) LocksPer100Txns() map[LockClass]float64 {
+	out := make(map[LockClass]float64, numLockClasses)
+	n := float64(m.committed.Load())
+	for c := LockClass(0); c < numLockClasses; c++ {
+		if n > 0 {
+			out[c] = float64(m.locks[c].Load()) * 100 / n
+		}
+	}
+	return out
+}
+
+// Latencies returns a copy of all recorded commit latencies.
+func (m *Collector) Latencies() []time.Duration {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]time.Duration, len(m.latencies))
+	copy(out, m.latencies)
+	return out
+}
+
+// LatencyPercentile returns the p-th percentile (0 < p <= 100) commit latency,
+// or zero when no latencies were recorded.
+func (m *Collector) LatencyPercentile(p float64) time.Duration {
+	lats := m.Latencies()
+	if len(lats) == 0 {
+		return 0
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	idx := int(p/100*float64(len(lats))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(lats) {
+		idx = len(lats) - 1
+	}
+	return lats[idx]
+}
+
+// MeanLatency returns the mean commit latency, or zero when none recorded.
+func (m *Collector) MeanLatency() time.Duration {
+	lats := m.Latencies()
+	if len(lats) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, l := range lats {
+		sum += l
+	}
+	return sum / time.Duration(len(lats))
+}
+
+// Reset clears all accumulated statistics.
+func (m *Collector) Reset() {
+	for c := Component(0); c < numComponents; c++ {
+		m.times[c].Store(0)
+	}
+	for c := LockClass(0); c < numLockClasses; c++ {
+		m.locks[c].Store(0)
+	}
+	m.acquireNanos.Store(0)
+	m.acquireContNanos.Store(0)
+	m.releaseNanos.Store(0)
+	m.releaseContNanos.Store(0)
+	m.committed.Store(0)
+	m.aborted.Store(0)
+	m.mu.Lock()
+	m.latencies = m.latencies[:0]
+	m.mu.Unlock()
+}
+
+// String renders a compact human-readable summary of the collector, suitable
+// for example programs and debugging.
+func (m *Collector) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "committed=%d aborted=%d", m.Committed(), m.Aborted())
+	b := m.Breakdown()
+	if b.Total > 0 {
+		sb.WriteString(" breakdown:")
+		for c := Component(0); c < numComponents; c++ {
+			fmt.Fprintf(&sb, " %s=%.1f%%", c, b.Fractions[c]*100)
+		}
+	}
+	census := m.LockCensus()
+	fmt.Fprintf(&sb, " locks: row=%d higher=%d local=%d",
+		census[RowLock], census[HigherLevelLock], census[LocalLock])
+	return sb.String()
+}

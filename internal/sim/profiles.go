@@ -1,0 +1,376 @@
+package sim
+
+import "time"
+
+// System selects which execution system a profile models.
+type System int
+
+const (
+	// SysBaseline is the conventional thread-to-transaction system.
+	SysBaseline System = iota
+	// SysDORA is the data-oriented system.
+	SysDORA
+)
+
+// String returns the system label.
+func (s System) String() string {
+	if s == SysDORA {
+		return "DORA"
+	}
+	return "Baseline"
+}
+
+// CostModel holds the service times of the engine's internal operations.
+// The defaults are calibrated so that the simulated Baseline reproduces the
+// paper's absolute ballpark on a 64-context machine (TM1 ≈ 20-80 Ktps, TPC-B
+// and TPC-C OrderStatus ≈ 15-45 Ktps) and, more importantly, the relative
+// behaviour: the per-lock latch time makes the centralized lock manager the
+// first contended component as utilization grows.
+type CostModel struct {
+	// LockAcquire / LockRelease are the useful times spent inside the
+	// centralized lock manager per lock, holding the lock head's latch.
+	LockAcquire time.Duration
+	LockRelease time.Duration
+	// RowLatchPool is the number of distinct row-lock latch instances per
+	// table; row locks are spread over it (they are rarely contended).
+	RowLatchPool int
+	// LocalLock is DORA's thread-local lock table manipulation time per
+	// action (acquire plus release at completion).
+	LocalLock time.Duration
+	// QueueMsg is the cost of enqueueing/dequeueing one action or
+	// completion message on an executor queue.
+	QueueMsg time.Duration
+	// QueuePool is the number of executor queues per table.
+	QueuePool int
+	// LogWrite is the time spent holding the log-manager latch to reserve
+	// log space and insert the commit record (the flush itself is group
+	// committed outside the latch).
+	LogWrite time.Duration
+	// LogPerWrite is the additional, latch-free log work per updating action
+	// (building and copying the log records).
+	LogPerWrite time.Duration
+}
+
+// DefaultCosts returns the calibrated cost model.
+func DefaultCosts() CostModel {
+	return CostModel{
+		LockAcquire:  18 * time.Microsecond,
+		LockRelease:  12 * time.Microsecond,
+		RowLatchPool: 4096,
+		LocalLock:    6 * time.Microsecond,
+		QueueMsg:     4 * time.Microsecond,
+		QueuePool:    16,
+		LogWrite:     1 * time.Microsecond,
+		LogPerWrite:  5 * time.Microsecond,
+	}
+}
+
+// logSegments returns the commit-time log segments for a transaction with the
+// given number of updating actions: a short latched insertion into the log
+// buffer plus latch-free record construction work.
+func (m CostModel) logSegments(writes int) []Segment {
+	return []Segment{
+		{Duration: time.Duration(writes) * m.LogPerWrite, Component: CompLog},
+		{Duration: m.LogWrite, Component: CompLog, Latch: "log"},
+	}
+}
+
+// writeCount counts the updating actions of a spec.
+func (ts TxnSpec) writeCount() int {
+	n := 0
+	for _, phase := range ts.Phases {
+		for _, a := range phase {
+			if a.Write || a.Insert {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// ActionSpec is one record access of a transaction: the table it touches and
+// its useful work (index traversal, tuple manipulation).
+type ActionSpec struct {
+	Table  string
+	Work   time.Duration
+	Write  bool
+	Insert bool // inserts take a centralized row lock even under DORA (§4.2.1)
+}
+
+// TxnSpec is a system-independent description of a transaction: its actions
+// grouped into flow-graph phases (the Baseline simply flattens them) and the
+// per-phase failure probability.
+type TxnSpec struct {
+	Name     string
+	Phases   [][]ActionSpec
+	FailProb []float64 // probability the phase fails (aborting the txn)
+	ReadOnly bool
+}
+
+// Baseline builds the conventional-execution profile: every action runs
+// sequentially on the single worker thread; every record access first goes
+// through the centralized lock manager, acquiring the table intention lock
+// (one hot latch per table — the contended path) and the row lock (spread
+// over many latch instances), and every lock is released again at commit.
+func (ts TxnSpec) Baseline(m CostModel) TxnProfile {
+	var segs []Segment
+	var releases []Segment
+	tablesSeen := map[string]bool{}
+	for _, phase := range ts.Phases {
+		for _, a := range phase {
+			// Table intention lock: acquired once per table per transaction,
+			// but every acquisition probes the same lock head, so the first
+			// one pays the latched path and the rest are covered.
+			if !tablesSeen[a.Table] {
+				tablesSeen[a.Table] = true
+				segs = append(segs, Segment{
+					Duration: m.LockAcquire, Component: CompLockMgrAcquire,
+					Latch: "lm:tbl:" + a.Table,
+				})
+				releases = append(releases, Segment{
+					Duration: m.LockRelease, Component: CompLockMgrRelease,
+					Latch: "lm:tbl:" + a.Table,
+				})
+			}
+			// Row lock.
+			segs = append(segs, Segment{
+				Duration: m.LockAcquire, Component: CompLockMgrAcquire,
+				Latch: "lm:row:" + a.Table, PoolSize: m.RowLatchPool,
+			})
+			releases = append(releases, Segment{
+				Duration: m.LockRelease, Component: CompLockMgrRelease,
+				Latch: "lm:row:" + a.Table, PoolSize: m.RowLatchPool,
+			})
+			segs = append(segs, Segment{Duration: a.Work, Component: CompWork})
+		}
+	}
+	segs = append(segs, releases...)
+	phases := []Phase{{Segments: segs, FailProb: totalFailProb(ts.FailProb)}}
+	if !ts.ReadOnly {
+		// The commit log force happens only for transactions that were not
+		// aborted by invalid input, hence the separate final phase.
+		phases = append(phases, Phase{Segments: m.logSegments(ts.writeCount())})
+	}
+	return TxnProfile{Name: ts.Name + "/Baseline", Phases: phases}
+}
+
+// DORA builds the data-oriented profile used for throughput experiments: the
+// transaction's actions run on executor threads, so the machine spends the sum
+// of all actions' work per transaction (charged here), plus DORA's routing and
+// thread-local locking overhead; inserts additionally pay the centralized row
+// lock the paper keeps for slot coordination. Use DORACriticalPath for
+// latency experiments with an unsaturated machine.
+func (ts TxnSpec) DORA(m CostModel) TxnProfile {
+	return ts.doraProfile(m, false)
+}
+
+// DORACriticalPath builds the data-oriented profile as seen by one client on
+// an otherwise idle machine: the actions of a phase execute in parallel on
+// their executors, so the response time is the longest action of each phase
+// plus the DORA overhead — the intra-transaction parallelism of Figure 7.
+func (ts TxnSpec) DORACriticalPath(m CostModel) TxnProfile {
+	return ts.doraProfile(m, true)
+}
+
+func (ts TxnSpec) doraProfile(m CostModel, criticalPath bool) TxnProfile {
+	var phases []Phase
+	for i, phase := range ts.Phases {
+		var segs []Segment
+		var work time.Duration
+		inserts := 0
+		for _, a := range phase {
+			if criticalPath {
+				if a.Work > work {
+					work = a.Work
+				}
+			} else {
+				work += a.Work
+			}
+			if a.Insert {
+				inserts++
+			}
+			// Dispatch of the action to its executor's queue and the local
+			// lock acquisition. Queue latches are per executor and held for
+			// tens of nanoseconds; they are modeled as latch-free DORA
+			// overhead because they never become a contention source (the
+			// paper's Figure 1c shows no measurable DORA contention).
+			segs = append(segs, Segment{Duration: m.QueueMsg, Component: CompDORA})
+			segs = append(segs, Segment{Duration: m.LocalLock, Component: CompDORA})
+		}
+		segs = append(segs, Segment{Duration: work, Component: CompWork})
+		for i := 0; i < inserts; i++ {
+			segs = append(segs, Segment{
+				Duration: m.LockAcquire, Component: CompLockMgrAcquire,
+				Latch: "lm:row:insert", PoolSize: m.RowLatchPool,
+			})
+			segs = append(segs, Segment{
+				Duration: m.LockRelease, Component: CompLockMgrRelease,
+				Latch: "lm:row:insert", PoolSize: m.RowLatchPool,
+			})
+		}
+		fail := 0.0
+		if i < len(ts.FailProb) {
+			fail = ts.FailProb[i]
+		}
+		phases = append(phases, Phase{Segments: segs, FailProb: fail})
+	}
+	// Commit: one log force plus the completion messages releasing the local
+	// locks at the participating executors. Transactions aborted by invalid
+	// input never reach it, so it forms its own final phase.
+	commit := Phase{}
+	if !ts.ReadOnly {
+		commit.Segments = append(commit.Segments, m.logSegments(ts.writeCount())...)
+	}
+	commit.Segments = append(commit.Segments, Segment{Duration: m.QueueMsg, Component: CompDORA})
+	phases = append(phases, commit)
+	return TxnProfile{Name: ts.Name + "/DORA", Phases: phases}
+}
+
+// Profile builds the profile for the chosen system.
+func (ts TxnSpec) Profile(sys System, m CostModel) TxnProfile {
+	if sys == SysDORA {
+		return ts.DORA(m)
+	}
+	return ts.Baseline(m)
+}
+
+func totalFailProb(per []float64) float64 {
+	p := 1.0
+	for _, f := range per {
+		p *= 1 - f
+	}
+	return 1 - p
+}
+
+// --- workload transaction specs ----------------------------------------------
+
+// TM1GetSubscriberData is the read-only transaction of Figures 1 and 6: a
+// single SUBSCRIBER probe.
+func TM1GetSubscriberData() TxnSpec {
+	return TxnSpec{
+		Name:     "TM1-GetSubscriberData",
+		Phases:   [][]ActionSpec{{{Table: "SUBSCRIBER", Work: 420 * time.Microsecond}}},
+		ReadOnly: true,
+	}
+}
+
+// TM1Mix approximates the full TM1 mix of Figures 2a and 6: on average about
+// two record accesses over two tables, 20% of them updating, with TM1's
+// characteristic invalid-input abort rate.
+func TM1Mix() TxnSpec {
+	return TxnSpec{
+		Name: "TM1-Mix",
+		Phases: [][]ActionSpec{
+			{
+				{Table: "SUBSCRIBER", Work: 320 * time.Microsecond, Write: true},
+				{Table: "SPECIAL_FACILITY", Work: 220 * time.Microsecond},
+			},
+		},
+		FailProb: []float64{0.25},
+	}
+}
+
+// TM1UpdateSubscriberData is the Figure 11 transaction: the SPECIAL_FACILITY
+// update fails 37.5% of the time. The serial flag builds the DORA-S flow
+// graph (facility first, subscriber only if it succeeded); the parallel
+// variant runs both actions in one phase and wastes the subscriber update on
+// aborts.
+func TM1UpdateSubscriberData(serial bool) TxnSpec {
+	facility := ActionSpec{Table: "SPECIAL_FACILITY", Work: 260 * time.Microsecond, Write: true}
+	subscriber := ActionSpec{Table: "SUBSCRIBER", Work: 260 * time.Microsecond, Write: true}
+	if serial {
+		return TxnSpec{
+			Name:     "TM1-UpdSubData-S",
+			Phases:   [][]ActionSpec{{facility}, {subscriber}},
+			FailProb: []float64{0.375, 0},
+		}
+	}
+	return TxnSpec{
+		Name:     "TM1-UpdSubData-P",
+		Phases:   [][]ActionSpec{{facility, subscriber}},
+		FailProb: []float64{0.375},
+	}
+}
+
+// TPCBAccountUpdate is TPC-B's transaction (Figures 3, 5, 6, 8): three
+// updates plus a history insert.
+func TPCBAccountUpdate() TxnSpec {
+	return TxnSpec{
+		Name: "TPC-B",
+		Phases: [][]ActionSpec{
+			{
+				{Table: "ACCOUNT", Work: 300 * time.Microsecond, Write: true},
+				{Table: "TELLER", Work: 180 * time.Microsecond, Write: true},
+				{Table: "BRANCH", Work: 180 * time.Microsecond, Write: true},
+			},
+			{
+				{Table: "HISTORY", Work: 200 * time.Microsecond, Write: true, Insert: true},
+			},
+		},
+	}
+}
+
+// TPCCOrderStatus is the read-only TPC-C transaction of Figures 2b, 5, 6, 8.
+// Its high ratio of row to higher-level locks makes the Baseline scale better
+// than on TM1, exactly as the paper observes.
+func TPCCOrderStatus() TxnSpec {
+	return TxnSpec{
+		Name: "TPC-C-OrderStatus",
+		Phases: [][]ActionSpec{
+			{{Table: "CUSTOMER", Work: 350 * time.Microsecond}},
+			{{Table: "ORDERS", Work: 250 * time.Microsecond}},
+			{
+				{Table: "ORDER_LINE", Work: 220 * time.Microsecond},
+				{Table: "ORDER_LINE", Work: 220 * time.Microsecond},
+				{Table: "ORDER_LINE", Work: 220 * time.Microsecond},
+				{Table: "ORDER_LINE", Work: 220 * time.Microsecond},
+				{Table: "ORDER_LINE", Work: 220 * time.Microsecond},
+				{Table: "ORDER_LINE", Work: 220 * time.Microsecond},
+				{Table: "ORDER_LINE", Work: 220 * time.Microsecond},
+				{Table: "ORDER_LINE", Work: 220 * time.Microsecond},
+			},
+		},
+		ReadOnly: true,
+	}
+}
+
+// TPCCPayment is the paper's running example (Figures 4, 7, 8, 10).
+func TPCCPayment() TxnSpec {
+	return TxnSpec{
+		Name: "TPC-C-Payment",
+		Phases: [][]ActionSpec{
+			{
+				{Table: "WAREHOUSE", Work: 220 * time.Microsecond, Write: true},
+				{Table: "DISTRICT", Work: 220 * time.Microsecond, Write: true},
+				{Table: "CUSTOMER", Work: 380 * time.Microsecond, Write: true},
+			},
+			{
+				{Table: "HISTORY", Work: 200 * time.Microsecond, Write: true, Insert: true},
+			},
+		},
+	}
+}
+
+// TPCCNewOrder is the heaviest transaction of the mix (Figures 7, 8): about
+// ten item/stock pairs plus the order bookkeeping.
+func TPCCNewOrder() TxnSpec {
+	phase0 := []ActionSpec{
+		{Table: "WAREHOUSE", Work: 180 * time.Microsecond},
+		{Table: "DISTRICT", Work: 220 * time.Microsecond, Write: true},
+		{Table: "CUSTOMER", Work: 220 * time.Microsecond},
+	}
+	for i := 0; i < 10; i++ {
+		phase0 = append(phase0, ActionSpec{Table: "ITEM", Work: 90 * time.Microsecond})
+	}
+	phase1 := []ActionSpec{
+		{Table: "ORDERS", Work: 200 * time.Microsecond, Write: true, Insert: true},
+		{Table: "NEW_ORDER", Work: 120 * time.Microsecond, Write: true, Insert: true},
+		{Table: "STOCK", Work: 600 * time.Microsecond, Write: true},
+		{Table: "ORDER_LINE", Work: 650 * time.Microsecond, Write: true, Insert: true},
+	}
+	return TxnSpec{
+		Name:     "TPC-C-NewOrder",
+		Phases:   [][]ActionSpec{phase0, phase1},
+		FailProb: []float64{0.01, 0},
+	}
+}

@@ -1,0 +1,289 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func workOnly(d time.Duration) TxnProfile {
+	return TxnProfile{
+		Name:   "work-only",
+		Phases: []Phase{{Segments: []Segment{{Duration: d, Component: CompWork}}}},
+	}
+}
+
+func TestWorkOnlyThroughputScalesWithThreads(t *testing.T) {
+	m := MachineConfig{Contexts: 8, Quantum: 10 * time.Millisecond}
+	profile := workOnly(100 * time.Microsecond)
+	r1 := Run(Config{Machine: m, Threads: 1, Profile: profile, Duration: time.Second})
+	r8 := Run(Config{Machine: m, Threads: 8, Profile: profile, Duration: time.Second})
+	if r1.Committed == 0 {
+		t.Fatal("single thread committed nothing")
+	}
+	// One thread: ~10000 txns/s; eight threads: ~8x.
+	if r1.Throughput < 9000 || r1.Throughput > 11000 {
+		t.Fatalf("single-thread throughput = %v, want about 10000", r1.Throughput)
+	}
+	ratio := r8.Throughput / r1.Throughput
+	if ratio < 7.5 || ratio > 8.5 {
+		t.Fatalf("8-thread speedup = %.2f, want about 8 (no shared latches)", ratio)
+	}
+	if r8.CPUUtil < 0.95 {
+		t.Fatalf("8 threads on 8 contexts should saturate: util=%v", r8.CPUUtil)
+	}
+	if r1.CPUUtil > 0.2 {
+		t.Fatalf("1 thread on 8 contexts util = %v, want 1/8", r1.CPUUtil)
+	}
+	if r1.OfferedLoad != 0.125 || r8.OfferedLoad != 1 {
+		t.Fatalf("offered loads = %v, %v", r1.OfferedLoad, r8.OfferedLoad)
+	}
+}
+
+func TestOverSubscriptionDoesNotExceedCapacity(t *testing.T) {
+	m := MachineConfig{Contexts: 4, Quantum: 5 * time.Millisecond}
+	profile := workOnly(100 * time.Microsecond)
+	r4 := Run(Config{Machine: m, Threads: 4, Profile: profile, Duration: time.Second})
+	r12 := Run(Config{Machine: m, Threads: 12, Profile: profile, Duration: time.Second})
+	// Without shared latches, more threads than contexts neither helps nor
+	// collapses: capacity bounds throughput.
+	if r12.Throughput > r4.Throughput*1.05 {
+		t.Fatalf("oversubscribed throughput %v exceeds capacity %v", r12.Throughput, r4.Throughput)
+	}
+	if r12.Throughput < r4.Throughput*0.8 {
+		t.Fatalf("work-only oversubscription collapsed: %v vs %v", r12.Throughput, r4.Throughput)
+	}
+}
+
+func hotLatchProfile(work, cs time.Duration) TxnProfile {
+	return TxnProfile{
+		Name: "hot-latch",
+		Phases: []Phase{{Segments: []Segment{
+			{Duration: cs, Component: CompLockMgrAcquire, Latch: "lm:tbl:T"},
+			{Duration: work, Component: CompWork},
+		}}},
+	}
+}
+
+func TestHotLatchLimitsThroughputAndShowsContention(t *testing.T) {
+	m := MachineConfig{Contexts: 16, Quantum: 10 * time.Millisecond}
+	// Each transaction holds the same latch for 50µs: the latch caps
+	// throughput at 20K/s no matter how many contexts are busy.
+	profile := hotLatchProfile(200*time.Microsecond, 50*time.Microsecond)
+	r1 := Run(Config{Machine: m, Threads: 1, Profile: profile, Duration: time.Second})
+	r16 := Run(Config{Machine: m, Threads: 16, Profile: profile, Duration: time.Second})
+	if r16.Throughput > 21000 {
+		t.Fatalf("throughput %v exceeds the hot-latch cap of 20000", r16.Throughput)
+	}
+	if r16.Throughput < r1.Throughput {
+		t.Fatalf("16 threads slower than 1: %v vs %v", r16.Throughput, r1.Throughput)
+	}
+	// At saturation most context time is spinning on the latch.
+	if frac := r16.Fraction(CompLockMgrContention); frac < 0.5 {
+		t.Fatalf("lock manager contention fraction = %v, want > 0.5", frac)
+	}
+	if frac := r1.Fraction(CompLockMgrContention); frac > 0.01 {
+		t.Fatalf("single thread should see no contention, got %v", frac)
+	}
+	// Per-context efficiency collapses, the Figure 1a phenomenon.
+	eff1 := r1.Throughput / (r1.CPUUtil * float64(m.Contexts))
+	eff16 := r16.Throughput / (r16.CPUUtil * float64(m.Contexts))
+	if eff16 > 0.5*eff1 {
+		t.Fatalf("throughput per busy context did not drop: %v vs %v", eff16, eff1)
+	}
+}
+
+func TestPooledLatchesDoNotContend(t *testing.T) {
+	m := MachineConfig{Contexts: 16, Quantum: 10 * time.Millisecond}
+	profile := TxnProfile{
+		Name: "pooled",
+		Phases: []Phase{{Segments: []Segment{
+			{Duration: 50 * time.Microsecond, Component: CompLockMgrAcquire, Latch: "lm:row:T", PoolSize: 4096},
+			{Duration: 200 * time.Microsecond, Component: CompWork},
+		}}},
+	}
+	r := Run(Config{Machine: m, Threads: 16, Profile: profile, Duration: time.Second})
+	if frac := r.Fraction(CompLockMgrContention); frac > 0.05 {
+		t.Fatalf("pooled row latches should not contend, fraction = %v", frac)
+	}
+	// Throughput approaches capacity: 16 contexts / 250µs = 64000.
+	if r.Throughput < 55000 {
+		t.Fatalf("throughput = %v, want near 64000", r.Throughput)
+	}
+}
+
+func TestFailProbCountsAborts(t *testing.T) {
+	profile := TxnProfile{
+		Name: "flaky",
+		Phases: []Phase{
+			{Segments: []Segment{{Duration: 50 * time.Microsecond, Component: CompWork}}, FailProb: 0.5},
+			{Segments: []Segment{{Duration: 50 * time.Microsecond, Component: CompWork}}},
+		},
+	}
+	r := Run(Config{Machine: MachineConfig{Contexts: 2, Quantum: time.Millisecond},
+		Threads: 1, Profile: profile, Duration: time.Second, Seed: 3})
+	total := r.Committed + r.Aborted
+	if total == 0 {
+		t.Fatal("nothing ran")
+	}
+	rate := float64(r.Aborted) / float64(total)
+	if rate < 0.4 || rate > 0.6 {
+		t.Fatalf("abort rate = %v, want about 0.5", rate)
+	}
+}
+
+func TestBreakdownFractionsNormalize(t *testing.T) {
+	spec := TPCBAccountUpdate()
+	r := Run(Config{Machine: DefaultMachine(), Threads: 64,
+		Profile: spec.Baseline(DefaultCosts()), Duration: 500 * time.Millisecond})
+	sum := 0.0
+	for c := Component(0); c < numComponents; c++ {
+		sum += r.Fraction(c)
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("fractions sum to %v", sum)
+	}
+	if r.CPUUtil <= 0 || r.CPUUtil > 1 {
+		t.Fatalf("CPUUtil = %v", r.CPUUtil)
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	// The headline result: as load grows toward saturation, the Baseline's
+	// lock-manager share of execution time grows to dominate while DORA's
+	// stays negligible, and DORA's peak throughput is a small multiple of
+	// the Baseline's.
+	machine := DefaultMachine()
+	costs := DefaultCosts()
+	spec := TM1GetSubscriberData()
+	loads := []int{8, 32, 64}
+	base := LoadSweep("Baseline", machine, spec.Baseline(costs), loads, 300*time.Millisecond, 1)
+	dra := LoadSweep("DORA", machine, spec.DORA(costs), loads, 300*time.Millisecond, 1)
+
+	bLow := base.Points[0].Result
+	bHigh := base.Points[len(base.Points)-1].Result
+	if bHigh.LockMgrFraction() < 0.6 {
+		t.Fatalf("baseline lock-manager share at saturation = %v, want > 0.6", bHigh.LockMgrFraction())
+	}
+	if bLow.LockMgrFraction() > 0.5 {
+		t.Fatalf("baseline lock-manager share at low load = %v, want modest", bLow.LockMgrFraction())
+	}
+	dHigh := dra.Points[len(dra.Points)-1].Result
+	if dHigh.LockMgrFraction() > 0.05 {
+		t.Fatalf("DORA lock-manager share = %v, want ~0", dHigh.LockMgrFraction())
+	}
+	speedup := dHigh.Throughput / bHigh.Throughput
+	if speedup < 1.5 {
+		t.Fatalf("DORA speedup at saturation = %.2f, want > 1.5", speedup)
+	}
+	if speedup > 20 {
+		t.Fatalf("DORA speedup = %.2f looks unrealistically high", speedup)
+	}
+}
+
+func TestOverloadCollapseForBaselineOnly(t *testing.T) {
+	// Past 100% offered load the Baseline's throughput drops (preempted
+	// latch holders), while DORA's remains roughly flat (Figure 6).
+	machine := MachineConfig{Contexts: 32, Quantum: 5 * time.Millisecond}
+	costs := DefaultCosts()
+	spec := TM1GetSubscriberData()
+	base100 := Run(Config{Machine: machine, Threads: 32, Profile: spec.Baseline(costs), Duration: 500 * time.Millisecond})
+	base150 := Run(Config{Machine: machine, Threads: 48, Profile: spec.Baseline(costs), Duration: 500 * time.Millisecond})
+	dora100 := Run(Config{Machine: machine, Threads: 32, Profile: spec.DORA(costs), Duration: 500 * time.Millisecond})
+	dora150 := Run(Config{Machine: machine, Threads: 48, Profile: spec.DORA(costs), Duration: 500 * time.Millisecond})
+	if base150.Throughput > base100.Throughput*0.9 {
+		t.Fatalf("baseline did not collapse past saturation: %v vs %v",
+			base150.Throughput, base100.Throughput)
+	}
+	if dora150.Throughput < dora100.Throughput*0.85 {
+		t.Fatalf("DORA collapsed past saturation: %v vs %v", dora150.Throughput, dora100.Throughput)
+	}
+}
+
+func TestSerialPlanBeatsParallelOnHighAborts(t *testing.T) {
+	// Figure 11: with a 37.5% abort rate, DORA-S (serial) sustains higher
+	// useful throughput than DORA-P (parallel) because it wastes no work on
+	// doomed siblings; DORA-P can even fall below the Baseline.
+	machine := DefaultMachine()
+	costs := DefaultCosts()
+	threads := machine.Contexts // full utilization, where wasted work costs capacity
+	serial := Run(Config{Machine: machine, Threads: threads,
+		Profile: TM1UpdateSubscriberData(true).DORA(costs), Duration: 500 * time.Millisecond, Seed: 2})
+	parallel := Run(Config{Machine: machine, Threads: threads,
+		Profile: TM1UpdateSubscriberData(false).DORA(costs), Duration: 500 * time.Millisecond, Seed: 2})
+	if serial.Throughput <= parallel.Throughput {
+		t.Fatalf("DORA-S (%v tps) should beat DORA-P (%v tps) at 37.5%% aborts",
+			serial.Throughput, parallel.Throughput)
+	}
+}
+
+func TestPeakAndDefaultLoadPoints(t *testing.T) {
+	machine := DefaultMachine()
+	pts := DefaultLoadPoints(machine)
+	if len(pts) < 5 || pts[0] != 1 {
+		t.Fatalf("DefaultLoadPoints = %v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i] <= pts[i-1] {
+			t.Fatalf("load points not increasing: %v", pts)
+		}
+	}
+	series := LoadSweep("x", machine, TM1GetSubscriberData().Baseline(DefaultCosts()),
+		[]int{8, 64, 96}, 200*time.Millisecond, 1)
+	peak := series.Peak()
+	if peak.Result.Throughput <= 0 {
+		t.Fatal("peak not found")
+	}
+}
+
+func TestEmptyProfileAndDefaults(t *testing.T) {
+	r := Run(Config{})
+	if r.Committed != 0 {
+		t.Fatal("empty profile committed transactions")
+	}
+	if SysBaseline.String() != "Baseline" || SysDORA.String() != "DORA" {
+		t.Fatal("system labels wrong")
+	}
+	if CompWork.String() != "Work" || CompLockMgrContention.String() != "LockMgrCont" {
+		t.Fatal("component labels wrong")
+	}
+}
+
+func TestAllWorkloadSpecsProduceRunnableProfiles(t *testing.T) {
+	costs := DefaultCosts()
+	specs := []TxnSpec{
+		TM1GetSubscriberData(), TM1Mix(), TM1UpdateSubscriberData(true),
+		TM1UpdateSubscriberData(false), TPCBAccountUpdate(), TPCCOrderStatus(),
+		TPCCPayment(), TPCCNewOrder(),
+	}
+	for _, spec := range specs {
+		for _, sys := range []System{SysBaseline, SysDORA} {
+			r := Run(Config{Machine: MachineConfig{Contexts: 8, Quantum: 5 * time.Millisecond},
+				Threads: 8, Profile: spec.Profile(sys, costs), Duration: 100 * time.Millisecond})
+			if r.Committed == 0 {
+				t.Fatalf("%s/%s committed nothing", spec.Name, sys)
+			}
+		}
+	}
+}
+
+func TestDORAResponseTimeLowerWhenUnsaturated(t *testing.T) {
+	// Figure 7: with a single client, DORA's intra-transaction parallelism
+	// shortens the critical path, so it completes more transactions in the
+	// same simulated time than the Baseline.
+	costs := DefaultCosts()
+	machine := DefaultMachine()
+	for _, spec := range []TxnSpec{TPCCPayment(), TPCCNewOrder(), TPCBAccountUpdate()} {
+		base := Run(Config{Machine: machine, Threads: 1, Profile: spec.Baseline(costs), Duration: 300 * time.Millisecond})
+		dra := Run(Config{Machine: machine, Threads: 1, Profile: spec.DORACriticalPath(costs), Duration: 300 * time.Millisecond})
+		if dra.Throughput <= base.Throughput {
+			t.Fatalf("%s: single-client DORA (%v tps) not faster than Baseline (%v tps)",
+				spec.Name, dra.Throughput, base.Throughput)
+		}
+		// The paper reports up to 60% lower response times; the gain should
+		// be meaningful but bounded.
+		gain := 1 - base.Throughput/dra.Throughput
+		if gain < 0.1 || gain > 0.8 {
+			t.Fatalf("%s: response-time gain %.2f out of the plausible band", spec.Name, gain)
+		}
+	}
+}

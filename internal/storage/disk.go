@@ -1,0 +1,77 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DiskManager is the page-granular storage device underneath the buffer pool.
+// The paper's evaluation stores the database on an in-memory file system to
+// remove the I/O bottleneck while still exercising every storage-manager code
+// path; MemDisk reproduces that setup.
+type DiskManager interface {
+	// AllocatePage reserves a new page and returns its id.
+	AllocatePage() (PageID, error)
+	// ReadPage copies the stored image of the page into buf (PageSize bytes).
+	ReadPage(id PageID, buf []byte) error
+	// WritePage persists the page image from buf (PageSize bytes).
+	WritePage(id PageID, buf []byte) error
+	// NumPages returns the number of allocated pages.
+	NumPages() int
+}
+
+// MemDisk is an in-memory DiskManager. It is safe for concurrent use.
+type MemDisk struct {
+	mu    sync.RWMutex
+	pages [][]byte
+}
+
+// NewMemDisk returns an empty in-memory disk.
+func NewMemDisk() *MemDisk { return &MemDisk{} }
+
+// AllocatePage reserves a new zeroed page.
+func (d *MemDisk) AllocatePage() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	id := PageID(len(d.pages))
+	if id == InvalidPageID {
+		return InvalidPageID, fmt.Errorf("storage: page space exhausted")
+	}
+	d.pages = append(d.pages, make([]byte, PageSize))
+	return id, nil
+}
+
+// ReadPage copies the page image into buf.
+func (d *MemDisk) ReadPage(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("storage: read buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: read of unallocated page %d", id)
+	}
+	copy(buf, d.pages[id])
+	return nil
+}
+
+// WritePage stores the page image from buf.
+func (d *MemDisk) WritePage(id PageID, buf []byte) error {
+	if len(buf) != PageSize {
+		return fmt.Errorf("storage: write buffer is %d bytes, want %d", len(buf), PageSize)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if int(id) >= len(d.pages) {
+		return fmt.Errorf("storage: write of unallocated page %d", id)
+	}
+	copy(d.pages[id], buf)
+	return nil
+}
+
+// NumPages returns the number of allocated pages.
+func (d *MemDisk) NumPages() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.pages)
+}

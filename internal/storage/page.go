@@ -1,0 +1,317 @@
+package storage
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// PageSize is the fixed size of every page, matching Shore-MT's default 8 KiB.
+const PageSize = 8192
+
+// PageID identifies a page within the disk manager's page space.
+type PageID uint32
+
+// InvalidPageID is the sentinel for "no page".
+const InvalidPageID PageID = 0xFFFFFFFF
+
+// RID identifies a record by its page and slot, the record identifier used
+// throughout the engine (heap files, indexes, row-level locks).
+type RID struct {
+	Page PageID
+	Slot uint16
+}
+
+// InvalidRID is the sentinel for "no record".
+var InvalidRID = RID{Page: InvalidPageID, Slot: 0xFFFF}
+
+// Valid reports whether the RID refers to a real record position.
+func (r RID) Valid() bool { return r.Page != InvalidPageID }
+
+// String renders the RID as "page.slot".
+func (r RID) String() string { return fmt.Sprintf("%d.%d", r.Page, r.Slot) }
+
+// Key returns an order-preserving key encoding of the RID, used when RIDs are
+// stored in index payloads or locked by the centralized lock manager.
+func (r RID) Key() uint64 { return uint64(r.Page)<<16 | uint64(r.Slot) }
+
+// RIDFromKey reverses RID.Key.
+func RIDFromKey(k uint64) RID {
+	return RID{Page: PageID(k >> 16), Slot: uint16(k & 0xFFFF)}
+}
+
+// Page layout:
+//
+//	offset 0:  uint32 page id
+//	offset 4:  uint16 slot count
+//	offset 6:  uint16 free-space offset (start of the record heap, grows down)
+//	offset 8:  slot array, 4 bytes per slot: uint16 offset, uint16 length
+//	...
+//	records grow from the end of the page toward the slot array.
+//
+// A slot with length 0 and offset 0 is free (its record was deleted); the slot
+// may be reused by a later insert, which is exactly the physical-conflict
+// scenario of §4.2.1 that row-level locks must protect against.
+const (
+	pageHeaderSize = 8
+	slotSize       = 4
+)
+
+// ErrPageFull is returned when a record does not fit in the page.
+var ErrPageFull = errors.New("storage: page full")
+
+// ErrNoSuchSlot is returned when a slot does not hold a live record.
+var ErrNoSuchSlot = errors.New("storage: no such slot")
+
+// Page is a fixed-size slotted page. Concurrent access must be coordinated by
+// the caller (the buffer pool hands out page latches).
+type Page struct {
+	data [PageSize]byte
+}
+
+// NewPage returns an initialized empty page with the given id.
+func NewPage(id PageID) *Page {
+	p := &Page{}
+	p.Init(id)
+	return p
+}
+
+// Init formats the page as an empty slotted page with the given id.
+func (p *Page) Init(id PageID) {
+	for i := range p.data {
+		p.data[i] = 0
+	}
+	binary.LittleEndian.PutUint32(p.data[0:4], uint32(id))
+	binary.LittleEndian.PutUint16(p.data[4:6], 0)
+	binary.LittleEndian.PutUint16(p.data[6:8], PageSize)
+}
+
+// ID returns the page id stored in the header.
+func (p *Page) ID() PageID {
+	return PageID(binary.LittleEndian.Uint32(p.data[0:4]))
+}
+
+// NumSlots returns the number of slots in the slot array (including freed
+// slots).
+func (p *Page) NumSlots() int {
+	return int(binary.LittleEndian.Uint16(p.data[4:6]))
+}
+
+func (p *Page) setNumSlots(n int) {
+	binary.LittleEndian.PutUint16(p.data[4:6], uint16(n))
+}
+
+func (p *Page) freeOffset() int {
+	return int(binary.LittleEndian.Uint16(p.data[6:8]))
+}
+
+func (p *Page) setFreeOffset(off int) {
+	binary.LittleEndian.PutUint16(p.data[6:8], uint16(off))
+}
+
+func (p *Page) slot(i int) (off, length int) {
+	base := pageHeaderSize + i*slotSize
+	off = int(binary.LittleEndian.Uint16(p.data[base : base+2]))
+	length = int(binary.LittleEndian.Uint16(p.data[base+2 : base+4]))
+	return off, length
+}
+
+func (p *Page) setSlot(i, off, length int) {
+	base := pageHeaderSize + i*slotSize
+	binary.LittleEndian.PutUint16(p.data[base:base+2], uint16(off))
+	binary.LittleEndian.PutUint16(p.data[base+2:base+4], uint16(length))
+}
+
+// FreeSpace returns the number of bytes available for a new record, accounting
+// for the slot entry a fresh insert would need.
+func (p *Page) FreeSpace() int {
+	free := p.freeOffset() - (pageHeaderSize + p.NumSlots()*slotSize)
+	free -= slotSize // room for one more slot entry
+	if free < 0 {
+		return 0
+	}
+	return free
+}
+
+// Insert stores record bytes in the page and returns the slot number used.
+// Freed slots are reused before the slot array is extended. Insert returns
+// ErrPageFull when the record does not fit.
+func (p *Page) Insert(record []byte) (uint16, error) {
+	if len(record) == 0 {
+		return 0, errors.New("storage: empty record")
+	}
+	n := p.NumSlots()
+	// Reuse a freed slot when possible.
+	reuse := -1
+	for i := 0; i < n; i++ {
+		if off, length := p.slot(i); off == 0 && length == 0 {
+			reuse = i
+			break
+		}
+	}
+	needSlot := 0
+	if reuse < 0 {
+		needSlot = slotSize
+	}
+	heapTop := p.freeOffset()
+	slotArrayEnd := pageHeaderSize + n*slotSize
+	if heapTop-len(record) < slotArrayEnd+needSlot {
+		return 0, ErrPageFull
+	}
+	newTop := heapTop - len(record)
+	copy(p.data[newTop:heapTop], record)
+	p.setFreeOffset(newTop)
+	var slotNum int
+	if reuse >= 0 {
+		slotNum = reuse
+	} else {
+		slotNum = n
+		p.setNumSlots(n + 1)
+	}
+	p.setSlot(slotNum, newTop, len(record))
+	return uint16(slotNum), nil
+}
+
+// InsertAt stores record bytes into a specific slot, extending the slot array
+// if needed. It is used by recovery redo and by transaction rollback to
+// reclaim exactly the slot that an undone delete previously occupied. It fails
+// if the slot is already occupied (the §4.2.1 physical conflict) or if the
+// record does not fit.
+func (p *Page) InsertAt(slotNum uint16, record []byte) error {
+	if len(record) == 0 {
+		return errors.New("storage: empty record")
+	}
+	n := p.NumSlots()
+	extra := 0
+	if int(slotNum) >= n {
+		extra = (int(slotNum) + 1 - n) * slotSize
+	} else if off, length := p.slot(int(slotNum)); off != 0 || length != 0 {
+		return fmt.Errorf("storage: slot %d already occupied", slotNum)
+	}
+	heapTop := p.freeOffset()
+	slotArrayEnd := pageHeaderSize + n*slotSize
+	if heapTop-len(record) < slotArrayEnd+extra {
+		return ErrPageFull
+	}
+	if int(slotNum) >= n {
+		p.setNumSlots(int(slotNum) + 1)
+		for i := n; i < int(slotNum); i++ {
+			p.setSlot(i, 0, 0)
+		}
+	}
+	newTop := heapTop - len(record)
+	copy(p.data[newTop:heapTop], record)
+	p.setFreeOffset(newTop)
+	p.setSlot(int(slotNum), newTop, len(record))
+	return nil
+}
+
+// Get returns the record bytes stored in the slot. The returned slice aliases
+// the page buffer; callers that retain it must copy.
+func (p *Page) Get(slotNum uint16) ([]byte, error) {
+	if int(slotNum) >= p.NumSlots() {
+		return nil, ErrNoSuchSlot
+	}
+	off, length := p.slot(int(slotNum))
+	if off == 0 && length == 0 {
+		return nil, ErrNoSuchSlot
+	}
+	return p.data[off : off+length], nil
+}
+
+// Delete frees the slot. The record bytes become dead space reclaimed by
+// Compact.
+func (p *Page) Delete(slotNum uint16) error {
+	if int(slotNum) >= p.NumSlots() {
+		return ErrNoSuchSlot
+	}
+	if off, length := p.slot(int(slotNum)); off == 0 && length == 0 {
+		return ErrNoSuchSlot
+	}
+	p.setSlot(int(slotNum), 0, 0)
+	return nil
+}
+
+// Update replaces the record in the slot. If the new record fits in the old
+// record's space it is updated in place; otherwise the slot is repointed at
+// freshly allocated space (compacting first if necessary).
+func (p *Page) Update(slotNum uint16, record []byte) error {
+	if int(slotNum) >= p.NumSlots() {
+		return ErrNoSuchSlot
+	}
+	off, length := p.slot(int(slotNum))
+	if off == 0 && length == 0 {
+		return ErrNoSuchSlot
+	}
+	if len(record) <= length {
+		copy(p.data[off:off+len(record)], record)
+		p.setSlot(int(slotNum), off, len(record))
+		return nil
+	}
+	heapTop := p.freeOffset()
+	slotArrayEnd := pageHeaderSize + p.NumSlots()*slotSize
+	if heapTop-len(record) < slotArrayEnd {
+		p.Compact()
+		heapTop = p.freeOffset()
+		if heapTop-len(record) < slotArrayEnd {
+			return ErrPageFull
+		}
+	}
+	newTop := heapTop - len(record)
+	copy(p.data[newTop:heapTop], record)
+	p.setFreeOffset(newTop)
+	p.setSlot(int(slotNum), newTop, len(record))
+	return nil
+}
+
+// Compact rewrites the record heap to squeeze out dead space left by deletes
+// and relocating updates. Slot numbers (and therefore RIDs) are preserved.
+func (p *Page) Compact() {
+	type live struct {
+		slot int
+		data []byte
+	}
+	n := p.NumSlots()
+	records := make([]live, 0, n)
+	for i := 0; i < n; i++ {
+		off, length := p.slot(i)
+		if off == 0 && length == 0 {
+			continue
+		}
+		cp := make([]byte, length)
+		copy(cp, p.data[off:off+length])
+		records = append(records, live{slot: i, data: cp})
+	}
+	top := PageSize
+	for _, r := range records {
+		top -= len(r.data)
+		copy(p.data[top:top+len(r.data)], r.data)
+		p.setSlot(r.slot, top, len(r.data))
+	}
+	p.setFreeOffset(top)
+}
+
+// LiveRecords returns the slot numbers of all live records in the page.
+func (p *Page) LiveRecords() []uint16 {
+	n := p.NumSlots()
+	out := make([]uint16, 0, n)
+	for i := 0; i < n; i++ {
+		if off, length := p.slot(i); off != 0 || length != 0 {
+			out = append(out, uint16(i))
+		}
+	}
+	return out
+}
+
+// Bytes returns the raw page image (for the disk manager and the WAL).
+func (p *Page) Bytes() []byte { return p.data[:] }
+
+// SetBytes overwrites the page image, used by recovery redo of full-page
+// writes and by the disk manager when reading a page into a frame.
+func (p *Page) SetBytes(b []byte) error {
+	if len(b) != PageSize {
+		return fmt.Errorf("storage: page image is %d bytes, want %d", len(b), PageSize)
+	}
+	copy(p.data[:], b)
+	return nil
+}

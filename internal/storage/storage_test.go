@@ -1,0 +1,424 @@
+package storage
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndEqual(t *testing.T) {
+	if !IntValue(7).Equal(IntValue(7)) {
+		t.Fatal("equal ints should be Equal")
+	}
+	if IntValue(7).Equal(IntValue(8)) {
+		t.Fatal("different ints should not be Equal")
+	}
+	if IntValue(7).Equal(FloatValue(7)) {
+		t.Fatal("different kinds should not be Equal")
+	}
+	if !StringValue("a").Less(StringValue("b")) {
+		t.Fatal(`"a" should be Less than "b"`)
+	}
+	if !FloatValue(1.5).Less(FloatValue(2.5)) {
+		t.Fatal("1.5 should be Less than 2.5")
+	}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	s := NewSchema(
+		Column{"id", KindInt},
+		Column{"name", KindString},
+		Column{"balance", KindFloat},
+	)
+	good := Tuple{IntValue(1), StringValue("x"), FloatValue(2.0)}
+	if err := s.Validate(good); err != nil {
+		t.Fatalf("valid tuple rejected: %v", err)
+	}
+	if err := s.Validate(Tuple{IntValue(1)}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+	if err := s.Validate(Tuple{StringValue("x"), StringValue("y"), FloatValue(1)}); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+	if idx, ok := s.ColumnIndex("balance"); !ok || idx != 2 {
+		t.Fatalf("ColumnIndex(balance) = %d,%v", idx, ok)
+	}
+	if _, ok := s.ColumnIndex("missing"); ok {
+		t.Fatal("ColumnIndex should report missing columns")
+	}
+}
+
+func TestSchemaDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate column name should panic")
+		}
+	}()
+	NewSchema(Column{"a", KindInt}, Column{"a", KindInt})
+}
+
+func TestTupleEncodeDecodeRoundTrip(t *testing.T) {
+	in := Tuple{
+		IntValue(-42),
+		StringValue("hello, DORA"),
+		FloatValue(3.14159),
+		IntValue(1 << 40),
+		StringValue(""),
+	}
+	enc := in.Encode(nil)
+	if len(enc) != in.EncodedSize() {
+		t.Fatalf("EncodedSize = %d, len(enc) = %d", in.EncodedSize(), len(enc))
+	}
+	out, err := DecodeTuple(enc)
+	if err != nil {
+		t.Fatalf("DecodeTuple: %v", err)
+	}
+	if !in.Equal(out) {
+		t.Fatalf("round trip mismatch: %v vs %v", in, out)
+	}
+}
+
+func TestTupleDecodeErrors(t *testing.T) {
+	if _, err := DecodeTuple(nil); err == nil {
+		t.Fatal("decoding empty bytes should fail")
+	}
+	in := Tuple{IntValue(1), StringValue("abc")}
+	enc := in.Encode(nil)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, err := DecodeTuple(enc[:cut]); err == nil {
+			t.Fatalf("truncated encoding of %d bytes decoded without error", cut)
+		}
+	}
+}
+
+func TestTupleEncodeDecodeProperty(t *testing.T) {
+	f := func(i int64, s string, fl float64) bool {
+		in := Tuple{IntValue(i), StringValue(s), FloatValue(fl)}
+		out, err := DecodeTuple(in.Encode(nil))
+		if err != nil {
+			return false
+		}
+		return in.Equal(out)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeKeyOrderPreservingInts(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := EncodeKey(IntValue(a))
+		kb := EncodeKey(IntValue(b))
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeKeyOrderPreservingFloats(t *testing.T) {
+	vals := []float64{-1e18, -3.5, -0.0001, 0, 0.0001, 1, 2.5, 1e18}
+	for i := 0; i < len(vals); i++ {
+		for j := 0; j < len(vals); j++ {
+			ki := EncodeKey(FloatValue(vals[i]))
+			kj := EncodeKey(FloatValue(vals[j]))
+			cmp := bytes.Compare(ki, kj)
+			want := 0
+			if vals[i] < vals[j] {
+				want = -1
+			} else if vals[i] > vals[j] {
+				want = 1
+			}
+			if (cmp < 0) != (want < 0) || (cmp > 0) != (want > 0) {
+				t.Fatalf("order not preserved for %v vs %v", vals[i], vals[j])
+			}
+		}
+	}
+}
+
+func TestKeyHasPrefix(t *testing.T) {
+	full := EncodeKey(IntValue(1), IntValue(2), IntValue(3))
+	prefix := EncodeKey(IntValue(1), IntValue(2))
+	other := EncodeKey(IntValue(1), IntValue(9))
+	if !full.HasPrefix(prefix) {
+		t.Fatal("full key should have its own prefix")
+	}
+	if full.HasPrefix(other) {
+		t.Fatal("mismatched prefix reported as prefix")
+	}
+	if prefix.HasPrefix(full) {
+		t.Fatal("longer key cannot be a prefix of a shorter one")
+	}
+	if !full.HasPrefix(nil) {
+		t.Fatal("empty prefix matches everything")
+	}
+}
+
+func TestRIDKeyRoundTrip(t *testing.T) {
+	f := func(page uint32, slot uint16) bool {
+		if PageID(page) == InvalidPageID {
+			return true
+		}
+		r := RID{Page: PageID(page), Slot: slot}
+		return RIDFromKey(r.Key()) == r
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	if InvalidRID.Valid() {
+		t.Fatal("InvalidRID should not be Valid")
+	}
+	if !(RID{Page: 3, Slot: 1}).Valid() {
+		t.Fatal("real RID should be Valid")
+	}
+}
+
+func TestPageInsertGetDelete(t *testing.T) {
+	p := NewPage(7)
+	if p.ID() != 7 {
+		t.Fatalf("page id = %d, want 7", p.ID())
+	}
+	rec := []byte("hello world")
+	slot, err := p.Insert(rec)
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	got, err := p.Get(slot)
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if !bytes.Equal(got, rec) {
+		t.Fatalf("Get = %q, want %q", got, rec)
+	}
+	if err := p.Delete(slot); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := p.Get(slot); err != ErrNoSuchSlot {
+		t.Fatalf("Get after delete = %v, want ErrNoSuchSlot", err)
+	}
+	if err := p.Delete(slot); err != ErrNoSuchSlot {
+		t.Fatalf("double Delete = %v, want ErrNoSuchSlot", err)
+	}
+}
+
+func TestPageSlotReuse(t *testing.T) {
+	p := NewPage(1)
+	s0, _ := p.Insert([]byte("first"))
+	s1, _ := p.Insert([]byte("second"))
+	if s0 == s1 {
+		t.Fatal("distinct inserts must use distinct slots")
+	}
+	p.Delete(s0)
+	s2, err := p.Insert([]byte("third"))
+	if err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if s2 != s0 {
+		t.Fatalf("freed slot %d not reused, got %d", s0, s2)
+	}
+	if p.NumSlots() != 2 {
+		t.Fatalf("NumSlots = %d, want 2", p.NumSlots())
+	}
+}
+
+func TestPageInsertAt(t *testing.T) {
+	p := NewPage(1)
+	if err := p.InsertAt(3, []byte("sparse")); err != nil {
+		t.Fatalf("InsertAt: %v", err)
+	}
+	if p.NumSlots() != 4 {
+		t.Fatalf("NumSlots = %d, want 4", p.NumSlots())
+	}
+	if _, err := p.Get(3); err != nil {
+		t.Fatalf("Get(3): %v", err)
+	}
+	if _, err := p.Get(0); err != ErrNoSuchSlot {
+		t.Fatalf("Get(0) = %v, want ErrNoSuchSlot", err)
+	}
+	if err := p.InsertAt(3, []byte("conflict")); err == nil {
+		t.Fatal("InsertAt over occupied slot should fail")
+	}
+}
+
+func TestPageUpdateInPlaceAndGrow(t *testing.T) {
+	p := NewPage(1)
+	slot, _ := p.Insert([]byte("aaaaaaaaaa"))
+	if err := p.Update(slot, []byte("bbb")); err != nil {
+		t.Fatalf("shrink update: %v", err)
+	}
+	got, _ := p.Get(slot)
+	if string(got) != "bbb" {
+		t.Fatalf("after shrink update got %q", got)
+	}
+	big := bytes.Repeat([]byte("x"), 200)
+	if err := p.Update(slot, big); err != nil {
+		t.Fatalf("grow update: %v", err)
+	}
+	got, _ = p.Get(slot)
+	if !bytes.Equal(got, big) {
+		t.Fatal("grow update lost data")
+	}
+}
+
+func TestPageFullAndCompact(t *testing.T) {
+	p := NewPage(1)
+	rec := bytes.Repeat([]byte("r"), 100)
+	var slots []uint16
+	for {
+		s, err := p.Insert(rec)
+		if err == ErrPageFull {
+			break
+		}
+		if err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+		slots = append(slots, s)
+	}
+	if len(slots) < 70 {
+		t.Fatalf("only %d 100-byte records fit in an 8KiB page", len(slots))
+	}
+	// Delete every other record, compact, then the space must be reusable.
+	for i, s := range slots {
+		if i%2 == 0 {
+			p.Delete(s)
+		}
+	}
+	p.Compact()
+	reinserted := 0
+	for {
+		_, err := p.Insert(rec)
+		if err == ErrPageFull {
+			break
+		}
+		reinserted++
+	}
+	if reinserted < len(slots)/2-1 {
+		t.Fatalf("after compact only %d records fit, want about %d", reinserted, len(slots)/2)
+	}
+	// Surviving records must be intact.
+	for i, s := range slots {
+		if i%2 == 1 {
+			got, err := p.Get(s)
+			if err != nil || !bytes.Equal(got, rec) {
+				t.Fatalf("record %d corrupted after compact", s)
+			}
+		}
+	}
+}
+
+func TestPageLiveRecords(t *testing.T) {
+	p := NewPage(1)
+	s0, _ := p.Insert([]byte("a"))
+	s1, _ := p.Insert([]byte("b"))
+	s2, _ := p.Insert([]byte("c"))
+	p.Delete(s1)
+	live := p.LiveRecords()
+	if len(live) != 2 || live[0] != s0 || live[1] != s2 {
+		t.Fatalf("LiveRecords = %v", live)
+	}
+}
+
+func TestPageBytesRoundTrip(t *testing.T) {
+	p := NewPage(5)
+	p.Insert([]byte("payload"))
+	img := make([]byte, PageSize)
+	copy(img, p.Bytes())
+	q := &Page{}
+	if err := q.SetBytes(img); err != nil {
+		t.Fatalf("SetBytes: %v", err)
+	}
+	if q.ID() != 5 || q.NumSlots() != 1 {
+		t.Fatalf("restored page header wrong: id=%d slots=%d", q.ID(), q.NumSlots())
+	}
+	if err := q.SetBytes([]byte("short")); err == nil {
+		t.Fatal("SetBytes with wrong length should fail")
+	}
+}
+
+func TestPagePropertyRandomOps(t *testing.T) {
+	// Property: the page's view of live records always matches a shadow map.
+	rng := rand.New(rand.NewSource(42))
+	p := NewPage(1)
+	shadow := map[uint16][]byte{}
+	for i := 0; i < 5000; i++ {
+		switch rng.Intn(3) {
+		case 0: // insert
+			rec := bytes.Repeat([]byte{byte(rng.Intn(256))}, 1+rng.Intn(64))
+			s, err := p.Insert(rec)
+			if err == ErrPageFull {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("Insert: %v", err)
+			}
+			if _, exists := shadow[s]; exists {
+				t.Fatalf("Insert reused live slot %d", s)
+			}
+			shadow[s] = rec
+		case 1: // delete
+			for s := range shadow {
+				if err := p.Delete(s); err != nil {
+					t.Fatalf("Delete(%d): %v", s, err)
+				}
+				delete(shadow, s)
+				break
+			}
+		case 2: // verify one record
+			for s, want := range shadow {
+				got, err := p.Get(s)
+				if err != nil || !bytes.Equal(got, want) {
+					t.Fatalf("Get(%d) mismatch", s)
+				}
+				break
+			}
+		}
+	}
+	if len(p.LiveRecords()) != len(shadow) {
+		t.Fatalf("live records %d, shadow %d", len(p.LiveRecords()), len(shadow))
+	}
+}
+
+func TestMemDisk(t *testing.T) {
+	d := NewMemDisk()
+	id0, err := d.AllocatePage()
+	if err != nil {
+		t.Fatalf("AllocatePage: %v", err)
+	}
+	id1, _ := d.AllocatePage()
+	if id0 == id1 {
+		t.Fatal("allocated page ids must be distinct")
+	}
+	if d.NumPages() != 2 {
+		t.Fatalf("NumPages = %d, want 2", d.NumPages())
+	}
+	img := make([]byte, PageSize)
+	img[0] = 0xAB
+	if err := d.WritePage(id1, img); err != nil {
+		t.Fatalf("WritePage: %v", err)
+	}
+	got := make([]byte, PageSize)
+	if err := d.ReadPage(id1, got); err != nil {
+		t.Fatalf("ReadPage: %v", err)
+	}
+	if got[0] != 0xAB {
+		t.Fatal("read back wrong data")
+	}
+	if err := d.ReadPage(99, got); err == nil {
+		t.Fatal("reading unallocated page should fail")
+	}
+	if err := d.WritePage(99, img); err == nil {
+		t.Fatal("writing unallocated page should fail")
+	}
+	if err := d.ReadPage(id0, make([]byte, 10)); err == nil {
+		t.Fatal("short buffer should be rejected")
+	}
+}

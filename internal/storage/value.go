@@ -1,0 +1,349 @@
+// Package storage provides the low-level record storage substrate of the
+// engine: typed tuples and schemas with a compact binary encoding, slotted
+// pages, record identifiers (RIDs), and a page-granular disk manager.
+//
+// The design mirrors the parts of the SHORE/Shore-MT storage layer that the
+// paper's prototype exercises: fixed-size slotted pages holding
+// variable-length records addressed by (page, slot) RIDs, with all data
+// resident in an in-memory "file system" as in the paper's experimental setup.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Kind enumerates the column types supported by the engine. The three kinds
+// cover every column in the TM1, TPC-C, and TPC-B schemas.
+type Kind uint8
+
+const (
+	// KindInt is a 64-bit signed integer column.
+	KindInt Kind = iota
+	// KindFloat is a 64-bit IEEE-754 column.
+	KindFloat
+	// KindString is a variable-length UTF-8 column.
+	KindString
+)
+
+// String returns the SQL-ish name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindInt:
+		return "INT"
+	case KindFloat:
+		return "FLOAT"
+	case KindString:
+		return "VARCHAR"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Value is a single typed column value. Exactly one of the payload fields is
+// meaningful, selected by Kind. Value is a small value type so tuples can be
+// copied cheaply without extra allocation.
+type Value struct {
+	Kind  Kind
+	Int   int64
+	Float float64
+	Str   string
+}
+
+// IntValue returns an integer Value.
+func IntValue(v int64) Value { return Value{Kind: KindInt, Int: v} }
+
+// FloatValue returns a float Value.
+func FloatValue(v float64) Value { return Value{Kind: KindFloat, Float: v} }
+
+// StringValue returns a string Value.
+func StringValue(v string) Value { return Value{Kind: KindString, Str: v} }
+
+// Equal reports whether two values have the same kind and payload.
+func (v Value) Equal(o Value) bool {
+	if v.Kind != o.Kind {
+		return false
+	}
+	switch v.Kind {
+	case KindInt:
+		return v.Int == o.Int
+	case KindFloat:
+		return v.Float == o.Float
+	case KindString:
+		return v.Str == o.Str
+	}
+	return false
+}
+
+// Less reports whether v orders before o. Values of different kinds order by
+// kind, which only matters for composite index keys built from heterogeneous
+// columns.
+func (v Value) Less(o Value) bool {
+	if v.Kind != o.Kind {
+		return v.Kind < o.Kind
+	}
+	switch v.Kind {
+	case KindInt:
+		return v.Int < o.Int
+	case KindFloat:
+		return v.Float < o.Float
+	case KindString:
+		return v.Str < o.Str
+	}
+	return false
+}
+
+// String renders the value for debugging and trace output.
+func (v Value) String() string {
+	switch v.Kind {
+	case KindInt:
+		return fmt.Sprintf("%d", v.Int)
+	case KindFloat:
+		return fmt.Sprintf("%g", v.Float)
+	case KindString:
+		return fmt.Sprintf("%q", v.Str)
+	default:
+		return "<invalid>"
+	}
+}
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema describes the columns of a table or index payload.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema from the given columns. Column names must be
+// unique; NewSchema panics otherwise because schemas are static program data.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := s.byName[c.Name]; dup {
+			panic(fmt.Sprintf("storage: duplicate column %q in schema", c.Name))
+		}
+		s.byName[c.Name] = i
+	}
+	return s
+}
+
+// ColumnIndex returns the position of the named column and whether it exists.
+func (s *Schema) ColumnIndex(name string) (int, bool) {
+	i, ok := s.byName[name]
+	return i, ok
+}
+
+// NumColumns returns the number of columns in the schema.
+func (s *Schema) NumColumns() int { return len(s.Columns) }
+
+// String renders the schema as "(name TYPE, ...)".
+func (s *Schema) String() string {
+	parts := make([]string, len(s.Columns))
+	for i, c := range s.Columns {
+		parts[i] = c.Name + " " + c.Kind.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Tuple is one record: a slice of values positionally matching a schema.
+type Tuple []Value
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	return out
+}
+
+// Project returns the tuple restricted to the given column positions.
+func (t Tuple) Project(cols []int) Tuple {
+	out := make(Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// Equal reports whether two tuples are column-wise equal.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple for debugging and trace output.
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Validate checks that the tuple matches the schema's arity and column kinds.
+func (s *Schema) Validate(t Tuple) error {
+	if len(t) != len(s.Columns) {
+		return fmt.Errorf("storage: tuple has %d values, schema %s has %d columns",
+			len(t), s, len(s.Columns))
+	}
+	for i, v := range t {
+		if v.Kind != s.Columns[i].Kind {
+			return fmt.Errorf("storage: column %q expects %s, tuple has %s",
+				s.Columns[i].Name, s.Columns[i].Kind, v.Kind)
+		}
+	}
+	return nil
+}
+
+// Encode appends the binary encoding of the tuple to dst and returns the
+// extended slice. The encoding is self-describing per value (1 kind byte plus
+// a fixed or length-prefixed payload) so it can be decoded without a schema.
+func (t Tuple) Encode(dst []byte) []byte {
+	var buf [8]byte
+	binary.LittleEndian.PutUint16(buf[:2], uint16(len(t)))
+	dst = append(dst, buf[:2]...)
+	for _, v := range t {
+		dst = append(dst, byte(v.Kind))
+		switch v.Kind {
+		case KindInt:
+			binary.LittleEndian.PutUint64(buf[:], uint64(v.Int))
+			dst = append(dst, buf[:]...)
+		case KindFloat:
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.Float))
+			dst = append(dst, buf[:]...)
+		case KindString:
+			binary.LittleEndian.PutUint32(buf[:4], uint32(len(v.Str)))
+			dst = append(dst, buf[:4]...)
+			dst = append(dst, v.Str...)
+		}
+	}
+	return dst
+}
+
+// EncodedSize returns the number of bytes Encode will produce for the tuple.
+func (t Tuple) EncodedSize() int {
+	n := 2
+	for _, v := range t {
+		n++
+		switch v.Kind {
+		case KindInt, KindFloat:
+			n += 8
+		case KindString:
+			n += 4 + len(v.Str)
+		}
+	}
+	return n
+}
+
+// DecodeTuple decodes a tuple previously produced by Encode.
+func DecodeTuple(data []byte) (Tuple, error) {
+	if len(data) < 2 {
+		return nil, fmt.Errorf("storage: tuple encoding too short (%d bytes)", len(data))
+	}
+	n := int(binary.LittleEndian.Uint16(data[:2]))
+	data = data[2:]
+	out := make(Tuple, 0, n)
+	for i := 0; i < n; i++ {
+		if len(data) < 1 {
+			return nil, fmt.Errorf("storage: truncated tuple at value %d", i)
+		}
+		kind := Kind(data[0])
+		data = data[1:]
+		switch kind {
+		case KindInt:
+			if len(data) < 8 {
+				return nil, fmt.Errorf("storage: truncated int at value %d", i)
+			}
+			out = append(out, IntValue(int64(binary.LittleEndian.Uint64(data[:8]))))
+			data = data[8:]
+		case KindFloat:
+			if len(data) < 8 {
+				return nil, fmt.Errorf("storage: truncated float at value %d", i)
+			}
+			out = append(out, FloatValue(math.Float64frombits(binary.LittleEndian.Uint64(data[:8]))))
+			data = data[8:]
+		case KindString:
+			if len(data) < 4 {
+				return nil, fmt.Errorf("storage: truncated string length at value %d", i)
+			}
+			l := int(binary.LittleEndian.Uint32(data[:4]))
+			data = data[4:]
+			if len(data) < l {
+				return nil, fmt.Errorf("storage: truncated string at value %d", i)
+			}
+			out = append(out, StringValue(string(data[:l])))
+			data = data[l:]
+		default:
+			return nil, fmt.Errorf("storage: unknown value kind %d at value %d", kind, i)
+		}
+	}
+	return out, nil
+}
+
+// Key is an order-preserving encoded composite key used by indexes and by the
+// DORA routing and local-locking machinery. Keys compare with bytes.Compare.
+type Key []byte
+
+// EncodeKey builds an order-preserving key from the given values. Integers are
+// encoded big-endian with the sign bit flipped, floats with the standard
+// order-preserving transform, and strings with a 0x00 terminator (the schemas
+// used here never contain NUL bytes in key columns).
+func EncodeKey(vals ...Value) Key {
+	out := make([]byte, 0, 16*len(vals))
+	var buf [8]byte
+	for _, v := range vals {
+		switch v.Kind {
+		case KindInt:
+			binary.BigEndian.PutUint64(buf[:], uint64(v.Int)^(1<<63))
+			out = append(out, byte(KindInt))
+			out = append(out, buf[:]...)
+		case KindFloat:
+			bits := math.Float64bits(v.Float)
+			if v.Float >= 0 {
+				bits ^= 1 << 63
+			} else {
+				bits = ^bits
+			}
+			binary.BigEndian.PutUint64(buf[:], bits)
+			out = append(out, byte(KindFloat))
+			out = append(out, buf[:]...)
+		case KindString:
+			out = append(out, byte(KindString))
+			out = append(out, v.Str...)
+			out = append(out, 0)
+		}
+	}
+	return out
+}
+
+// HasPrefix reports whether k begins with prefix, the test used by key-prefix
+// conflict detection in DORA's local lock tables.
+func (k Key) HasPrefix(prefix Key) bool {
+	if len(prefix) > len(k) {
+		return false
+	}
+	for i := range prefix {
+		if k[i] != prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the key bytes in hex for debugging.
+func (k Key) String() string {
+	return fmt.Sprintf("%x", []byte(k))
+}

@@ -1,0 +1,358 @@
+package wal
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"dora/internal/storage"
+)
+
+func TestRecordEncodeDecodeRoundTrip(t *testing.T) {
+	in := &Record{
+		LSN:      123,
+		PrevLSN:  45,
+		Txn:      7,
+		Type:     RecUpdate,
+		TableID:  3,
+		RID:      storage.RID{Page: 9, Slot: 2},
+		Before:   []byte("before image"),
+		After:    []byte("after image"),
+		UndoNext: 44,
+	}
+	enc := in.encode(nil)
+	out, n, err := decodeRecord(enc)
+	if err != nil {
+		t.Fatalf("decodeRecord: %v", err)
+	}
+	if n != len(enc) {
+		t.Fatalf("consumed %d bytes, want %d", n, len(enc))
+	}
+	if out.LSN != in.LSN || out.Txn != in.Txn || out.Type != in.Type ||
+		out.TableID != in.TableID || out.RID != in.RID ||
+		string(out.Before) != string(in.Before) || string(out.After) != string(in.After) ||
+		out.UndoNext != in.UndoNext || out.PrevLSN != in.PrevLSN {
+		t.Fatalf("round trip mismatch: %+v vs %+v", in, out)
+	}
+}
+
+func TestRecordEncodeDecodeCheckpoint(t *testing.T) {
+	in := &Record{
+		LSN:  10,
+		Type: RecCheckpoint,
+		ActiveTxns: map[TxnID]LSN{
+			3: 100,
+			9: 250,
+		},
+	}
+	out, _, err := decodeRecord(in.encode(nil))
+	if err != nil {
+		t.Fatalf("decodeRecord: %v", err)
+	}
+	if len(out.ActiveTxns) != 2 || out.ActiveTxns[3] != 100 || out.ActiveTxns[9] != 250 {
+		t.Fatalf("checkpoint ATT mismatch: %v", out.ActiveTxns)
+	}
+}
+
+func TestRecordDecodeTruncated(t *testing.T) {
+	in := &Record{Txn: 1, Type: RecInsert, After: []byte("payload")}
+	enc := in.encode(nil)
+	for cut := 1; cut < len(enc); cut++ {
+		if _, _, err := decodeRecord(enc[:cut]); err == nil {
+			t.Fatalf("truncated record of %d bytes decoded", cut)
+		}
+	}
+}
+
+func TestRecordEncodeProperty(t *testing.T) {
+	f := func(txn uint64, table uint32, page uint32, slot uint16, before, after []byte) bool {
+		in := &Record{
+			Txn:     TxnID(txn),
+			Type:    RecUpdate,
+			TableID: table,
+			RID:     storage.RID{Page: storage.PageID(page), Slot: slot},
+			Before:  before,
+			After:   after,
+		}
+		out, _, err := decodeRecord(in.encode(nil))
+		if err != nil {
+			return false
+		}
+		return out.Txn == in.Txn && out.TableID == in.TableID && out.RID == in.RID &&
+			string(out.Before) == string(in.Before) && string(out.After) == string(in.After)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestManagerAppendAssignsMonotonicLSNs(t *testing.T) {
+	m := NewManager()
+	var prev LSN
+	for i := 0; i < 100; i++ {
+		lsn := m.Append(&Record{Txn: TxnID(i%5 + 1), Type: RecUpdate, After: []byte("x")})
+		if lsn <= prev {
+			t.Fatalf("LSN %d not greater than previous %d", lsn, prev)
+		}
+		prev = lsn
+	}
+	if m.Appends() != 100 {
+		t.Fatalf("Appends = %d, want 100", m.Appends())
+	}
+}
+
+func TestManagerPrevLSNChain(t *testing.T) {
+	m := NewManager()
+	l1 := m.Append(&Record{Txn: 1, Type: RecBegin})
+	l2 := m.Append(&Record{Txn: 1, Type: RecInsert, After: []byte("a")})
+	m.Append(&Record{Txn: 2, Type: RecBegin})
+	l4 := m.Append(&Record{Txn: 1, Type: RecUpdate, After: []byte("b")})
+
+	recs, err := m.Records()
+	if err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if recs[1].PrevLSN != l1 {
+		t.Fatalf("record 2 PrevLSN = %d, want %d", recs[1].PrevLSN, l1)
+	}
+	if recs[3].PrevLSN != l2 {
+		t.Fatalf("record 4 PrevLSN = %d, want %d", recs[3].PrevLSN, l2)
+	}
+	if m.LastLSN(1) != l4 {
+		t.Fatalf("LastLSN(1) = %d, want %d", m.LastLSN(1), l4)
+	}
+	// End releases the transaction's chain state.
+	m.Append(&Record{Txn: 1, Type: RecEnd})
+	if m.LastLSN(1) != NilLSN {
+		t.Fatal("LastLSN after END should be NilLSN")
+	}
+}
+
+func TestManagerFlushMakesRecordsDurable(t *testing.T) {
+	m := NewManager()
+	m.Append(&Record{Txn: 1, Type: RecBegin})
+	commitLSN := m.Append(&Record{Txn: 1, Type: RecCommit})
+
+	durable, _ := m.DurableRecords()
+	if len(durable) != 0 {
+		t.Fatalf("before flush %d durable records", len(durable))
+	}
+	m.Flush(commitLSN)
+	durable, _ = m.DurableRecords()
+	if len(durable) != 2 {
+		t.Fatalf("after flush %d durable records, want 2", len(durable))
+	}
+	if m.Flushes() != 1 {
+		t.Fatalf("Flushes = %d, want 1", m.Flushes())
+	}
+	// Flushing an already-durable LSN is a no-op.
+	m.Flush(commitLSN)
+	if m.Flushes() != 1 {
+		t.Fatalf("redundant flush performed a device write")
+	}
+}
+
+func TestManagerGroupCommit(t *testing.T) {
+	m := NewManager()
+	var lsns []LSN
+	for i := 1; i <= 10; i++ {
+		lsns = append(lsns, m.Append(&Record{Txn: TxnID(i), Type: RecCommit}))
+	}
+	// One flush of the latest LSN makes all ten commits durable.
+	m.Flush(lsns[9])
+	if m.Flushes() != 1 {
+		t.Fatalf("Flushes = %d, want 1 (group commit)", m.Flushes())
+	}
+	durable, _ := m.DurableRecords()
+	if len(durable) != 10 {
+		t.Fatalf("durable records = %d, want 10", len(durable))
+	}
+}
+
+func TestManagerRecordLookup(t *testing.T) {
+	m := NewManager()
+	lsn := m.Append(&Record{Txn: 4, Type: RecInsert, After: []byte("z")})
+	r, err := m.Record(lsn)
+	if err != nil || r == nil || r.Txn != 4 {
+		t.Fatalf("Record(%d) = %v, %v", lsn, r, err)
+	}
+	r, err = m.Record(lsn + 1000)
+	if err != nil || r != nil {
+		t.Fatalf("Record of bogus LSN = %v, %v", r, err)
+	}
+}
+
+func TestManagerConcurrentAppends(t *testing.T) {
+	m := NewManager()
+	var wg sync.WaitGroup
+	const goroutines = 8
+	const perG = 500
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				m.Append(&Record{Txn: TxnID(id + 1), Type: RecUpdate, After: []byte("u")})
+			}
+		}(g)
+	}
+	wg.Wait()
+	m.FlushAll()
+	recs, err := m.DurableRecords()
+	if err != nil {
+		t.Fatalf("DurableRecords: %v", err)
+	}
+	if len(recs) != goroutines*perG {
+		t.Fatalf("decoded %d records, want %d", len(recs), goroutines*perG)
+	}
+	seen := map[LSN]bool{}
+	for _, r := range recs {
+		if seen[r.LSN] {
+			t.Fatalf("duplicate LSN %d", r.LSN)
+		}
+		seen[r.LSN] = true
+	}
+}
+
+// memApplier applies insert/delete/update records to a map keyed by
+// (table, RID), mimicking a heap file for recovery tests.
+type memApplier struct {
+	data map[string][]byte
+}
+
+func newMemApplier() *memApplier { return &memApplier{data: map[string][]byte{}} }
+
+func key(r *Record) string { return fmt.Sprintf("%d/%s", r.TableID, r.RID) }
+
+func (a *memApplier) Redo(r *Record) error {
+	switch r.Type {
+	case RecInsert:
+		a.data[key(r)] = r.After
+	case RecDelete:
+		delete(a.data, key(r))
+	case RecUpdate:
+		a.data[key(r)] = r.After
+	case RecCLR:
+		if r.After == nil {
+			delete(a.data, key(r))
+		} else {
+			a.data[key(r)] = r.After
+		}
+	}
+	return nil
+}
+
+func (a *memApplier) Undo(r *Record) error {
+	switch r.Type {
+	case RecInsert:
+		delete(a.data, key(r))
+	case RecDelete:
+		a.data[key(r)] = r.Before
+	case RecUpdate:
+		a.data[key(r)] = r.Before
+	}
+	return nil
+}
+
+func TestRecoveryRedoesWinnersAndUndoesLosers(t *testing.T) {
+	m := NewManager()
+	rid1 := storage.RID{Page: 1, Slot: 0}
+	rid2 := storage.RID{Page: 1, Slot: 1}
+
+	// Txn 1 commits an insert of rid1.
+	m.Append(&Record{Txn: 1, Type: RecBegin})
+	m.Append(&Record{Txn: 1, Type: RecInsert, TableID: 1, RID: rid1, After: []byte("committed")})
+	m.Append(&Record{Txn: 1, Type: RecCommit})
+	m.Append(&Record{Txn: 1, Type: RecEnd})
+
+	// Txn 2 inserts rid2 and updates rid1 but never commits (loser).
+	m.Append(&Record{Txn: 2, Type: RecBegin})
+	m.Append(&Record{Txn: 2, Type: RecInsert, TableID: 1, RID: rid2, After: []byte("uncommitted")})
+	m.Append(&Record{Txn: 2, Type: RecUpdate, TableID: 1, RID: rid1,
+		Before: []byte("committed"), After: []byte("dirty")})
+	m.FlushAll()
+
+	a := newMemApplier()
+	stats, err := Recover(m, a)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if stats.Winners != 1 || stats.Losers != 1 {
+		t.Fatalf("winners=%d losers=%d, want 1/1", stats.Winners, stats.Losers)
+	}
+	if stats.Redone != 3 {
+		t.Fatalf("Redone = %d, want 3", stats.Redone)
+	}
+	if stats.Undone != 2 {
+		t.Fatalf("Undone = %d, want 2", stats.Undone)
+	}
+	if got := string(a.data["1/1.0"]); got != "committed" {
+		t.Fatalf("rid1 = %q, want committed value restored", got)
+	}
+	if _, exists := a.data["1/1.0"]; !exists {
+		t.Fatal("committed record lost")
+	}
+	if _, exists := a.data["1/1.1"]; exists {
+		t.Fatal("uncommitted insert survived recovery")
+	}
+
+	// The log now contains CLRs and an END for the loser; a second recovery
+	// run (crash during recovery) must be idempotent.
+	a2 := newMemApplier()
+	if _, err := Recover(m, a2); err != nil {
+		t.Fatalf("second Recover: %v", err)
+	}
+	if got := string(a2.data["1/1.0"]); got != "committed" {
+		t.Fatalf("after re-recovery rid1 = %q", got)
+	}
+	if _, exists := a2.data["1/1.1"]; exists {
+		t.Fatal("uncommitted insert survived re-recovery")
+	}
+}
+
+func TestRecoveryUndoesDeletes(t *testing.T) {
+	m := NewManager()
+	rid := storage.RID{Page: 2, Slot: 3}
+	// A committed insert followed by an uncommitted delete: the record must
+	// survive recovery.
+	m.Append(&Record{Txn: 1, Type: RecBegin})
+	m.Append(&Record{Txn: 1, Type: RecInsert, TableID: 1, RID: rid, After: []byte("keep me")})
+	m.Append(&Record{Txn: 1, Type: RecCommit})
+	m.Append(&Record{Txn: 1, Type: RecEnd})
+	m.Append(&Record{Txn: 2, Type: RecBegin})
+	m.Append(&Record{Txn: 2, Type: RecDelete, TableID: 1, RID: rid, Before: []byte("keep me")})
+	m.FlushAll()
+
+	a := newMemApplier()
+	if _, err := Recover(m, a); err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if got := string(a.data["1/2.3"]); got != "keep me" {
+		t.Fatalf("deleted-by-loser record = %q, want restored", got)
+	}
+}
+
+func TestRecoveryEmptyLog(t *testing.T) {
+	m := NewManager()
+	stats, err := Recover(m, newMemApplier())
+	if err != nil {
+		t.Fatalf("Recover on empty log: %v", err)
+	}
+	if stats.Analyzed != 0 || stats.Redone != 0 || stats.Undone != 0 {
+		t.Fatalf("unexpected stats on empty log: %+v", stats)
+	}
+}
+
+func TestRecordTypeStrings(t *testing.T) {
+	types := []RecordType{RecBegin, RecCommit, RecAbort, RecEnd, RecInsert,
+		RecDelete, RecUpdate, RecCLR, RecCheckpoint}
+	seen := map[string]bool{}
+	for _, ty := range types {
+		s := ty.String()
+		if s == "" || seen[s] {
+			t.Fatalf("record type %d has bad or duplicate label %q", ty, s)
+		}
+		seen[s] = true
+	}
+}

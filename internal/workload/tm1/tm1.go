@@ -1,0 +1,492 @@
+// Package tm1 implements Nokia's Network Database Benchmark (TM1, also known
+// as TATP), the telecom workload the paper uses for its headline results:
+// four tables keyed by subscriber, seven extremely short transactions (three
+// read-only, four updating), with a meaningful fraction of transactions
+// aborting on invalid input. Routing and partitioning use the subscriber id,
+// the natural routing field the paper uses.
+package tm1
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/storage"
+	"dora/internal/workload"
+)
+
+// Transaction kind names.
+const (
+	GetSubscriberData    = "GetSubscriberData"
+	GetNewDestination    = "GetNewDestination"
+	GetAccessData        = "GetAccessData"
+	UpdateSubscriberData = "UpdateSubscriberData"
+	UpdateLocation       = "UpdateLocation"
+	InsertCallForwarding = "InsertCallForwarding"
+	DeleteCallForwarding = "DeleteCallForwarding"
+
+	// UpdateSubscriberDataSerial forces the DORA-S (serial) plan of Figure
+	// 11; UpdateSubscriberData uses the resource manager's decision.
+	UpdateSubscriberDataSerial   = "UpdateSubscriberDataSerial"
+	UpdateSubscriberDataParallel = "UpdateSubscriberDataParallel"
+)
+
+// DefaultSubscribers is the default population. The paper uses 5 M
+// subscribers; the default here keeps test and benchmark runs fast while
+// preserving the access skew (lock contention in this workload is on
+// lock-manager metadata, not on data volume).
+const DefaultSubscribers = 20000
+
+// Driver is the TM1 workload.
+type Driver struct {
+	// Subscribers is the population size.
+	Subscribers int64
+}
+
+func init() {
+	workload.Register("tm1", func() workload.Driver { return &Driver{Subscribers: DefaultSubscribers} })
+}
+
+// New returns a TM1 driver with the given population.
+func New(subscribers int64) *Driver { return &Driver{Subscribers: subscribers} }
+
+// Name implements workload.Driver.
+func (d *Driver) Name() string { return "TM1" }
+
+// Mix returns the standard TATP transaction mix.
+func (d *Driver) Mix() workload.Mix {
+	return workload.Mix{
+		{Name: GetSubscriberData, Weight: 35},
+		{Name: GetAccessData, Weight: 35},
+		{Name: GetNewDestination, Weight: 10},
+		{Name: UpdateLocation, Weight: 14},
+		{Name: UpdateSubscriberData, Weight: 2},
+		{Name: InsertCallForwarding, Weight: 2},
+		{Name: DeleteCallForwarding, Weight: 2},
+	}
+}
+
+// CreateTables implements workload.Driver.
+func (d *Driver) CreateTables(e *engine.Engine) error {
+	defs := []engine.TableDef{
+		{
+			Name: "SUBSCRIBER",
+			Schema: storage.NewSchema(
+				storage.Column{Name: "s_id", Kind: storage.KindInt},
+				storage.Column{Name: "sub_nbr", Kind: storage.KindString},
+				storage.Column{Name: "bit_1", Kind: storage.KindInt},
+				storage.Column{Name: "msc_location", Kind: storage.KindInt},
+				storage.Column{Name: "vlr_location", Kind: storage.KindInt},
+			),
+			PrimaryKey:    []string{"s_id"},
+			RoutingFields: []string{"s_id"},
+			Secondary:     []engine.SecondaryDef{{Name: "by_sub_nbr", Columns: []string{"sub_nbr"}, Unique: true}},
+		},
+		{
+			Name: "ACCESS_INFO",
+			Schema: storage.NewSchema(
+				storage.Column{Name: "s_id", Kind: storage.KindInt},
+				storage.Column{Name: "ai_type", Kind: storage.KindInt},
+				storage.Column{Name: "data1", Kind: storage.KindInt},
+				storage.Column{Name: "data2", Kind: storage.KindInt},
+				storage.Column{Name: "data3", Kind: storage.KindString},
+				storage.Column{Name: "data4", Kind: storage.KindString},
+			),
+			PrimaryKey:    []string{"s_id", "ai_type"},
+			RoutingFields: []string{"s_id"},
+		},
+		{
+			Name: "SPECIAL_FACILITY",
+			Schema: storage.NewSchema(
+				storage.Column{Name: "s_id", Kind: storage.KindInt},
+				storage.Column{Name: "sf_type", Kind: storage.KindInt},
+				storage.Column{Name: "is_active", Kind: storage.KindInt},
+				storage.Column{Name: "error_cntrl", Kind: storage.KindInt},
+				storage.Column{Name: "data_a", Kind: storage.KindInt},
+				storage.Column{Name: "data_b", Kind: storage.KindString},
+			),
+			PrimaryKey:    []string{"s_id", "sf_type"},
+			RoutingFields: []string{"s_id"},
+		},
+		{
+			Name: "CALL_FORWARDING",
+			Schema: storage.NewSchema(
+				storage.Column{Name: "s_id", Kind: storage.KindInt},
+				storage.Column{Name: "sf_type", Kind: storage.KindInt},
+				storage.Column{Name: "start_time", Kind: storage.KindInt},
+				storage.Column{Name: "end_time", Kind: storage.KindInt},
+				storage.Column{Name: "numberx", Kind: storage.KindString},
+			),
+			PrimaryKey:    []string{"s_id", "sf_type", "start_time"},
+			RoutingFields: []string{"s_id"},
+		},
+	}
+	for _, def := range defs {
+		if _, err := e.CreateTable(def); err != nil {
+			return fmt.Errorf("tm1: %w", err)
+		}
+	}
+	return nil
+}
+
+// Load implements workload.Driver. Each subscriber has 1-4 ACCESS_INFO rows,
+// 1-4 SPECIAL_FACILITY rows (each type present with probability ~62.5%, the
+// success rate of Figure 11), and 0-3 CALL_FORWARDING rows per facility.
+func (d *Driver) Load(e *engine.Engine, rng *rand.Rand) error {
+	const batch = 1000
+	for lo := int64(1); lo <= d.Subscribers; lo += batch {
+		hi := lo + batch - 1
+		if hi > d.Subscribers {
+			hi = d.Subscribers
+		}
+		txn := e.Begin()
+		for sid := lo; sid <= hi; sid++ {
+			sub := storage.Tuple{
+				storage.IntValue(sid),
+				storage.StringValue(fmt.Sprintf("%015d", sid)),
+				storage.IntValue(rng.Int63n(2)),
+				storage.IntValue(rng.Int63()),
+				storage.IntValue(rng.Int63()),
+			}
+			if _, err := e.Insert(txn, "SUBSCRIBER", sub, engine.Conventional()); err != nil {
+				e.Abort(txn)
+				return fmt.Errorf("tm1: loading subscriber %d: %w", sid, err)
+			}
+			nAI := 1 + rng.Int63n(4)
+			for ai := int64(1); ai <= nAI; ai++ {
+				rec := storage.Tuple{
+					storage.IntValue(sid), storage.IntValue(ai),
+					storage.IntValue(rng.Int63n(256)), storage.IntValue(rng.Int63n(256)),
+					storage.StringValue(workload.RandomString(rng, 3)),
+					storage.StringValue(workload.RandomString(rng, 5)),
+				}
+				if _, err := e.Insert(txn, "ACCESS_INFO", rec, engine.Conventional()); err != nil {
+					e.Abort(txn)
+					return err
+				}
+			}
+			for sf := int64(1); sf <= 4; sf++ {
+				if rng.Float64() >= 0.625 {
+					continue
+				}
+				rec := storage.Tuple{
+					storage.IntValue(sid), storage.IntValue(sf),
+					storage.IntValue(1), storage.IntValue(rng.Int63n(256)),
+					storage.IntValue(rng.Int63n(256)),
+					storage.StringValue(workload.RandomString(rng, 5)),
+				}
+				if _, err := e.Insert(txn, "SPECIAL_FACILITY", rec, engine.Conventional()); err != nil {
+					e.Abort(txn)
+					return err
+				}
+				nCF := rng.Int63n(4)
+				for cf := int64(0); cf < nCF; cf++ {
+					rec := storage.Tuple{
+						storage.IntValue(sid), storage.IntValue(sf),
+						storage.IntValue(cf * 8),
+						storage.IntValue(cf*8 + rng.Int63n(8) + 1),
+						storage.StringValue(workload.RandomString(rng, 15)),
+					}
+					if _, err := e.Insert(txn, "CALL_FORWARDING", rec, engine.Conventional()); err != nil {
+						e.Abort(txn)
+						return err
+					}
+				}
+			}
+		}
+		if err := e.Commit(txn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BindDORA implements workload.Driver: every table is routed on the
+// subscriber id.
+func (d *Driver) BindDORA(sys *dora.System, executorsPerTable int) error {
+	for _, table := range []string{"SUBSCRIBER", "ACCESS_INFO", "SPECIAL_FACILITY", "CALL_FORWARDING"} {
+		if err := sys.BindTableInts(table, 1, d.Subscribers, executorsPerTable); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// randomSID picks a subscriber uniformly.
+func (d *Driver) randomSID(rng *rand.Rand) int64 { return 1 + rng.Int63n(d.Subscribers) }
+
+func sidKey(sid int64) storage.Key { return storage.EncodeKey(storage.IntValue(sid)) }
+
+func sfKey(sid, sf int64) storage.Key {
+	return storage.EncodeKey(storage.IntValue(sid), storage.IntValue(sf))
+}
+
+func cfKey(sid, sf, start int64) storage.Key {
+	return storage.EncodeKey(storage.IntValue(sid), storage.IntValue(sf), storage.IntValue(start))
+}
+
+// RunBaseline implements workload.Driver.
+func (d *Driver) RunBaseline(e *engine.Engine, kind string, rng *rand.Rand, workerID int) error {
+	opt := engine.Conventional()
+	opt.WorkerID = workerID
+	txn := e.Begin()
+	err := d.runConventional(e, txn, kind, rng, opt)
+	if err != nil {
+		e.Abort(txn)
+		if errors.Is(err, engine.ErrNotFound) || errors.Is(err, engine.ErrDuplicateKey) {
+			return fmt.Errorf("%w: %v", workload.ErrAborted, err)
+		}
+		return err
+	}
+	return e.Commit(txn)
+}
+
+func (d *Driver) runConventional(e *engine.Engine, txn *engine.Txn, kind string, rng *rand.Rand, opt engine.AccessOptions) error {
+	sid := d.randomSID(rng)
+	switch kind {
+	case GetSubscriberData:
+		_, err := e.Probe(txn, "SUBSCRIBER", sidKey(sid), opt)
+		return err
+	case GetAccessData:
+		ai := 1 + rng.Int63n(4)
+		_, err := e.Probe(txn, "ACCESS_INFO", storage.EncodeKey(storage.IntValue(sid), storage.IntValue(ai)), opt)
+		return err
+	case GetNewDestination:
+		sf := 1 + rng.Int63n(4)
+		rec, err := e.Probe(txn, "SPECIAL_FACILITY", sfKey(sid, sf), opt)
+		if err != nil {
+			return err
+		}
+		if rec[2].Int != 1 {
+			return fmt.Errorf("%w: inactive special facility", engine.ErrNotFound)
+		}
+		found := false
+		err = e.ScanPrefix(txn, "CALL_FORWARDING", sfKey(sid, sf), opt, func(storage.Tuple) bool {
+			found = true
+			return false
+		})
+		if err != nil {
+			return err
+		}
+		if !found {
+			return fmt.Errorf("%w: no call forwarding entry", engine.ErrNotFound)
+		}
+		return nil
+	case UpdateLocation:
+		return e.Update(txn, "SUBSCRIBER", sidKey(sid), opt, func(tu storage.Tuple) (storage.Tuple, error) {
+			tu[4] = storage.IntValue(rng.Int63())
+			return tu, nil
+		})
+	case UpdateSubscriberData, UpdateSubscriberDataSerial, UpdateSubscriberDataParallel:
+		sf := 1 + rng.Int63n(4)
+		if err := e.Update(txn, "SUBSCRIBER", sidKey(sid), opt, func(tu storage.Tuple) (storage.Tuple, error) {
+			tu[2] = storage.IntValue(rng.Int63n(2))
+			return tu, nil
+		}); err != nil {
+			return err
+		}
+		return e.Update(txn, "SPECIAL_FACILITY", sfKey(sid, sf), opt, func(tu storage.Tuple) (storage.Tuple, error) {
+			tu[4] = storage.IntValue(rng.Int63n(256))
+			return tu, nil
+		})
+	case InsertCallForwarding:
+		sf := 1 + rng.Int63n(4)
+		if _, err := e.Probe(txn, "SPECIAL_FACILITY", sfKey(sid, sf), opt); err != nil {
+			return err
+		}
+		start := (rng.Int63n(3)) * 8
+		rec := storage.Tuple{
+			storage.IntValue(sid), storage.IntValue(sf), storage.IntValue(start),
+			storage.IntValue(start + rng.Int63n(8) + 1),
+			storage.StringValue(workload.RandomString(rng, 15)),
+		}
+		_, err := e.Insert(txn, "CALL_FORWARDING", rec, opt)
+		return err
+	case DeleteCallForwarding:
+		sf := 1 + rng.Int63n(4)
+		start := (rng.Int63n(3)) * 8
+		return e.Delete(txn, "CALL_FORWARDING", cfKey(sid, sf, start), opt)
+	default:
+		return fmt.Errorf("tm1: unknown transaction kind %q", kind)
+	}
+}
+
+// RunDORA implements workload.Driver: each transaction becomes a flow graph of
+// actions routed on the subscriber id.
+func (d *Driver) RunDORA(sys *dora.System, kind string, rng *rand.Rand, workerID int) error {
+	_ = workerID // executors attribute their own accesses in traces
+	sid := d.randomSID(rng)
+	var err error
+	switch kind {
+	case GetSubscriberData:
+		err = d.doraGetSubscriberData(sys, sid)
+	case GetAccessData:
+		err = d.doraGetAccessData(sys, sid, 1+rng.Int63n(4))
+	case GetNewDestination:
+		err = d.doraGetNewDestination(sys, sid, 1+rng.Int63n(4))
+	case UpdateLocation:
+		err = d.doraUpdateLocation(sys, sid, rng.Int63())
+	case UpdateSubscriberData:
+		plan := sys.ResourceManager().PlanFor(UpdateSubscriberData)
+		err = d.doraUpdateSubscriberData(sys, sid, 1+rng.Int63n(4), rng.Int63n(2), rng.Int63n(256), plan)
+		sys.ResourceManager().RecordOutcome(UpdateSubscriberData, err != nil)
+	case UpdateSubscriberDataParallel:
+		err = d.doraUpdateSubscriberData(sys, sid, 1+rng.Int63n(4), rng.Int63n(2), rng.Int63n(256), dora.PlanParallel)
+	case UpdateSubscriberDataSerial:
+		err = d.doraUpdateSubscriberData(sys, sid, 1+rng.Int63n(4), rng.Int63n(2), rng.Int63n(256), dora.PlanSerial)
+	case InsertCallForwarding:
+		start := (rng.Int63n(3)) * 8
+		err = d.doraInsertCallForwarding(sys, sid, 1+rng.Int63n(4), start, start+rng.Int63n(8)+1, workload.RandomString(rng, 15))
+	case DeleteCallForwarding:
+		err = d.doraDeleteCallForwarding(sys, sid, 1+rng.Int63n(4), (rng.Int63n(3))*8)
+	default:
+		return fmt.Errorf("tm1: unknown transaction kind %q", kind)
+	}
+	if err != nil && (errors.Is(err, engine.ErrNotFound) || errors.Is(err, engine.ErrDuplicateKey)) {
+		return fmt.Errorf("%w: %v", workload.ErrAborted, err)
+	}
+	return err
+}
+
+func (d *Driver) doraGetSubscriberData(sys *dora.System, sid int64) error {
+	tx := sys.NewTransaction()
+	tx.Add(0, &dora.Action{
+		Table: "SUBSCRIBER", Key: sidKey(sid), Mode: dora.Shared,
+		Work: func(s *dora.Scope) error {
+			_, err := s.Probe("SUBSCRIBER", sidKey(sid))
+			return err
+		},
+	})
+	return tx.Run()
+}
+
+func (d *Driver) doraGetAccessData(sys *dora.System, sid, ai int64) error {
+	tx := sys.NewTransaction()
+	tx.Add(0, &dora.Action{
+		Table: "ACCESS_INFO", Key: sidKey(sid), Mode: dora.Shared,
+		Work: func(s *dora.Scope) error {
+			_, err := s.Probe("ACCESS_INFO", storage.EncodeKey(storage.IntValue(sid), storage.IntValue(ai)))
+			return err
+		},
+	})
+	return tx.Run()
+}
+
+func (d *Driver) doraGetNewDestination(sys *dora.System, sid, sf int64) error {
+	tx := sys.NewTransaction()
+	// Both actions have the subscriber id as identifier; SPECIAL_FACILITY
+	// and CALL_FORWARDING are different tables so they go to different
+	// executors, with a data dependency resolved within one phase each.
+	tx.Add(0, &dora.Action{
+		Table: "SPECIAL_FACILITY", Key: sidKey(sid), Mode: dora.Shared,
+		Work: func(s *dora.Scope) error {
+			rec, err := s.Probe("SPECIAL_FACILITY", sfKey(sid, sf))
+			if err != nil {
+				return err
+			}
+			if rec[2].Int != 1 {
+				return fmt.Errorf("%w: inactive special facility", engine.ErrNotFound)
+			}
+			return nil
+		},
+	})
+	tx.Add(1, &dora.Action{
+		Table: "CALL_FORWARDING", Key: sidKey(sid), Mode: dora.Shared,
+		Work: func(s *dora.Scope) error {
+			found := false
+			err := s.ScanPrefix("CALL_FORWARDING", sfKey(sid, sf), func(storage.Tuple) bool {
+				found = true
+				return false
+			})
+			if err != nil {
+				return err
+			}
+			if !found {
+				return fmt.Errorf("%w: no call forwarding entry", engine.ErrNotFound)
+			}
+			return nil
+		},
+	})
+	return tx.Run()
+}
+
+func (d *Driver) doraUpdateLocation(sys *dora.System, sid, vlr int64) error {
+	tx := sys.NewTransaction()
+	tx.Add(0, &dora.Action{
+		Table: "SUBSCRIBER", Key: sidKey(sid), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			return s.Update("SUBSCRIBER", sidKey(sid), func(tu storage.Tuple) (storage.Tuple, error) {
+				tu[4] = storage.IntValue(vlr)
+				return tu, nil
+			})
+		},
+	})
+	return tx.Run()
+}
+
+// doraUpdateSubscriberData is the Figure 11 transaction: one action always
+// succeeds (SUBSCRIBER), the other succeeds only when the chosen special
+// facility exists (~62.5%). The parallel plan runs both in one phase; the
+// serial plan runs the failure-prone action first and the other only if it
+// succeeded, wasting no work on aborts.
+func (d *Driver) doraUpdateSubscriberData(sys *dora.System, sid, sf, bit, dataA int64, plan dora.Plan) error {
+	tx := sys.NewTransaction()
+	subPhase := 0
+	if plan == dora.PlanSerial {
+		subPhase = 1
+	}
+	tx.Add(0, &dora.Action{
+		Table: "SPECIAL_FACILITY", Key: sidKey(sid), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			return s.Update("SPECIAL_FACILITY", sfKey(sid, sf), func(tu storage.Tuple) (storage.Tuple, error) {
+				tu[4] = storage.IntValue(dataA)
+				return tu, nil
+			})
+		},
+	})
+	tx.Add(subPhase, &dora.Action{
+		Table: "SUBSCRIBER", Key: sidKey(sid), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			return s.Update("SUBSCRIBER", sidKey(sid), func(tu storage.Tuple) (storage.Tuple, error) {
+				tu[2] = storage.IntValue(bit)
+				return tu, nil
+			})
+		},
+	})
+	return tx.Run()
+}
+
+func (d *Driver) doraInsertCallForwarding(sys *dora.System, sid, sf, start, end int64, number string) error {
+	tx := sys.NewTransaction()
+	tx.Add(0, &dora.Action{
+		Table: "SPECIAL_FACILITY", Key: sidKey(sid), Mode: dora.Shared,
+		Work: func(s *dora.Scope) error {
+			_, err := s.Probe("SPECIAL_FACILITY", sfKey(sid, sf))
+			return err
+		},
+	})
+	tx.Add(1, &dora.Action{
+		Table: "CALL_FORWARDING", Key: sidKey(sid), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			_, err := s.Insert("CALL_FORWARDING", storage.Tuple{
+				storage.IntValue(sid), storage.IntValue(sf), storage.IntValue(start),
+				storage.IntValue(end), storage.StringValue(number),
+			})
+			return err
+		},
+	})
+	return tx.Run()
+}
+
+func (d *Driver) doraDeleteCallForwarding(sys *dora.System, sid, sf, start int64) error {
+	tx := sys.NewTransaction()
+	tx.Add(0, &dora.Action{
+		Table: "CALL_FORWARDING", Key: sidKey(sid), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			return s.Delete("CALL_FORWARDING", cfKey(sid, sf, start))
+		},
+	})
+	return tx.Run()
+}

@@ -1,0 +1,289 @@
+package tm1
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/workload"
+)
+
+// newLoaded builds an engine loaded with a small TM1 database and, when
+// withDORA is set, a DORA system bound to it.
+func newLoaded(t testing.TB, subscribers int64, withDORA bool) (*Driver, *engine.Engine, *dora.System) {
+	t.Helper()
+	d := New(subscribers)
+	e := engine.New(engine.Config{BufferPoolFrames: 2048})
+	if err := d.CreateTables(e); err != nil {
+		t.Fatalf("CreateTables: %v", err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := d.Load(e, rng); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var sys *dora.System
+	if withDORA {
+		sys = dora.NewSystem(e, dora.Config{TxnTimeout: 5 * time.Second})
+		if err := d.BindDORA(sys, 2); err != nil {
+			t.Fatalf("BindDORA: %v", err)
+		}
+		t.Cleanup(sys.Stop)
+	}
+	return d, e, sys
+}
+
+func TestRegisteredWithWorkloadRegistry(t *testing.T) {
+	drv, err := workload.New("tm1")
+	if err != nil {
+		t.Fatalf("workload.New: %v", err)
+	}
+	if drv.Name() != "TM1" {
+		t.Fatalf("Name = %q", drv.Name())
+	}
+}
+
+func TestLoadPopulatesAllTables(t *testing.T) {
+	d, e, _ := newLoaded(t, 200, false)
+	sub, _ := e.Table("SUBSCRIBER")
+	if int64(sub.NumRecords()) != d.Subscribers {
+		t.Fatalf("SUBSCRIBER has %d records, want %d", sub.NumRecords(), d.Subscribers)
+	}
+	for _, name := range []string{"ACCESS_INFO", "SPECIAL_FACILITY", "CALL_FORWARDING"} {
+		tbl, err := e.Table(name)
+		if err != nil {
+			t.Fatalf("Table(%s): %v", name, err)
+		}
+		if tbl.NumRecords() == 0 {
+			t.Fatalf("table %s is empty after load", name)
+		}
+	}
+	// Every subscriber must be probeable.
+	txn := e.Begin()
+	for sid := int64(1); sid <= d.Subscribers; sid += 37 {
+		if _, err := e.Probe(txn, "SUBSCRIBER", sidKey(sid), engine.Conventional()); err != nil {
+			t.Fatalf("Probe(%d): %v", sid, err)
+		}
+	}
+	e.Commit(txn)
+}
+
+func TestMixWeightsSumTo100(t *testing.T) {
+	d := New(100)
+	total := 0
+	for _, k := range d.Mix() {
+		total += k.Weight
+	}
+	if total != 100 {
+		t.Fatalf("mix weights sum to %d, want 100", total)
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[d.Mix().Pick(rng)]++
+	}
+	if counts[GetSubscriberData] < 2800 || counts[GetSubscriberData] > 4200 {
+		t.Fatalf("GetSubscriberData frequency %d out of expected band", counts[GetSubscriberData])
+	}
+	if counts[UpdateSubscriberData] == 0 || counts[DeleteCallForwarding] == 0 {
+		t.Fatal("rare transaction kinds never picked")
+	}
+}
+
+func TestBaselineTransactionsRun(t *testing.T) {
+	d, e, _ := newLoaded(t, 300, false)
+	rng := rand.New(rand.NewSource(3))
+	counts := map[string]int{}
+	aborts := 0
+	for i := 0; i < 600; i++ {
+		kind := d.Mix().Pick(rng)
+		counts[kind]++
+		err := d.RunBaseline(e, kind, rng, 0)
+		if err != nil {
+			if errors.Is(err, workload.ErrAborted) {
+				aborts++
+				continue
+			}
+			t.Fatalf("RunBaseline(%s): %v", kind, err)
+		}
+	}
+	if aborts == 0 {
+		t.Fatal("TM1 must produce intentional aborts (invalid input)")
+	}
+	if float64(aborts) > 0.6*600 {
+		t.Fatalf("abort rate too high: %d/600", aborts)
+	}
+}
+
+func TestBaselineUnknownKind(t *testing.T) {
+	d, e, _ := newLoaded(t, 50, false)
+	rng := rand.New(rand.NewSource(4))
+	if err := d.RunBaseline(e, "Bogus", rng, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestDORATransactionsRunAllKinds(t *testing.T) {
+	d, e, sys := newLoaded(t, 300, true)
+	_ = e
+	rng := rand.New(rand.NewSource(5))
+	kinds := []string{
+		GetSubscriberData, GetAccessData, GetNewDestination, UpdateLocation,
+		UpdateSubscriberData, InsertCallForwarding, DeleteCallForwarding,
+		UpdateSubscriberDataParallel, UpdateSubscriberDataSerial,
+	}
+	aborts, commits := 0, 0
+	for i := 0; i < 400; i++ {
+		kind := kinds[i%len(kinds)]
+		err := d.RunDORA(sys, kind, rng, 0)
+		if err != nil {
+			if errors.Is(err, workload.ErrAborted) || errors.Is(err, engine.ErrNotFound) {
+				aborts++
+				continue
+			}
+			t.Fatalf("RunDORA(%s): %v", kind, err)
+		}
+		commits++
+	}
+	if commits == 0 {
+		t.Fatal("no DORA transaction committed")
+	}
+	if aborts == 0 {
+		t.Fatal("expected some intentional aborts")
+	}
+	if err := d.RunDORA(sys, "Bogus", rng, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestBaselineAndDORAProduceSameEffects(t *testing.T) {
+	// UpdateLocation through DORA must be visible to a conventional reader,
+	// i.e. both systems operate on the same shared-everything database.
+	d, e, sys := newLoaded(t, 100, true)
+	if err := d.doraUpdateLocation(sys, 42, 123456); err != nil {
+		t.Fatalf("doraUpdateLocation: %v", err)
+	}
+	txn := e.Begin()
+	rec, err := e.Probe(txn, "SUBSCRIBER", sidKey(42), engine.Conventional())
+	if err != nil || rec[4].Int != 123456 {
+		t.Fatalf("conventional read after DORA update: %v %v", rec, err)
+	}
+	e.Commit(txn)
+	_ = d
+}
+
+func TestUpdateSubscriberDataAbortRollsBackSubscriber(t *testing.T) {
+	// With the parallel plan, when the SPECIAL_FACILITY action fails the
+	// SUBSCRIBER update of the same transaction must be rolled back.
+	d, e, sys := newLoaded(t, 100, true)
+
+	// Find a subscriber missing facility type 4.
+	txn := e.Begin()
+	var sid int64 = -1
+	for cand := int64(1); cand <= d.Subscribers; cand++ {
+		if _, err := e.Probe(txn, "SPECIAL_FACILITY", sfKey(cand, 4), engine.Conventional()); errors.Is(err, engine.ErrNotFound) {
+			sid = cand
+			break
+		}
+	}
+	e.Commit(txn)
+	if sid < 0 {
+		t.Skip("every subscriber has facility 4 in this seed")
+	}
+	before := subscriberBit(t, e, sid)
+	err := d.doraUpdateSubscriberData(sys, sid, 4, 1-before, 77, dora.PlanParallel)
+	if err == nil {
+		t.Fatal("transaction should abort when the facility is missing")
+	}
+	if got := subscriberBit(t, e, sid); got != before {
+		t.Fatalf("subscriber bit changed to %d despite abort", got)
+	}
+	// Serial plan: same outcome, but the subscriber action never runs.
+	err = d.doraUpdateSubscriberData(sys, sid, 4, 1-before, 77, dora.PlanSerial)
+	if err == nil {
+		t.Fatal("serial plan should abort too")
+	}
+	if got := subscriberBit(t, e, sid); got != before {
+		t.Fatalf("subscriber bit changed under serial plan abort")
+	}
+}
+
+func subscriberBit(t *testing.T, e *engine.Engine, sid int64) int64 {
+	t.Helper()
+	txn := e.Begin()
+	defer e.Commit(txn)
+	rec, err := e.Probe(txn, "SUBSCRIBER", sidKey(sid), engine.Conventional())
+	if err != nil {
+		t.Fatalf("Probe: %v", err)
+	}
+	return rec[2].Int
+}
+
+func TestInsertThenDeleteCallForwardingRoundTrip(t *testing.T) {
+	d, e, sys := newLoaded(t, 100, true)
+	// Find a subscriber with facility 1 and no call forwarding at start 0.
+	var sid int64 = -1
+	txn := e.Begin()
+	for cand := int64(1); cand <= d.Subscribers; cand++ {
+		if _, err := e.Probe(txn, "SPECIAL_FACILITY", sfKey(cand, 1), engine.Conventional()); err != nil {
+			continue
+		}
+		if _, err := e.Probe(txn, "CALL_FORWARDING", cfKey(cand, 1, 0), engine.Conventional()); errors.Is(err, engine.ErrNotFound) {
+			sid = cand
+			break
+		}
+	}
+	e.Commit(txn)
+	if sid < 0 {
+		t.Skip("no suitable subscriber in this seed")
+	}
+	if err := d.doraInsertCallForwarding(sys, sid, 1, 0, 5, "555-0100"); err != nil {
+		t.Fatalf("insert: %v", err)
+	}
+	// Inserting the same key again violates the primary key -> abort.
+	if err := d.doraInsertCallForwarding(sys, sid, 1, 0, 5, "555-0100"); err == nil {
+		t.Fatal("duplicate call forwarding insert accepted")
+	}
+	if err := d.doraDeleteCallForwarding(sys, sid, 1, 0); err != nil {
+		t.Fatalf("delete: %v", err)
+	}
+	if err := d.doraDeleteCallForwarding(sys, sid, 1, 0); err == nil {
+		t.Fatal("deleting a missing call forwarding row should fail")
+	}
+}
+
+func TestSerialPlanAvoidsWastedSubscriberWorkOnAbort(t *testing.T) {
+	// Figure 11 rationale: with the serial plan, an aborting transaction
+	// executes only the failing SPECIAL_FACILITY action, so the SUBSCRIBER
+	// executors see no work from it.
+	d, e, sys := newLoaded(t, 100, true)
+	var sid int64 = -1
+	txn := e.Begin()
+	for cand := int64(1); cand <= d.Subscribers; cand++ {
+		if _, err := e.Probe(txn, "SPECIAL_FACILITY", sfKey(cand, 3), engine.Conventional()); errors.Is(err, engine.ErrNotFound) {
+			sid = cand
+			break
+		}
+	}
+	e.Commit(txn)
+	if sid < 0 {
+		t.Skip("every subscriber has facility 3 in this seed")
+	}
+	statsBefore := executedOn(sys, "SUBSCRIBER")
+	for i := 0; i < 10; i++ {
+		d.doraUpdateSubscriberData(sys, sid, 3, 1, 5, dora.PlanSerial)
+	}
+	if got := executedOn(sys, "SUBSCRIBER"); got != statsBefore {
+		t.Fatalf("serial aborts still executed %d SUBSCRIBER actions", got-statsBefore)
+	}
+}
+
+func executedOn(sys *dora.System, table string) uint64 {
+	var total uint64
+	for _, ex := range sys.Executors(table) {
+		total += ex.Stats().ActionsExecuted
+	}
+	return total
+}

@@ -1,0 +1,173 @@
+package tpcb
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/storage"
+	"dora/internal/workload"
+)
+
+func newLoaded(t testing.TB, branches int64, withDORA bool) (*Driver, *engine.Engine, *dora.System) {
+	t.Helper()
+	d := New(branches)
+	d.AccountsPerBranch = 50
+	e := engine.New(engine.Config{BufferPoolFrames: 1024})
+	if err := d.CreateTables(e); err != nil {
+		t.Fatalf("CreateTables: %v", err)
+	}
+	if err := d.Load(e, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	var sys *dora.System
+	if withDORA {
+		sys = dora.NewSystem(e, dora.Config{TxnTimeout: 5 * time.Second})
+		if err := d.BindDORA(sys, 2); err != nil {
+			t.Fatalf("BindDORA: %v", err)
+		}
+		t.Cleanup(sys.Stop)
+	}
+	return d, e, sys
+}
+
+func TestRegisteredWithWorkloadRegistry(t *testing.T) {
+	drv, err := workload.New("tpcb")
+	if err != nil {
+		t.Fatalf("workload.New: %v", err)
+	}
+	if drv.Name() != "TPC-B" {
+		t.Fatalf("Name = %q", drv.Name())
+	}
+	if len(drv.Mix()) != 1 || drv.Mix()[0].Name != AccountUpdate {
+		t.Fatalf("Mix = %v", drv.Mix())
+	}
+}
+
+func TestLoadCardinalities(t *testing.T) {
+	d, e, _ := newLoaded(t, 3, false)
+	expect := map[string]int{
+		"BRANCH":  int(d.Branches),
+		"TELLER":  int(d.Branches) * TellersPerBranch,
+		"ACCOUNT": int(d.Branches) * int(d.AccountsPerBranch),
+		"HISTORY": 0,
+	}
+	for table, want := range expect {
+		tbl, err := e.Table(table)
+		if err != nil {
+			t.Fatalf("Table(%s): %v", table, err)
+		}
+		if tbl.NumRecords() != want {
+			t.Fatalf("%s has %d records, want %d", table, tbl.NumRecords(), want)
+		}
+	}
+}
+
+// balanceInvariant checks TPC-B's consistency condition: the sum of account
+// balances equals the sum of teller balances equals the sum of branch
+// balances, and each equals the sum of history deltas.
+func balanceInvariant(t *testing.T, e *engine.Engine) {
+	t.Helper()
+	txn := e.Begin()
+	defer e.Commit(txn)
+	sum := func(table string, col int) float64 {
+		var s float64
+		e.ScanTable(txn, table, engine.Conventional(), func(tu storage.Tuple) bool {
+			s += tu[col].Float
+			return true
+		})
+		return s
+	}
+	branches := sum("BRANCH", 1)
+	tellers := sum("TELLER", 2)
+	accounts := sum("ACCOUNT", 2)
+	history := sum("HISTORY", 4)
+	for name, v := range map[string]float64{"tellers": tellers, "accounts": accounts, "history": history} {
+		if math.Abs(v-branches) > 0.01 {
+			t.Fatalf("balance invariant violated: branches=%v %s=%v", branches, name, v)
+		}
+	}
+}
+
+func TestBaselineAccountUpdates(t *testing.T) {
+	d, e, _ := newLoaded(t, 3, false)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 200; i++ {
+		if err := d.RunBaseline(e, AccountUpdate, rng, 0); err != nil && !errors.Is(err, workload.ErrAborted) {
+			t.Fatalf("RunBaseline: %v", err)
+		}
+	}
+	hist, _ := e.Table("HISTORY")
+	if hist.NumRecords() == 0 {
+		t.Fatal("no history rows written")
+	}
+	balanceInvariant(t, e)
+	if err := d.RunBaseline(e, "Bogus", rng, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestDORAAccountUpdates(t *testing.T) {
+	d, e, sys := newLoaded(t, 3, true)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 200; i++ {
+		if err := d.RunDORA(sys, AccountUpdate, rng, 0); err != nil && !errors.Is(err, workload.ErrAborted) {
+			t.Fatalf("RunDORA: %v", err)
+		}
+	}
+	balanceInvariant(t, e)
+	if err := d.RunDORA(sys, "Bogus", rng, 0); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestConcurrentMixedSystemsPreserveInvariant(t *testing.T) {
+	// Baseline and DORA clients run concurrently against the same
+	// shared-everything database; the TPC-B consistency condition must hold
+	// at the end.
+	d, e, sys := newLoaded(t, 2, true)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 50; i++ {
+				var err error
+				if seed%2 == 0 {
+					err = d.RunBaseline(e, AccountUpdate, rng, int(seed))
+				} else {
+					err = d.RunDORA(sys, AccountUpdate, rng, int(seed))
+				}
+				if err != nil && !errors.Is(err, workload.ErrAborted) {
+					t.Errorf("worker %d: %v", seed, err)
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	balanceInvariant(t, e)
+}
+
+func TestRemoteAccountFraction(t *testing.T) {
+	d := New(5)
+	rng := rand.New(rand.NewSource(4))
+	remote := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		in := d.genInput(rng)
+		if in.acctB != in.branch {
+			remote++
+		}
+	}
+	frac := float64(remote) / n
+	if frac < 0.10 || frac > 0.20 {
+		t.Fatalf("remote account fraction = %.3f, want about 0.15", frac)
+	}
+}

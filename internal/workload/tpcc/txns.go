@@ -1,0 +1,618 @@
+package tpcc
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/storage"
+	"dora/internal/workload"
+)
+
+func ik(vals ...int64) storage.Key {
+	vs := make([]storage.Value, len(vals))
+	for i, v := range vals {
+		vs[i] = storage.IntValue(v)
+	}
+	return storage.EncodeKey(vs...)
+}
+
+// paymentInput is the parameter set of one Payment transaction (TPC-C §2.5).
+type paymentInput struct {
+	wID, dID   int64
+	cWID, cDID int64
+	cID        int64  // 0 when selecting by last name
+	cLast      string // used when cID == 0
+	amount     float64
+}
+
+func (d *Driver) genPayment(rng *rand.Rand) paymentInput {
+	in := paymentInput{
+		wID:    1 + rng.Int63n(d.Warehouses),
+		dID:    1 + rng.Int63n(DistrictsPerWarehouse),
+		amount: 1 + rng.Float64()*4999,
+	}
+	// 85% local customer, 15% from a remote warehouse (the case a
+	// shared-nothing system would execute as a distributed transaction).
+	if d.Warehouses > 1 && rng.Intn(100) < 15 {
+		for {
+			in.cWID = 1 + rng.Int63n(d.Warehouses)
+			if in.cWID != in.wID {
+				break
+			}
+		}
+	} else {
+		in.cWID = in.wID
+	}
+	in.cDID = 1 + rng.Int63n(DistrictsPerWarehouse)
+	// 60% of Payments select the customer by last name (§2.5.1.2).
+	if rng.Intn(100) < 60 {
+		in.cLast = workload.LastName(workload.NURand(rng, 255, 0, 999) % d.CustomersPerDistrict)
+	} else {
+		in.cID = workload.NURand(rng, 1023, 1, d.CustomersPerDistrict)
+	}
+	return in
+}
+
+type orderStatusInput struct {
+	wID, dID int64
+	cID      int64
+	cLast    string
+}
+
+func (d *Driver) genOrderStatus(rng *rand.Rand) orderStatusInput {
+	in := orderStatusInput{
+		wID: 1 + rng.Int63n(d.Warehouses),
+		dID: 1 + rng.Int63n(DistrictsPerWarehouse),
+	}
+	if rng.Intn(100) < 60 {
+		in.cLast = workload.LastName(workload.NURand(rng, 255, 0, 999) % d.CustomersPerDistrict)
+	} else {
+		in.cID = workload.NURand(rng, 1023, 1, d.CustomersPerDistrict)
+	}
+	return in
+}
+
+type newOrderInput struct {
+	wID, dID, cID int64
+	items         []int64
+	quantities    []int64
+	invalid       bool // ~1% of NewOrders reference a non-existent item and abort
+}
+
+func (d *Driver) genNewOrder(rng *rand.Rand) newOrderInput {
+	in := newOrderInput{
+		wID: 1 + rng.Int63n(d.Warehouses),
+		dID: 1 + rng.Int63n(DistrictsPerWarehouse),
+		cID: workload.NURand(rng, 1023, 1, d.CustomersPerDistrict),
+	}
+	n := 5 + rng.Intn(11)
+	for i := 0; i < n; i++ {
+		in.items = append(in.items, workload.NURand(rng, 8191, 1, d.Items))
+		in.quantities = append(in.quantities, 1+rng.Int63n(10))
+	}
+	if rng.Intn(100) == 0 {
+		in.items[len(in.items)-1] = d.Items + 100 // unused item id -> abort
+		in.invalid = true
+	}
+	return in
+}
+
+// RunBaseline implements workload.Driver.
+func (d *Driver) RunBaseline(e *engine.Engine, kind string, rng *rand.Rand, workerID int) error {
+	opt := engine.Conventional()
+	opt.WorkerID = workerID
+	txn := e.Begin()
+	var err error
+	switch kind {
+	case Payment:
+		err = d.paymentConventional(e, txn, d.genPayment(rng), opt)
+	case OrderStatus:
+		err = d.orderStatusConventional(e, txn, d.genOrderStatus(rng), opt)
+	case NewOrder:
+		err = d.newOrderConventional(e, txn, d.genNewOrder(rng), opt)
+	default:
+		e.Abort(txn)
+		return fmt.Errorf("tpcc: unknown transaction kind %q", kind)
+	}
+	if err != nil {
+		e.Abort(txn)
+		if errors.Is(err, engine.ErrNotFound) || errors.Is(err, engine.ErrDuplicateKey) {
+			return fmt.Errorf("%w: %v", workload.ErrAborted, err)
+		}
+		return err
+	}
+	return e.Commit(txn)
+}
+
+// RunDORA implements workload.Driver.
+func (d *Driver) RunDORA(sys *dora.System, kind string, rng *rand.Rand, workerID int) error {
+	_ = workerID
+	var err error
+	switch kind {
+	case Payment:
+		err = d.paymentDORA(sys, d.genPayment(rng))
+	case OrderStatus:
+		err = d.orderStatusDORA(sys, d.genOrderStatus(rng))
+	case NewOrder:
+		err = d.newOrderDORA(sys, d.genNewOrder(rng))
+	default:
+		return fmt.Errorf("tpcc: unknown transaction kind %q", kind)
+	}
+	if err != nil && (errors.Is(err, engine.ErrNotFound) || errors.Is(err, engine.ErrDuplicateKey)) {
+		return fmt.Errorf("%w: %v", workload.ErrAborted, err)
+	}
+	return err
+}
+
+// --- Payment -------------------------------------------------------------
+
+// middleMatch returns the middle entry of a by-name lookup, the customer the
+// TPC-C specification selects when several share a last name.
+func middleMatch(matches []engine.IndexMatch) (engine.IndexMatch, error) {
+	if len(matches) == 0 {
+		return engine.IndexMatch{}, engine.ErrNotFound
+	}
+	sort.Slice(matches, func(i, j int) bool { return matches[i].RID.Key() < matches[j].RID.Key() })
+	return matches[len(matches)/2], nil
+}
+
+// paymentCustomerUpdate applies the Payment balance update to the customer
+// selected either by id or by last name.
+func paymentCustomerUpdate(in paymentInput,
+	byPK func(pk storage.Key, fn func(storage.Tuple) (storage.Tuple, error)) error,
+	lookup func(key storage.Key) ([]engine.IndexMatch, error),
+	byRID func(rid storage.RID, fn func(storage.Tuple) (storage.Tuple, error)) error) error {
+	apply := func(tu storage.Tuple) (storage.Tuple, error) {
+		tu[5] = storage.FloatValue(tu[5].Float - in.amount)
+		tu[6] = storage.FloatValue(tu[6].Float + in.amount)
+		tu[7] = storage.IntValue(tu[7].Int + 1)
+		return tu, nil
+	}
+	if in.cID != 0 {
+		return byPK(ik(in.cWID, in.cDID, in.cID), apply)
+	}
+	matches, err := lookup(storage.EncodeKey(
+		storage.IntValue(in.cWID), storage.IntValue(in.cDID), storage.StringValue(in.cLast)))
+	if err != nil {
+		return err
+	}
+	m, err := middleMatch(matches)
+	if err != nil {
+		return err
+	}
+	return byRID(m.RID, apply)
+}
+
+func (d *Driver) paymentConventional(e *engine.Engine, txn *engine.Txn, in paymentInput, opt engine.AccessOptions) error {
+	if err := e.Update(txn, "WAREHOUSE", ik(in.wID), opt, func(tu storage.Tuple) (storage.Tuple, error) {
+		tu[3] = storage.FloatValue(tu[3].Float + in.amount)
+		return tu, nil
+	}); err != nil {
+		return err
+	}
+	if err := e.Update(txn, "DISTRICT", ik(in.wID, in.dID), opt, func(tu storage.Tuple) (storage.Tuple, error) {
+		tu[4] = storage.FloatValue(tu[4].Float + in.amount)
+		return tu, nil
+	}); err != nil {
+		return err
+	}
+	err := paymentCustomerUpdate(in,
+		func(pk storage.Key, fn func(storage.Tuple) (storage.Tuple, error)) error {
+			return e.Update(txn, "CUSTOMER", pk, opt, fn)
+		},
+		func(key storage.Key) ([]engine.IndexMatch, error) {
+			return e.SecondaryLookup(txn, "CUSTOMER", "by_name", key, opt)
+		},
+		func(rid storage.RID, fn func(storage.Tuple) (storage.Tuple, error)) error {
+			return e.UpdateRID(txn, "CUSTOMER", rid, opt, fn)
+		})
+	if err != nil {
+		return err
+	}
+	hist := storage.Tuple{
+		storage.IntValue(d.historyID.Add(1)),
+		storage.IntValue(in.cID), storage.IntValue(in.cDID), storage.IntValue(in.cWID),
+		storage.IntValue(in.dID), storage.IntValue(in.wID),
+		storage.FloatValue(in.amount),
+	}
+	_, err = e.Insert(txn, "HISTORY", hist, opt)
+	return err
+}
+
+// paymentDORA is the paper's running example (Figure 4): the Warehouse,
+// District, and Customer actions form the first phase (each merging the probe
+// with the update because they share an identifier), and an RVP separates them
+// from the History insert, which depends on them.
+func (d *Driver) paymentDORA(sys *dora.System, in paymentInput) error {
+	tx := sys.NewTransaction()
+	tx.Add(0, &dora.Action{
+		Table: "WAREHOUSE", Key: ik(in.wID), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			return s.Update("WAREHOUSE", ik(in.wID), func(tu storage.Tuple) (storage.Tuple, error) {
+				tu[3] = storage.FloatValue(tu[3].Float + in.amount)
+				return tu, nil
+			})
+		},
+	})
+	tx.Add(0, &dora.Action{
+		Table: "DISTRICT", Key: ik(in.wID), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			return s.Update("DISTRICT", ik(in.wID, in.dID), func(tu storage.Tuple) (storage.Tuple, error) {
+				tu[4] = storage.FloatValue(tu[4].Float + in.amount)
+				return tu, nil
+			})
+		},
+	})
+	// The Customer may live in a remote warehouse (15%); DORA handles it by
+	// simply routing the action to that warehouse's executor (§4.1.2). 60%
+	// of the time the customer is selected through the by-name secondary
+	// index; because that index contains the warehouse id, the action's
+	// identifier still covers the routing field and no secondary action is
+	// needed (§4.1.2's discussion of the Payment example).
+	tx.Add(0, &dora.Action{
+		Table: "CUSTOMER", Key: ik(in.cWID), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			return paymentCustomerUpdate(in,
+				func(pk storage.Key, fn func(storage.Tuple) (storage.Tuple, error)) error {
+					return s.Update("CUSTOMER", pk, fn)
+				},
+				func(key storage.Key) ([]engine.IndexMatch, error) {
+					return s.SecondaryLookup("CUSTOMER", "by_name", key)
+				},
+				func(rid storage.RID, fn func(storage.Tuple) (storage.Tuple, error)) error {
+					return s.UpdateRID("CUSTOMER", rid, fn)
+				})
+		},
+	})
+	tx.Add(1, &dora.Action{
+		Table: "HISTORY", Key: ik(in.wID), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			_, err := s.Insert("HISTORY", storage.Tuple{
+				storage.IntValue(d.historyID.Add(1)),
+				storage.IntValue(in.cID), storage.IntValue(in.cDID), storage.IntValue(in.cWID),
+				storage.IntValue(in.dID), storage.IntValue(in.wID),
+				storage.FloatValue(in.amount),
+			})
+			return err
+		},
+	})
+	return tx.Run()
+}
+
+// --- OrderStatus -----------------------------------------------------------
+
+func (d *Driver) orderStatusConventional(e *engine.Engine, txn *engine.Txn, in orderStatusInput, opt engine.AccessOptions) error {
+	cID := in.cID
+	if cID == 0 {
+		matches, err := e.SecondaryLookup(txn, "CUSTOMER", "by_name",
+			storage.EncodeKey(storage.IntValue(in.wID), storage.IntValue(in.dID), storage.StringValue(in.cLast)), opt)
+		if err != nil {
+			return err
+		}
+		if len(matches) == 0 {
+			return engine.ErrNotFound
+		}
+		rec, err := e.ProbeRID(txn, "CUSTOMER", matches[len(matches)/2].RID, opt)
+		if err != nil {
+			return err
+		}
+		cID = rec[2].Int
+	} else if _, err := e.Probe(txn, "CUSTOMER", ik(in.wID, in.dID, cID), opt); err != nil {
+		return err
+	}
+	oID, err := latestOrderOf(func(key storage.Key) ([]engine.IndexMatch, error) {
+		return e.SecondaryLookup(txn, "ORDERS", "by_customer", key, opt)
+	}, func(rid storage.RID) (storage.Tuple, error) {
+		return e.ProbeRID(txn, "ORDERS", rid, opt)
+	}, in.wID, in.dID, cID)
+	if err != nil {
+		return err
+	}
+	lines := 0
+	err = e.ScanPrefix(txn, "ORDER_LINE", ik(in.wID, in.dID, oID), opt, func(storage.Tuple) bool {
+		lines++
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	if lines == 0 {
+		return engine.ErrNotFound
+	}
+	return nil
+}
+
+// latestOrderOf finds the most recent order id of a customer via the
+// by-customer secondary index.
+func latestOrderOf(lookup func(storage.Key) ([]engine.IndexMatch, error), probe func(storage.RID) (storage.Tuple, error), wID, dID, cID int64) (int64, error) {
+	matches, err := lookup(ik(wID, dID, cID))
+	if err != nil {
+		return 0, err
+	}
+	if len(matches) == 0 {
+		return 0, engine.ErrNotFound
+	}
+	best := int64(-1)
+	for _, m := range matches {
+		rec, err := probe(m.RID)
+		if err != nil {
+			continue
+		}
+		if rec[2].Int > best {
+			best = rec[2].Int
+		}
+	}
+	if best < 0 {
+		return 0, engine.ErrNotFound
+	}
+	return best, nil
+}
+
+// orderStatusDORA: customer probe, then the last order, then its lines. All
+// identifiers contain the warehouse id; the phases encode the data
+// dependencies (customer id -> order id -> lines).
+func (d *Driver) orderStatusDORA(sys *dora.System, in orderStatusInput) error {
+	tx := sys.NewTransaction()
+	tx.Add(0, &dora.Action{
+		Table: "CUSTOMER", Key: ik(in.wID), Mode: dora.Shared,
+		Work: func(s *dora.Scope) error {
+			cID := in.cID
+			if cID == 0 {
+				matches, err := s.SecondaryLookup("CUSTOMER", "by_name",
+					storage.EncodeKey(storage.IntValue(in.wID), storage.IntValue(in.dID), storage.StringValue(in.cLast)))
+				if err != nil {
+					return err
+				}
+				if len(matches) == 0 {
+					return engine.ErrNotFound
+				}
+				rec, err := s.ProbeRID("CUSTOMER", matches[len(matches)/2].RID)
+				if err != nil {
+					return err
+				}
+				cID = rec[2].Int
+			} else if _, err := s.Probe("CUSTOMER", ik(in.wID, in.dID, cID)); err != nil {
+				return err
+			}
+			s.Put("c_id", cID)
+			return nil
+		},
+	})
+	tx.Add(1, &dora.Action{
+		Table: "ORDERS", Key: ik(in.wID), Mode: dora.Shared,
+		Work: func(s *dora.Scope) error {
+			v, ok := s.Get("c_id")
+			if !ok {
+				return errors.New("tpcc: customer phase did not run")
+			}
+			oID, err := latestOrderOf(func(key storage.Key) ([]engine.IndexMatch, error) {
+				return s.SecondaryLookup("ORDERS", "by_customer", key)
+			}, func(rid storage.RID) (storage.Tuple, error) {
+				return s.ProbeRID("ORDERS", rid)
+			}, in.wID, in.dID, v.(int64))
+			if err != nil {
+				return err
+			}
+			s.Put("o_id", oID)
+			return nil
+		},
+	})
+	tx.Add(2, &dora.Action{
+		Table: "ORDER_LINE", Key: ik(in.wID), Mode: dora.Shared,
+		Work: func(s *dora.Scope) error {
+			v, ok := s.Get("o_id")
+			if !ok {
+				return errors.New("tpcc: orders phase did not run")
+			}
+			lines := 0
+			err := s.ScanPrefix("ORDER_LINE", ik(in.wID, in.dID, v.(int64)), func(storage.Tuple) bool {
+				lines++
+				return true
+			})
+			if err != nil {
+				return err
+			}
+			if lines == 0 {
+				return engine.ErrNotFound
+			}
+			return nil
+		},
+	})
+	return tx.Run()
+}
+
+// --- NewOrder ---------------------------------------------------------------
+
+func (d *Driver) newOrderConventional(e *engine.Engine, txn *engine.Txn, in newOrderInput, opt engine.AccessOptions) error {
+	if _, err := e.Probe(txn, "WAREHOUSE", ik(in.wID), opt); err != nil {
+		return err
+	}
+	if _, err := e.Probe(txn, "CUSTOMER", ik(in.wID, in.dID, in.cID), opt); err != nil {
+		return err
+	}
+	var oID int64
+	if err := e.Update(txn, "DISTRICT", ik(in.wID, in.dID), opt, func(tu storage.Tuple) (storage.Tuple, error) {
+		oID = tu[5].Int
+		tu[5] = storage.IntValue(oID + 1)
+		return tu, nil
+	}); err != nil {
+		return err
+	}
+	// Validate items and compute amounts before inserting anything, so an
+	// invalid item aborts with minimal wasted work.
+	prices := make([]float64, len(in.items))
+	for i, item := range in.items {
+		rec, err := e.Probe(txn, "ITEM", ik(item), opt)
+		if err != nil {
+			return err
+		}
+		prices[i] = rec[2].Float
+	}
+	order := storage.Tuple{
+		storage.IntValue(in.wID), storage.IntValue(in.dID), storage.IntValue(oID),
+		storage.IntValue(in.cID), storage.IntValue(0), storage.IntValue(int64(len(in.items))),
+	}
+	if _, err := e.Insert(txn, "ORDERS", order, opt); err != nil {
+		return err
+	}
+	if _, err := e.Insert(txn, "NEW_ORDER", storage.Tuple{
+		storage.IntValue(in.wID), storage.IntValue(in.dID), storage.IntValue(oID),
+	}, opt); err != nil {
+		return err
+	}
+	for i, item := range in.items {
+		if err := e.Update(txn, "STOCK", ik(in.wID, item), opt, func(tu storage.Tuple) (storage.Tuple, error) {
+			q := tu[2].Int - in.quantities[i]
+			if q < 10 {
+				q += 91
+			}
+			tu[2] = storage.IntValue(q)
+			tu[3] = storage.IntValue(tu[3].Int + in.quantities[i])
+			tu[4] = storage.IntValue(tu[4].Int + 1)
+			return tu, nil
+		}); err != nil {
+			return err
+		}
+		line := storage.Tuple{
+			storage.IntValue(in.wID), storage.IntValue(in.dID), storage.IntValue(oID), storage.IntValue(int64(i + 1)),
+			storage.IntValue(item), storage.IntValue(in.quantities[i]),
+			storage.FloatValue(prices[i] * float64(in.quantities[i])),
+		}
+		if _, err := e.Insert(txn, "ORDER_LINE", line, opt); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// newOrderDORA: phase 0 reads the warehouse, customer, and items and
+// increments the district's next order id; phase 1 (after the RVP resolves
+// the order-id dependency) inserts the order, the new-order entry, the order
+// lines, and applies the stock updates. Actions touching the same dataset
+// (all the stock rows of the warehouse; all the order lines) are merged into
+// one action each, as their identifiers coincide.
+func (d *Driver) newOrderDORA(sys *dora.System, in newOrderInput) error {
+	tx := sys.NewTransaction()
+	tx.Add(0, &dora.Action{
+		Table: "WAREHOUSE", Key: ik(in.wID), Mode: dora.Shared,
+		Work: func(s *dora.Scope) error {
+			_, err := s.Probe("WAREHOUSE", ik(in.wID))
+			return err
+		},
+	})
+	tx.Add(0, &dora.Action{
+		Table: "CUSTOMER", Key: ik(in.wID), Mode: dora.Shared,
+		Work: func(s *dora.Scope) error {
+			_, err := s.Probe("CUSTOMER", ik(in.wID, in.dID, in.cID))
+			return err
+		},
+	})
+	tx.Add(0, &dora.Action{
+		Table: "DISTRICT", Key: ik(in.wID), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			var oID int64
+			err := s.Update("DISTRICT", ik(in.wID, in.dID), func(tu storage.Tuple) (storage.Tuple, error) {
+				oID = tu[5].Int
+				tu[5] = storage.IntValue(oID + 1)
+				return tu, nil
+			})
+			s.Put("o_id", oID)
+			return err
+		},
+	})
+	// One item-read action per distinct item: ITEM routes on the item id, so
+	// these actions spread over the ITEM executors.
+	prices := make([]float64, len(in.items))
+	for i, item := range in.items {
+		i, item := i, item
+		tx.Add(0, &dora.Action{
+			Table: "ITEM", Key: ik(item), Mode: dora.Shared,
+			Work: func(s *dora.Scope) error {
+				rec, err := s.Probe("ITEM", ik(item))
+				if err != nil {
+					return err
+				}
+				prices[i] = rec[2].Float
+				return nil
+			},
+		})
+	}
+	getOID := func(s *dora.Scope) (int64, error) {
+		v, ok := s.Get("o_id")
+		if !ok {
+			return 0, errors.New("tpcc: district phase did not run")
+		}
+		return v.(int64), nil
+	}
+	tx.Add(1, &dora.Action{
+		Table: "ORDERS", Key: ik(in.wID), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			oID, err := getOID(s)
+			if err != nil {
+				return err
+			}
+			_, err = s.Insert("ORDERS", storage.Tuple{
+				storage.IntValue(in.wID), storage.IntValue(in.dID), storage.IntValue(oID),
+				storage.IntValue(in.cID), storage.IntValue(0), storage.IntValue(int64(len(in.items))),
+			})
+			return err
+		},
+	})
+	tx.Add(1, &dora.Action{
+		Table: "NEW_ORDER", Key: ik(in.wID), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			oID, err := getOID(s)
+			if err != nil {
+				return err
+			}
+			_, err = s.Insert("NEW_ORDER", storage.Tuple{
+				storage.IntValue(in.wID), storage.IntValue(in.dID), storage.IntValue(oID),
+			})
+			return err
+		},
+	})
+	tx.Add(1, &dora.Action{
+		Table: "STOCK", Key: ik(in.wID), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			for i, item := range in.items {
+				if err := s.Update("STOCK", ik(in.wID, item), func(tu storage.Tuple) (storage.Tuple, error) {
+					q := tu[2].Int - in.quantities[i]
+					if q < 10 {
+						q += 91
+					}
+					tu[2] = storage.IntValue(q)
+					tu[3] = storage.IntValue(tu[3].Int + in.quantities[i])
+					tu[4] = storage.IntValue(tu[4].Int + 1)
+					return tu, nil
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	tx.Add(1, &dora.Action{
+		Table: "ORDER_LINE", Key: ik(in.wID), Mode: dora.Exclusive,
+		Work: func(s *dora.Scope) error {
+			oID, err := getOID(s)
+			if err != nil {
+				return err
+			}
+			for i, item := range in.items {
+				if _, err := s.Insert("ORDER_LINE", storage.Tuple{
+					storage.IntValue(in.wID), storage.IntValue(in.dID), storage.IntValue(oID), storage.IntValue(int64(i + 1)),
+					storage.IntValue(item), storage.IntValue(in.quantities[i]),
+					storage.FloatValue(prices[i] * float64(in.quantities[i])),
+				}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	})
+	return tx.Run()
+}

@@ -1,0 +1,129 @@
+// Package workload defines the common interface the benchmark harness uses to
+// drive the evaluation workloads of the paper (TM1/TATP, TPC-C, TPC-B) on
+// either execution system: the conventional Baseline (thread-to-transaction,
+// centralized locking) or DORA (thread-to-data, local locking).
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+)
+
+// TxnKind is one transaction type of a workload mix with its weight (relative
+// frequency, in percent or any consistent unit).
+type TxnKind struct {
+	Name   string
+	Weight int
+}
+
+// Mix is a weighted set of transaction kinds.
+type Mix []TxnKind
+
+// Pick selects a transaction kind according to the weights.
+func (m Mix) Pick(rng *rand.Rand) string {
+	total := 0
+	for _, k := range m {
+		total += k.Weight
+	}
+	if total == 0 {
+		return ""
+	}
+	n := rng.Intn(total)
+	for _, k := range m {
+		n -= k.Weight
+		if n < 0 {
+			return k.Name
+		}
+	}
+	return m[len(m)-1].Name
+}
+
+// Names returns the kind names in declaration order.
+func (m Mix) Names() []string {
+	out := make([]string, len(m))
+	for i, k := range m {
+		out[i] = k.Name
+	}
+	return out
+}
+
+// Driver is one benchmark workload: its schema, data generator, and
+// transaction implementations for both execution systems.
+type Driver interface {
+	// Name returns the workload name ("TM1", "TPC-C", "TPC-B").
+	Name() string
+	// CreateTables creates the workload's tables on the engine.
+	CreateTables(e *engine.Engine) error
+	// Load populates the tables. It must be called after CreateTables.
+	Load(e *engine.Engine, rng *rand.Rand) error
+	// BindDORA installs routing rules binding every table to executors.
+	BindDORA(sys *dora.System, executorsPerTable int) error
+	// Mix returns the workload's default transaction mix.
+	Mix() Mix
+	// RunBaseline executes one transaction of the given kind conventionally
+	// (thread-to-transaction, centralized locking). It returns ErrAborted
+	// wrapped errors for intentional aborts (invalid input per the benchmark
+	// specification) and other errors for system-level failures.
+	RunBaseline(e *engine.Engine, kind string, rng *rand.Rand, workerID int) error
+	// RunDORA executes one transaction of the given kind as a DORA
+	// transaction flow graph.
+	RunDORA(sys *dora.System, kind string, rng *rand.Rand, workerID int) error
+}
+
+// ErrAborted marks an intentional, benchmark-specified abort (for example
+// TM1's invalid-input aborts). Harnesses count these separately from errors.
+var ErrAborted = fmt.Errorf("workload: transaction aborted by input")
+
+// Registry of available workloads, keyed by lower-case name.
+var registry = map[string]func() Driver{}
+
+// Register adds a workload constructor. It is called from the workload
+// subpackages' init functions.
+func Register(name string, ctor func() Driver) {
+	registry[name] = ctor
+}
+
+// New instantiates a registered workload by name.
+func New(name string) (Driver, error) {
+	ctor, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown workload %q (have %v)", name, Names())
+	}
+	return ctor(), nil
+}
+
+// Names lists the registered workload names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NURand is the TPC-C non-uniform random function NURand(A, x, y) with C = 0,
+// used for customer and item selection.
+func NURand(rng *rand.Rand, a, x, y int64) int64 {
+	return ((rng.Int63n(a+1) | (x + rng.Int63n(y-x+1))) % (y - x + 1)) + x
+}
+
+// LastName builds the TPC-C customer last name for a number in [0, 999].
+func LastName(num int64) string {
+	syllables := []string{"BAR", "OUGHT", "ABLE", "PRI", "PRES", "ESE", "ANTI", "CALLY", "ATION", "EING"}
+	return syllables[num/100%10] + syllables[num/10%10] + syllables[num%10]
+}
+
+// RandomString returns a printable string of length n.
+func RandomString(rng *rand.Rand, n int) string {
+	const alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = alphabet[rng.Intn(len(alphabet))]
+	}
+	return string(b)
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMixPickRespectsWeights(t *testing.T) {
+	m := Mix{{Name: "a", Weight: 90}, {Name: "b", Weight: 10}}
+	rng := rand.New(rand.NewSource(1))
+	counts := map[string]int{}
+	for i := 0; i < 10000; i++ {
+		counts[m.Pick(rng)]++
+	}
+	if counts["a"] < 8500 || counts["b"] < 500 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if got := m.Names(); len(got) != 2 || got[0] != "a" {
+		t.Fatalf("Names = %v", got)
+	}
+	empty := Mix{}
+	if empty.Pick(rng) != "" {
+		t.Fatal("empty mix should pick nothing")
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	Register("test-wl", func() Driver { return nil })
+	if _, err := New("test-wl"); err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if _, err := New("missing"); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	found := false
+	for _, n := range Names() {
+		if n == "test-wl" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("registered workload not listed")
+	}
+}
+
+func TestNURandStaysInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	f := func(seed int64) bool {
+		_ = seed
+		v := NURand(rng, 1023, 1, 3000)
+		return v >= 1 && v <= 3000
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLastName(t *testing.T) {
+	if LastName(0) != "BARBARBAR" {
+		t.Fatalf("LastName(0) = %q", LastName(0))
+	}
+	if LastName(371) != "PRICALLYOUGHT" {
+		t.Fatalf("LastName(371) = %q", LastName(371))
+	}
+	seen := map[string]bool{}
+	for i := int64(0); i < 1000; i++ {
+		seen[LastName(i)] = true
+	}
+	if len(seen) != 1000 {
+		t.Fatalf("only %d distinct last names", len(seen))
+	}
+}
+
+func TestRandomString(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := RandomString(rng, 12)
+	if len(s) != 12 {
+		t.Fatalf("len = %d", len(s))
+	}
+	if strings.ContainsAny(s, " \x00") {
+		t.Fatal("unexpected characters")
+	}
+}
