@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# bench.sh — run the TM1 end-to-end throughput benchmarks and emit a JSON
+# summary so successive PRs accumulate a performance trajectory.
+#
+# Usage: ./bench.sh [output.json]
+#   BENCHTIME=2s ./bench.sh        # longer measurement interval
+set -euo pipefail
+
+out=${1:-BENCH_tm1.json}
+benchtime=${BENCHTIME:-1s}
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+go test -run '^$' -bench 'BenchmarkTM1Throughput|BenchmarkExecutorQueue|BenchmarkGroupCommit' \
+  -benchtime "$benchtime" . | tee "$raw"
+
+# Convert `name  iters  value ns/op  v1 unit1  v2 unit2 …` lines into JSON.
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+    printf "%s  {\"name\": \"%s\", \"iterations\": %s", sep, name, $2
+    for (i = 3; i + 1 <= NF; i += 2) {
+        unit = $(i + 1)
+        gsub(/[\\"]/, "", unit)
+        printf ", \"%s\": %s", unit, $i
+    }
+    printf "}"
+    sep = ",\n"
+}
+BEGIN { print "{" ; printf "  \"benchtime\": \"'"$benchtime"'\",\n  \"results\": [\n" }
+END   { print "\n  ]\n}" }
+' "$raw" > "$out"
+
+echo "wrote $out"

@@ -11,6 +11,7 @@ package dora_test
 import (
 	"errors"
 	"math/rand"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -19,6 +20,7 @@ import (
 	"dora/internal/harness"
 	"dora/internal/metrics"
 	"dora/internal/sim"
+	"dora/internal/wal"
 	"dora/internal/workload"
 	"dora/internal/workload/tm1"
 	"dora/internal/workload/tpcb"
@@ -381,6 +383,127 @@ func BenchmarkFig11_AbortPlans(b *testing.B) {
 		}
 		b.ReportMetric(s/p, "serial-over-parallel")
 	})
+}
+
+// --- Pipeline microbenchmarks ---------------------------------------------------
+
+// BenchmarkExecutorQueue measures the executor message pipeline: no-op
+// single-action transactions hammer a small executor pool, and the reported
+// latchacq/msg metric is the consumer-side queue-latch acquisitions per
+// message. The batched drain serves every pending message per acquisition,
+// so the value is below the 1.0 that the one-dequeue-per-message design pays.
+func BenchmarkExecutorQueue(b *testing.B) {
+	eng := dora.NewEngine(dora.EngineConfig{})
+	defer eng.Close()
+	if _, err := eng.CreateTable(dora.TableDef{
+		Name:       "Q",
+		Schema:     dora.NewSchema(dora.Column{Name: "id", Kind: dora.KindInt}),
+		PrimaryKey: []string{"id"},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	sys := dora.NewSystem(eng, dora.SystemConfig{})
+	defer sys.Stop()
+	if err := sys.BindTableInts("Q", 0, 1023, 4); err != nil {
+		b.Fatal(err)
+	}
+	var next atomic.Int64
+	b.SetParallelism(8) // overlapping submitters even on small hosts
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			k := next.Add(1) % 1024
+			tx := sys.NewTransaction()
+			tx.Add(0, &dora.Action{Table: "Q", Key: dora.Key(dora.Int(k)), Mode: dora.Shared,
+				Work: func(*dora.Scope) error { return nil }})
+			if err := tx.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.StopTimer()
+	st := sys.Stats()
+	if st.MessagesProcessed > 0 {
+		b.ReportMetric(float64(st.BatchesDrained)/float64(st.MessagesProcessed), "latchacq/msg")
+		b.ReportMetric(float64(st.MessagesProcessed)/float64(st.BatchesDrained), "msgs/batch")
+	}
+}
+
+// BenchmarkGroupCommit measures the WAL commit pipeline under concurrent
+// committers, with and without a modeled device-write latency. commits/flush
+// is the average commit group one device write makes durable.
+func BenchmarkGroupCommit(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		delay time.Duration
+	}{
+		{"NoDelay", 0},
+		{"100usDevice", 100 * time.Microsecond},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			m := wal.NewManager()
+			defer m.Close()
+			m.SetFlushDelay(cfg.delay)
+			var txn atomic.Uint64
+			b.SetParallelism(8) // overlapping committers even on small hosts
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					id := txn.Add(1)
+					lsn := m.Append(&wal.Record{Txn: wal.TxnID(id), Type: wal.RecCommit})
+					m.Flush(lsn)
+				}
+			})
+			b.StopTimer()
+			st := m.FlushStats()
+			if st.Flushes > 0 {
+				b.ReportMetric(float64(st.CommitsFlushed)/float64(st.Flushes), "commits/flush")
+			}
+		})
+	}
+}
+
+// BenchmarkTM1Throughput is the end-to-end comparison: the full TM1 mix on
+// Baseline and DORA with concurrent closed-loop clients. Besides ns/op (the
+// inverse of throughput), the DORA run reports the pipeline-efficiency
+// metrics: messages per queue drain and commits per log flush.
+func BenchmarkTM1Throughput(b *testing.B) {
+	env := benchTM1(b)
+	for _, sysKind := range []harness.SystemKind{harness.Baseline, harness.DORA} {
+		b.Run(sysKind.String(), func(b *testing.B) {
+			col := metrics.NewCollector()
+			env.Engine.SetCollector(col)
+			defer env.Engine.SetCollector(nil)
+			before := env.Engine.Log().FlushStats()
+			mix := env.Driver.Mix()
+			var seed atomic.Int64
+			b.SetParallelism(8) // concurrent closed-loop clients even on small hosts
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1) * 7919))
+				for pb.Next() {
+					kind := mix.Pick(rng)
+					var err error
+					if sysKind == harness.DORA {
+						err = env.Driver.RunDORA(env.DORA, kind, rng, 0)
+					} else {
+						err = env.Driver.RunBaseline(env.Engine, kind, rng, 0)
+					}
+					if err != nil && !isAbort(err) {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			after := env.Engine.Log().FlushStats()
+			if f := after.Flushes - before.Flushes; f > 0 {
+				b.ReportMetric(float64(after.CommitsFlushed-before.CommitsFlushed)/float64(f), "commits/flush")
+			}
+			if eb := col.ExecutorBatches(); eb.Count > 0 {
+				b.ReportMetric(eb.Mean(), "msgs/drain")
+			}
+		})
+	}
 }
 
 // --- Ablations -----------------------------------------------------------------

@@ -1,6 +1,8 @@
 package dora
 
 import (
+	"sync"
+
 	"dora/internal/engine"
 	"dora/internal/storage"
 )
@@ -148,3 +150,21 @@ type boundAction struct {
 
 // lockKey returns the identifier the executor's local lock table uses.
 func (b *boundAction) lockKey() storage.Key { return b.action.Key }
+
+// actionPool recycles boundActions; every dispatched action allocates one, so
+// the submission hot path pools them.
+var actionPool = sync.Pool{New: func() any { return new(boundAction) }}
+
+func newBoundAction(a *Action, flow *Transaction, phase int) *boundAction {
+	b := actionPool.Get().(*boundAction)
+	b.action, b.flow, b.phase = a, flow, phase
+	return b
+}
+
+// releaseBoundAction recycles an action that finished (executed or dropped).
+// It must never be called while the action is queued or parked on a wait
+// list, and callers must not touch the action afterwards.
+func releaseBoundAction(b *boundAction) {
+	*b = boundAction{}
+	actionPool.Put(b)
+}

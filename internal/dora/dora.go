@@ -196,8 +196,9 @@ func (s *System) RoutingBoundaries(table string) []storage.Key {
 	return out
 }
 
-// routeLocked picks the executor that owns the routing key. Caller holds at
-// least the read lock.
+// route picks the executor that owns the routing key. The caller must hold
+// the system's mu (read or write) so the boundaries and executors slices are
+// stable.
 func (te *tableExecutors) route(key storage.Key) *Executor {
 	idx := sort.Search(len(te.boundaries), func(i int) bool {
 		return string(key) < string(te.boundaries[i])
@@ -255,8 +256,18 @@ type Stats struct {
 	// ActionsBlocked is the number of actions that had to wait on a local
 	// lock before executing.
 	ActionsBlocked uint64
+	// ActionsWoken is the number of parked actions made runnable by
+	// local-lock releases.
+	ActionsWoken uint64
 	// LocalLockAcquisitions is the number of thread-local locks taken.
 	LocalLockAcquisitions uint64
+	// BatchesDrained is the number of queue drains across all executors; each
+	// drain costs one consumer-side latch acquisition.
+	BatchesDrained uint64
+	// MessagesProcessed is the number of queue messages handled across all
+	// executors. BatchesDrained/MessagesProcessed gives the consumer-side
+	// latch acquisitions per message.
+	MessagesProcessed uint64
 	// ExecutorCount is the number of executors across all tables.
 	ExecutorCount int
 }
@@ -271,7 +282,10 @@ func (s *System) Stats() Stats {
 			st := ex.Stats()
 			out.ActionsExecuted += st.ActionsExecuted
 			out.ActionsBlocked += st.ActionsBlocked
+			out.ActionsWoken += st.ActionsWoken
 			out.LocalLockAcquisitions += st.LocalLockAcquisitions
+			out.BatchesDrained += st.BatchesDrained
+			out.MessagesProcessed += st.MessagesProcessed
 			out.ExecutorCount++
 		}
 	}

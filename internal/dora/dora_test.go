@@ -52,7 +52,10 @@ func newBankSystem(t testing.TB, executors int) (*System, *engine.Engine) {
 	if err := sys.BindTableInts("history", 0, 99, executors); err != nil {
 		t.Fatalf("BindTableInts history: %v", err)
 	}
-	t.Cleanup(sys.Stop)
+	t.Cleanup(func() {
+		sys.Stop()
+		e.Close()
+	})
 	return sys, e
 }
 

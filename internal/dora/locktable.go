@@ -9,6 +9,10 @@ import "dora/internal/storage"
 // are equal) and at least one of the requests is exclusive. Local locks are
 // held until the owning transaction commits or aborts.
 //
+// Blocked actions are parked on the wait list of the entry that blocked them,
+// so releasing a transaction's locks returns exactly the actions that may now
+// be runnable — the executor never rescans unrelated blocked work.
+//
 // The table is accessed only by its executor goroutine, so it needs no
 // internal synchronization; that is precisely the "much lighter-weight
 // thread-local locking mechanism" the paper substitutes for the centralized
@@ -16,6 +20,8 @@ import "dora/internal/storage"
 type localLockTable struct {
 	// entries maps the exact identifier to its lock state.
 	entries map[string]*localLock
+	// waiting is the number of actions parked across all wait lists.
+	waiting int
 }
 
 // localLock is the state of one locked identifier.
@@ -25,6 +31,11 @@ type localLock struct {
 	// actions of the same transaction may re-acquire).
 	holders map[uint64]int
 	mode    Mode
+	// waiters holds the actions blocked on this entry, in arrival order. The
+	// owning executor retries them when the entry is released; an action that
+	// still conflicts elsewhere re-parks on the new blocking entry, so FIFO
+	// order within one identifier is preserved.
+	waiters []*boundAction
 }
 
 func newLocalLockTable() *localLockTable {
@@ -37,9 +48,9 @@ func prefixRelated(a, b storage.Key) bool {
 	return a.HasPrefix(b) || b.HasPrefix(a)
 }
 
-// conflicts reports whether a request (key, mode, txn) conflicts with an
-// existing entry held by a different transaction.
-func (lt *localLockTable) conflicts(key storage.Key, mode Mode, txn uint64) bool {
+// conflicting returns an entry that blocks a request (key, mode, txn) held by
+// a different transaction, or nil when the request can be granted.
+func (lt *localLockTable) conflicting(key storage.Key, mode Mode, txn uint64) *localLock {
 	for _, e := range lt.entries {
 		if !prefixRelated(key, e.key) {
 			continue
@@ -54,18 +65,13 @@ func (lt *localLockTable) conflicts(key storage.Key, mode Mode, txn uint64) bool
 				continue
 			}
 		}
-		return true
+		return e
 	}
-	return false
+	return nil
 }
 
-// acquire attempts to take the local lock. It returns false when the request
-// conflicts with a lock held by another transaction, in which case the caller
-// blocks the action.
-func (lt *localLockTable) acquire(key storage.Key, mode Mode, txn uint64) bool {
-	if lt.conflicts(key, mode, txn) {
-		return false
-	}
+// grant records the (conflict-free) acquisition.
+func (lt *localLockTable) grant(key storage.Key, mode Mode, txn uint64) {
 	ks := string(key)
 	e := lt.entries[ks]
 	if e == nil {
@@ -76,13 +82,68 @@ func (lt *localLockTable) acquire(key storage.Key, mode Mode, txn uint64) bool {
 	if mode == Exclusive {
 		e.mode = Exclusive
 	}
+}
+
+// acquire attempts to take the local lock. It returns false when the request
+// conflicts with a lock held by another transaction.
+func (lt *localLockTable) acquire(key storage.Key, mode Mode, txn uint64) bool {
+	if lt.conflicting(key, mode, txn) != nil {
+		return false
+	}
+	lt.grant(key, mode, txn)
 	return true
 }
 
-// release drops every local lock held by the transaction and returns the
-// number of entries released.
-func (lt *localLockTable) release(txn uint64) int {
+// acquireOrBlock attempts to take the action's local lock; on conflict it
+// parks the action on the blocking entry's wait list and returns false.
+func (lt *localLockTable) acquireOrBlock(a *boundAction) bool {
+	key, mode, txn := a.lockKey(), a.action.Mode, a.flow.txnID()
+	if blocker := lt.conflicting(key, mode, txn); blocker != nil {
+		blocker.waiters = append(blocker.waiters, a)
+		lt.waiting++
+		return false
+	}
+	lt.grant(key, mode, txn)
+	return true
+}
+
+// ungrant undoes an acquisition that was just granted but whose flow died
+// before the action could register as a participant. Only the new hold is
+// removed: any earlier holds stay (they imply the executor is a registered
+// participant, so the transaction's completion message — sent only after the
+// engine rollback finishes — performs the full release). Waiters are left
+// parked rather than run against a possibly still-rolling-back transaction;
+// an entry can only be left empty when it was freshly created by the undone
+// grant, in which case it has no waiters. The unreachable empty-with-waiters
+// case returns the waiters so the caller can requeue them instead of
+// stranding them.
+func (lt *localLockTable) ungrant(key storage.Key, txn uint64) []*boundAction {
+	ks := string(key)
+	e := lt.entries[ks]
+	if e == nil {
+		return nil
+	}
+	if e.holders[txn]--; e.holders[txn] <= 0 {
+		delete(e.holders, txn)
+	}
+	if len(e.holders) > 0 {
+		return nil
+	}
+	delete(lt.entries, ks)
+	lt.waiting -= len(e.waiters)
+	return e.waiters
+}
+
+// release drops every local lock held by the transaction. It returns the
+// number of entries released and the parked actions that may now be runnable:
+// exactly the wait lists of the entries whose holder set shrank, in per-entry
+// arrival order. Waiters of an entry that survives with other holders are
+// still retried — a shrinking holder set can unblock them (for example a
+// shared-to-exclusive upgrade whose only remaining obstacle was this
+// transaction); an action that still conflicts simply re-parks.
+func (lt *localLockTable) release(txn uint64) (int, []*boundAction) {
 	released := 0
+	var runnable []*boundAction
 	for ks, e := range lt.entries {
 		if _, held := e.holders[txn]; !held {
 			continue
@@ -96,8 +157,11 @@ func (lt *localLockTable) release(txn uint64) int {
 			// has a single holder), so downgrade.
 			e.mode = Shared
 		}
+		runnable = append(runnable, e.waiters...)
+		lt.waiting -= len(e.waiters)
+		e.waiters = nil
 	}
-	return released
+	return released, runnable
 }
 
 // held reports whether the transaction holds a local lock covering the key in
@@ -115,3 +179,6 @@ func (lt *localLockTable) held(key storage.Key, mode Mode, txn uint64) bool {
 
 // size returns the number of locked identifiers.
 func (lt *localLockTable) size() int { return len(lt.entries) }
+
+// waiterCount returns the number of actions parked across all wait lists.
+func (lt *localLockTable) waiterCount() int { return lt.waiting }

@@ -50,7 +50,7 @@ func TestLocalLockExclusiveConflicts(t *testing.T) {
 	if !lt.acquire(key(5), Exclusive, 1) {
 		t.Fatal("re-acquire by holder failed")
 	}
-	if n := lt.release(1); n != 1 {
+	if n, _ := lt.release(1); n != 1 {
 		t.Fatalf("release freed %d entries, want 1", n)
 	}
 	if !lt.acquire(key(5), Shared, 2) {
@@ -139,7 +139,7 @@ func TestLocalLockHeld(t *testing.T) {
 func TestLocalLockReleaseUnknownTxn(t *testing.T) {
 	lt := newLocalLockTable()
 	lt.acquire(key(1), Shared, 1)
-	if n := lt.release(42); n != 0 {
+	if n, _ := lt.release(42); n != 0 {
 		t.Fatalf("releasing unknown txn freed %d entries", n)
 	}
 	if lt.size() != 1 {

@@ -203,6 +203,7 @@ func (e *Executor) drainUntilQuiescent() {
 			return // executor stopping
 		}
 		e.handleCompletion(m.txnID)
+		releaseMessage(m)
 	}
 }
 

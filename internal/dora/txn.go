@@ -208,28 +208,37 @@ func (t *Transaction) submitPhase(idx int) {
 	}
 	var targets []target
 	var inline []*boundAction
+	// failSubmit recycles the not-yet-enqueued actions before aborting.
+	failSubmit := func(err error) {
+		for _, tg := range targets {
+			releaseBoundAction(tg.act)
+		}
+		for _, ba := range inline {
+			releaseBoundAction(ba)
+		}
+		t.fail(err)
+	}
 	for _, a := range phase {
-		ba := &boundAction{action: a, flow: t, phase: idx}
 		switch {
 		case a.Broadcast:
 			exs, err := t.sys.allExecutors(a.Table)
 			if err != nil {
-				t.fail(err)
+				failSubmit(err)
 				return
 			}
 			for _, ex := range exs {
-				targets = append(targets, target{ex: ex, act: &boundAction{action: a, flow: t, phase: idx}})
+				targets = append(targets, target{ex: ex, act: newBoundAction(a, t, idx)})
 			}
 		case len(a.Key) == 0:
 			// Secondary action: executed by the RVP-executing thread itself.
-			inline = append(inline, ba)
+			inline = append(inline, newBoundAction(a, t, idx))
 		default:
 			ex, err := t.sys.executorFor(a.Table, a.Key)
 			if err != nil {
-				t.fail(err)
+				failSubmit(err)
 				return
 			}
-			targets = append(targets, target{ex: ex, act: ba})
+			targets = append(targets, target{ex: ex, act: newBoundAction(a, t, idx)})
 		}
 	}
 	t.rvps[idx].remaining.Store(int32(len(targets) + len(inline)))
@@ -263,16 +272,26 @@ func (t *Transaction) submitPhase(idx int) {
 
 	// Secondary actions run on this thread (the previous phase's
 	// RVP-executing thread, or the dispatcher for phase 0).
-	for _, ba := range inline {
+	for i, ba := range inline {
 		if !t.running() {
+			recycleBoundActions(inline[i:])
 			return
 		}
 		scope := &Scope{flow: t, executor: nil}
 		if err := ba.action.Work(scope); err != nil {
 			t.fail(err)
+			recycleBoundActions(inline[i:])
 			return
 		}
 		t.actionDone(ba)
+		releaseBoundAction(ba)
+	}
+}
+
+// recycleBoundActions returns unexecuted actions to the pool.
+func recycleBoundActions(bas []*boundAction) {
+	for _, ba := range bas {
+		releaseBoundAction(ba)
 	}
 }
 
@@ -304,23 +323,27 @@ func (t *Transaction) registerParticipant(e *Executor) bool {
 	return true
 }
 
-// finalize commits the transaction: it calls the underlying storage engine's
-// commit (which forces the log), then enqueues completion messages to every
-// participating executor so they release their local locks (steps 9-12).
+// finalize commits the transaction: it hands the commit record to the
+// engine's group-commit pipeline and returns immediately, so the executor
+// that zeroed the terminal RVP keeps processing other transactions' actions
+// while the log flush is in flight. Once the commit record is durable, the
+// completion messages that release the local locks go out asynchronously
+// (steps 9-12 of Appendix A.1: one-off log flush, then async lock release).
 func (t *Transaction) finalize() {
 	if !t.state.CompareAndSwap(flowRunning, flowCommitted) {
 		return
 	}
-	err := t.sys.eng.Commit(t.txn)
-	if err != nil {
-		t.errMu.Lock()
-		t.err = err
-		t.errMu.Unlock()
-	} else if col := t.sys.collector(); col != nil {
-		col.TxnCommitted(time.Since(t.start))
-	}
-	t.broadcastCompletions()
-	close(t.done)
+	t.sys.eng.CommitAsync(t.txn, func(err error) {
+		if err != nil {
+			t.errMu.Lock()
+			t.err = err
+			t.errMu.Unlock()
+		} else if col := t.sys.collector(); col != nil {
+			col.TxnCommitted(time.Since(t.start))
+		}
+		t.broadcastCompletions()
+		close(t.done)
+	})
 }
 
 // fail aborts the transaction: the first failure wins, the engine rolls back

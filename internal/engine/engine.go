@@ -99,7 +99,9 @@ type Engine struct {
 	traceStart time.Time
 }
 
-// New creates an empty engine.
+// New creates an empty engine. The engine owns a background WAL flusher
+// goroutine; long-lived processes that create engines repeatedly should call
+// Close when done with each one.
 func New(cfg Config) *Engine {
 	frames := cfg.BufferPoolFrames
 	if frames <= 0 {
@@ -125,6 +127,10 @@ func New(cfg Config) *Engine {
 // pressure and by recovery tests).
 func (e *Engine) Log() *wal.Manager { return e.log }
 
+// Close releases the engine's background resources (the WAL group-commit
+// flusher). It must be called after all in-flight transactions finish.
+func (e *Engine) Close() { e.log.Close() }
+
 // LockManager exposes the centralized lock manager (used by DORA for the few
 // operations that still need centralized coordination, and by tests).
 func (e *Engine) LockManager() *lockmgr.Manager { return e.lm }
@@ -132,13 +138,14 @@ func (e *Engine) LockManager() *lockmgr.Manager { return e.lm }
 // BufferPool exposes the buffer pool (for statistics).
 func (e *Engine) BufferPool() *buffer.Pool { return e.pool }
 
-// SetCollector attaches a metrics collector to the engine and its lock
-// manager; nil detaches.
+// SetCollector attaches a metrics collector to the engine, its lock manager,
+// and its log manager; nil detaches.
 func (e *Engine) SetCollector(c *metrics.Collector) {
 	e.colMu.Lock()
 	e.col = c
 	e.colMu.Unlock()
 	e.lm.SetCollector(c)
+	e.log.SetCollector(c)
 }
 
 // Collector returns the attached metrics collector, which may be nil.

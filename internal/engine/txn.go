@@ -102,15 +102,50 @@ func (t *Txn) ensureActive() error {
 }
 
 // Commit makes the transaction durable: it forces the log up to the commit
-// record, applies deferred index cleanups, and releases the transaction's
-// centralized locks.
+// record (riding the group-commit flusher's next device write), applies
+// deferred index cleanups, and releases the transaction's centralized locks.
+// The caller blocks anyway, so it waits on the flush inline rather than
+// paying CommitAsync's relay goroutine.
 func (e *Engine) Commit(t *Txn) error {
 	if err := t.ensureActive(); err != nil {
 		return err
 	}
 	commitLSN := e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecCommit})
-	e.log.Flush(commitLSN)
+	if wait := e.log.FlushAsync(commitLSN); wait != nil {
+		<-wait
+	}
+	e.finishCommit(t)
+	return nil
+}
 
+// CommitAsync initiates a commit without blocking the caller on the log
+// flush: it appends the commit record and registers with the group-commit
+// flusher; once the record is durable, post-commit processing (index
+// cleanups, centralized lock release, the END record) runs and done(err) is
+// invoked, usually on a background goroutine. This is what lets a DORA
+// executor dispatch a commit and immediately continue with other
+// transactions' actions.
+func (e *Engine) CommitAsync(t *Txn, done func(error)) {
+	if err := t.ensureActive(); err != nil {
+		done(err)
+		return
+	}
+	commitLSN := e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecCommit})
+	wait := e.log.FlushAsync(commitLSN)
+	if wait == nil {
+		e.finishCommit(t)
+		done(nil)
+		return
+	}
+	go func() {
+		<-wait
+		e.finishCommit(t)
+		done(nil)
+	}()
+}
+
+// finishCommit runs post-commit processing once the commit record is durable.
+func (e *Engine) finishCommit(t *Txn) {
 	t.mu.Lock()
 	cleanups := t.onCommit
 	t.onCommit = nil
@@ -121,7 +156,6 @@ func (e *Engine) Commit(t *Txn) error {
 	}
 	e.lm.ReleaseAll(t.lockID())
 	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd})
-	return nil
 }
 
 // Abort rolls the transaction back: every change is undone youngest-first with

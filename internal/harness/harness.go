@@ -82,6 +82,18 @@ type Result struct {
 	LockMgr metrics.LockMgrBreakdown
 	// LocksPer100Txns is the Figure 5 census.
 	LocksPer100Txns map[metrics.LockClass]float64
+
+	// ExecutorBatches is the histogram of executor queue-drain batch sizes
+	// (messages served per queue-latch acquisition); empty for Baseline runs.
+	ExecutorBatches metrics.HistogramSnapshot
+	// FlushCoalescing is the histogram of commits made durable per log
+	// flush, as reported by the WAL group-commit flusher.
+	FlushCoalescing metrics.HistogramSnapshot
+	// LogFlushes is the number of log device writes during the run.
+	LogFlushes uint64
+	// CommitsPerFlush is the average commit group size during the run
+	// (commit waiters made durable / device writes).
+	CommitsPerFlush float64
 }
 
 // String renders a one-line summary.
@@ -119,11 +131,12 @@ func Setup(driver workload.Driver, executorsPerTable int, seed int64) (*Bench, e
 	return b, nil
 }
 
-// Close stops the DORA executors.
+// Close stops the DORA executors and the engine's background resources.
 func (b *Bench) Close() {
 	if b.DORA != nil {
 		b.DORA.Stop()
 	}
+	b.Engine.Close()
 }
 
 // Run executes one measurement run against the prepared environment.
@@ -141,6 +154,7 @@ func (b *Bench) Run(cfg Config) Result {
 	col := metrics.NewCollector()
 	b.Engine.SetCollector(col)
 	defer b.Engine.SetCollector(nil)
+	flushBefore := b.Engine.Log().FlushStats()
 
 	var committed, aborted, errs atomic.Uint64
 	var busyNanos atomic.Int64
@@ -204,6 +218,8 @@ func (b *Bench) Run(cfg Config) Result {
 		col.AddTime(metrics.Work, busy-accounted)
 	}
 
+	flushAfter := b.Engine.Log().FlushStats()
+
 	res := Result{
 		System:          cfg.System,
 		Workload:        b.Driver.Name(),
@@ -218,6 +234,12 @@ func (b *Bench) Run(cfg Config) Result {
 		Breakdown:       col.Breakdown(),
 		LockMgr:         col.LockMgrBreakdown(),
 		LocksPer100Txns: col.LocksPer100Txns(),
+		ExecutorBatches: col.ExecutorBatches(),
+		FlushCoalescing: col.FlushCoalescing(),
+		LogFlushes:      flushAfter.Flushes - flushBefore.Flushes,
+	}
+	if res.LogFlushes > 0 {
+		res.CommitsPerFlush = float64(flushAfter.CommitsFlushed-flushBefore.CommitsFlushed) / float64(res.LogFlushes)
 	}
 	return res
 }

@@ -87,6 +87,84 @@ func (c LockClass) String() string {
 	}
 }
 
+// histBucketCount is the number of power-of-two histogram buckets.
+const histBucketCount = 9
+
+// Histogram is a lock-free power-of-two histogram for small counts, such as
+// executor message-batch sizes and commits coalesced per log flush. Bucket 0
+// counts observations <= 1; bucket i (i >= 1) counts observations in
+// (2^(i-1), 2^i]; the last bucket absorbs everything larger.
+type Histogram struct {
+	buckets [histBucketCount]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+// Observe records one observation of n.
+func (h *Histogram) Observe(n int) {
+	if h == nil || n < 0 {
+		return
+	}
+	idx := 0
+	for 1<<idx < n && idx < histBucketCount-1 {
+		idx++
+	}
+	h.buckets[idx].Add(1)
+	h.count.Add(1)
+	h.sum.Add(uint64(n))
+}
+
+// reset zeroes the histogram.
+func (h *Histogram) reset() {
+	for i := range h.buckets {
+		h.buckets[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sum.Store(0)
+}
+
+// Snapshot returns a consistent-enough copy of the histogram.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{Count: h.count.Load(), Sum: h.sum.Load()}
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time view of a Histogram.
+type HistogramSnapshot struct {
+	// Count and Sum are the number of observations and their total.
+	Count uint64
+	Sum   uint64
+	// Buckets[i] counts the observations in the disjoint range
+	// (BucketBound(i-1), BucketBound(i)]; bucket 0 covers <= 1 and the last
+	// bucket is unbounded above.
+	Buckets [histBucketCount]uint64
+}
+
+// BucketBound returns the inclusive upper bound of bucket i; the final bucket
+// has no upper bound and returns 0.
+func (HistogramSnapshot) BucketBound(i int) int {
+	if i >= histBucketCount-1 {
+		return 0
+	}
+	return 1 << i
+}
+
+// Mean returns the average observation, or zero when nothing was observed.
+func (s HistogramSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// String renders the histogram as "mean=… n=…" for summaries.
+func (s HistogramSnapshot) String() string {
+	return fmt.Sprintf("mean=%.2f n=%d", s.Mean(), s.Count)
+}
+
 // Collector accumulates time and counter statistics for one experiment run.
 // It is safe for concurrent use by many worker goroutines.
 type Collector struct {
@@ -100,6 +178,11 @@ type Collector struct {
 
 	committed atomic.Uint64
 	aborted   atomic.Uint64
+
+	// Pipeline-efficiency histograms: how many messages each executor queue
+	// drain served, and how many commits each log flush made durable.
+	execBatches   Histogram
+	flushCoalesce Histogram
 
 	mu        sync.Mutex
 	latencies []time.Duration
@@ -146,6 +229,32 @@ func (m *Collector) AddRelease(useful, contention time.Duration) {
 	m.releaseContNanos.Add(int64(contention))
 	m.times[LockMgr].Add(int64(useful))
 	m.times[LockMgrContention].Add(int64(contention))
+}
+
+// ObserveExecutorBatch records the size of one executor queue drain.
+func (m *Collector) ObserveExecutorBatch(n int) {
+	if m == nil {
+		return
+	}
+	m.execBatches.Observe(n)
+}
+
+// ObserveFlushCoalesce records how many commits one log flush made durable.
+func (m *Collector) ObserveFlushCoalesce(n int) {
+	if m == nil {
+		return
+	}
+	m.flushCoalesce.Observe(n)
+}
+
+// ExecutorBatches returns the executor queue-drain batch-size histogram.
+func (m *Collector) ExecutorBatches() HistogramSnapshot {
+	return m.execBatches.Snapshot()
+}
+
+// FlushCoalescing returns the commits-per-log-flush histogram.
+func (m *Collector) FlushCoalescing() HistogramSnapshot {
+	return m.flushCoalesce.Snapshot()
 }
 
 // TxnCommitted records a committed transaction and its latency.
@@ -312,6 +421,8 @@ func (m *Collector) Reset() {
 	m.releaseContNanos.Store(0)
 	m.committed.Store(0)
 	m.aborted.Store(0)
+	m.execBatches.reset()
+	m.flushCoalesce.reset()
 	m.mu.Lock()
 	m.latencies = m.latencies[:0]
 	m.mu.Unlock()
@@ -332,5 +443,11 @@ func (m *Collector) String() string {
 	census := m.LockCensus()
 	fmt.Fprintf(&sb, " locks: row=%d higher=%d local=%d",
 		census[RowLock], census[HigherLevelLock], census[LocalLock])
+	if eb := m.ExecutorBatches(); eb.Count > 0 {
+		fmt.Fprintf(&sb, " exec-batch[%s]", eb)
+	}
+	if fc := m.FlushCoalescing(); fc.Count > 0 {
+		fmt.Fprintf(&sb, " flush-coalesce[%s]", fc)
+	}
 	return sb.String()
 }

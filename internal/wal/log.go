@@ -3,35 +3,77 @@ package wal
 import (
 	"sync"
 	"time"
+
+	"dora/internal/metrics"
 )
 
-// Manager is the log manager: it assigns LSNs, buffers log records, and
-// flushes them to the (simulated) log device on commit. The paper notes that
-// under TPC-C NewOrder/Payment and TPC-B the log manager becomes the next
-// bottleneck after the lock manager; to reproduce that pressure the manager
-// serializes flushes and can charge a configurable per-flush latency.
+// Manager is the log manager: it assigns LSNs, buffers log records, and makes
+// them durable through a pipelined group-commit protocol. The paper notes
+// that under TPC-C NewOrder/Payment and TPC-B the log manager becomes the
+// next bottleneck after the lock manager; instead of serializing every commit
+// through one mutex-held device write, committers append their commit record,
+// register a wakeup channel keyed by LSN, and a dedicated flusher goroutine
+// coalesces all pending commits into one device write. While the flusher is
+// paying the (configurable) device latency, new records keep accumulating in
+// the buffer, so the next write coalesces everything that arrived meanwhile.
 type Manager struct {
 	mu         sync.Mutex
 	buf        []byte // unflushed tail of the log
+	flushing   []byte // chunk the flusher is currently writing to the device
+	spare      []byte // recycled write buffer
 	device     []byte // flushed ("durable") log image
 	nextLSN    LSN
 	flushedLSN LSN
 	lastLSN    map[TxnID]LSN
+	waiters    []flushWaiter
+	col        *metrics.Collector
 
 	// flushDelay models the latency of a log device write (zero by default:
 	// the paper keeps the log on an in-memory file system).
 	flushDelay time.Duration
 
-	flushes uint64
-	appends uint64
+	flushes        uint64
+	appends        uint64
+	commitsFlushed uint64
+	maxCoalesced   uint64
+
+	// flushInProgress serializes device writes so a post-Close inline flush
+	// can never interleave with the flusher goroutine.
+	flushInProgress bool
+	flushDone       *sync.Cond
+
+	flushReq  chan struct{}
+	quit      chan struct{}
+	exited    chan struct{}
+	closeOnce sync.Once
 }
 
-// NewManager returns an empty log manager.
+// flushWaiter is one committer waiting for its LSN to become durable.
+type flushWaiter struct {
+	lsn LSN
+	ch  chan struct{}
+}
+
+// NewManager returns an empty log manager with its flusher goroutine running.
+// Call Close to stop the flusher once all commits have completed.
 func NewManager() *Manager {
-	return &Manager{
-		nextLSN: 1, // LSN 0 is NilLSN
-		lastLSN: make(map[TxnID]LSN),
+	m := &Manager{
+		nextLSN:  1, // LSN 0 is NilLSN
+		lastLSN:  make(map[TxnID]LSN),
+		flushReq: make(chan struct{}, 1),
+		quit:     make(chan struct{}),
+		exited:   make(chan struct{}),
 	}
+	m.flushDone = sync.NewCond(&m.mu)
+	go m.flusher()
+	return m
+}
+
+// Close stops the flusher goroutine after a final drain. It must be called
+// after all in-flight commits have completed; it is idempotent.
+func (m *Manager) Close() {
+	m.closeOnce.Do(func() { close(m.quit) })
+	<-m.exited
 }
 
 // SetFlushDelay sets a synthetic per-flush latency used to model log-device
@@ -40,6 +82,14 @@ func (m *Manager) SetFlushDelay(d time.Duration) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.flushDelay = d
+}
+
+// SetCollector attaches a metrics collector that receives the
+// commits-coalesced-per-flush histogram; nil detaches.
+func (m *Manager) SetCollector(c *metrics.Collector) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.col = c
 }
 
 // Append assigns the record an LSN, links it into its transaction's chain, and
@@ -56,7 +106,7 @@ func (m *Manager) Append(r *Record) LSN {
 		}
 	}
 	m.buf = r.encode(m.buf)
-	m.nextLSN = LSN(1 + len(m.device) + len(m.buf))
+	m.nextLSN = LSN(1 + len(m.device) + len(m.flushing) + len(m.buf))
 	m.appends++
 	return r.LSN
 }
@@ -68,29 +118,130 @@ func (m *Manager) LastLSN(txn TxnID) LSN {
 	return m.lastLSN[txn]
 }
 
-// Flush forces the log up to at least lsn. Group commit falls out naturally:
-// a single flush makes durable every record buffered by concurrent
-// transactions.
-func (m *Manager) Flush(lsn LSN) {
+// FlushAsync requests that the log become durable up to at least lsn. It
+// returns nil when lsn is already durable; otherwise it registers a wakeup
+// channel that the flusher closes once the covering device write completes.
+func (m *Manager) FlushAsync(lsn LSN) <-chan struct{} {
 	m.mu.Lock()
-	if lsn <= m.flushedLSN || len(m.buf) == 0 {
-		m.mu.Unlock()
-		return
+	if lsn >= m.nextLSN {
+		// Clamp FlushAll-style requests to the last appended byte so the
+		// waiter is satisfiable.
+		lsn = m.nextLSN - 1
 	}
-	delay := m.flushDelay
-	m.device = append(m.device, m.buf...)
-	m.buf = m.buf[:0]
-	m.flushedLSN = LSN(len(m.device))
-	m.flushes++
+	if lsn <= m.flushedLSN {
+		m.mu.Unlock()
+		return nil
+	}
+	ch := make(chan struct{})
+	m.waiters = append(m.waiters, flushWaiter{lsn: lsn, ch: ch})
 	m.mu.Unlock()
-	if delay > 0 {
-		time.Sleep(delay)
+	select {
+	case <-m.quit:
+		// The flusher has been asked to exit (post-Close commit); write the
+		// log ourselves so the waiter is not stranded.
+		<-m.exited
+		m.flushOnce()
+	default:
+		select {
+		case m.flushReq <- struct{}{}:
+		default: // a request is already pending; it covers this waiter
+		}
+	}
+	return ch
+}
+
+// Flush forces the log up to at least lsn, blocking until the group-commit
+// flusher reports it durable. Group commit falls out naturally: every
+// concurrently buffered record rides the same device write.
+func (m *Manager) Flush(lsn LSN) {
+	if ch := m.FlushAsync(lsn); ch != nil {
+		<-ch
 	}
 }
 
 // FlushAll forces the entire log.
 func (m *Manager) FlushAll() {
 	m.Flush(m.CurrentLSN())
+}
+
+// flusher is the dedicated group-commit goroutine.
+func (m *Manager) flusher() {
+	defer close(m.exited)
+	for {
+		select {
+		case <-m.flushReq:
+			m.flushOnce()
+		case <-m.quit:
+			m.flushOnce() // final drain so no registered waiter is stranded
+			return
+		}
+	}
+}
+
+// flushOnce coalesces the entire buffered tail into one device write, then
+// wakes every waiter the write covered. The modeled device latency is paid
+// without holding the manager mutex, so appends (and therefore the next
+// commit group) proceed while the write is in flight.
+func (m *Manager) flushOnce() {
+	m.mu.Lock()
+	for m.flushInProgress {
+		m.flushDone.Wait()
+	}
+	if len(m.buf) == 0 {
+		m.wakeLocked()
+		m.mu.Unlock()
+		return
+	}
+	m.flushInProgress = true
+	delay := m.flushDelay
+	m.flushing = m.buf
+	if m.spare != nil {
+		m.buf = m.spare[:0]
+		m.spare = nil
+	} else {
+		m.buf = nil
+	}
+	m.mu.Unlock()
+
+	if delay > 0 {
+		time.Sleep(delay) // the modeled device write
+	}
+
+	m.mu.Lock()
+	m.device = append(m.device, m.flushing...)
+	m.spare = m.flushing[:0]
+	m.flushing = nil
+	m.flushedLSN = LSN(len(m.device))
+	m.flushes++
+	woken := m.wakeLocked()
+	m.commitsFlushed += uint64(woken)
+	if uint64(woken) > m.maxCoalesced {
+		m.maxCoalesced = uint64(woken)
+	}
+	col := m.col
+	m.flushInProgress = false
+	m.flushDone.Broadcast()
+	m.mu.Unlock()
+	if col != nil {
+		col.ObserveFlushCoalesce(woken)
+	}
+}
+
+// wakeLocked closes the channel of every waiter whose LSN is durable and
+// compacts the list. The caller holds mu. It returns the number woken.
+func (m *Manager) wakeLocked() int {
+	woken := 0
+	remaining := m.waiters[:0]
+	for _, w := range m.waiters {
+		if w.lsn <= m.flushedLSN {
+			close(w.ch)
+			woken++
+		} else {
+			remaining = append(remaining, w)
+		}
+	}
+	m.waiters = remaining
+	return woken
 }
 
 // CurrentLSN returns the LSN that the next appended record will receive.
@@ -121,12 +272,39 @@ func (m *Manager) Appends() uint64 {
 	return m.appends
 }
 
-// Records decodes and returns every record currently in the log (durable and
-// buffered), in append order. It is used by rollback, recovery, and tests.
+// FlushStats reports the group-commit activity of the manager.
+type FlushStats struct {
+	// Appends is the number of records appended.
+	Appends uint64
+	// Flushes is the number of log device writes performed.
+	Flushes uint64
+	// CommitsFlushed is the number of registered commit waiters made durable
+	// across all flushes; CommitsFlushed/Flushes is the average group size.
+	CommitsFlushed uint64
+	// MaxCoalesced is the largest commit group a single flush made durable.
+	MaxCoalesced uint64
+}
+
+// FlushStats returns a snapshot of the group-commit counters.
+func (m *Manager) FlushStats() FlushStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return FlushStats{
+		Appends:        m.appends,
+		Flushes:        m.flushes,
+		CommitsFlushed: m.commitsFlushed,
+		MaxCoalesced:   m.maxCoalesced,
+	}
+}
+
+// Records decodes and returns every record currently in the log (durable,
+// in-flight, and buffered), in append order. It is used by rollback,
+// recovery, and tests.
 func (m *Manager) Records() ([]*Record, error) {
 	m.mu.Lock()
-	image := make([]byte, 0, len(m.device)+len(m.buf))
+	image := make([]byte, 0, len(m.device)+len(m.flushing)+len(m.buf))
 	image = append(image, m.device...)
+	image = append(image, m.flushing...)
 	image = append(image, m.buf...)
 	m.mu.Unlock()
 	var out []*Record

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"dora/internal/storage"
 )
@@ -212,6 +213,96 @@ func TestManagerConcurrentAppends(t *testing.T) {
 			t.Fatalf("duplicate LSN %d", r.LSN)
 		}
 		seen[r.LSN] = true
+	}
+}
+
+func TestGroupCommitCoalescesConcurrentCommits(t *testing.T) {
+	m := NewManager()
+	defer m.Close()
+	m.SetFlushDelay(time.Millisecond)
+
+	const goroutines = 8
+	const perG = 10
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				lsn := m.Append(&Record{Txn: TxnID(id*perG + i + 1), Type: RecCommit})
+				m.Flush(lsn)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := m.FlushStats()
+	// A committer whose LSN was already durable when it called Flush never
+	// registers a waiter, so CommitsFlushed may undercount slightly.
+	if st.CommitsFlushed == 0 || st.CommitsFlushed > goroutines*perG {
+		t.Fatalf("CommitsFlushed = %d, want in (0, %d]", st.CommitsFlushed, goroutines*perG)
+	}
+	if st.Flushes == 0 || st.Flushes >= goroutines*perG {
+		t.Fatalf("Flushes = %d, want coalescing (0 < flushes < %d)", st.Flushes, goroutines*perG)
+	}
+	if st.MaxCoalesced < 2 {
+		t.Fatalf("MaxCoalesced = %d, want >= 2", st.MaxCoalesced)
+	}
+	durable, err := m.DurableRecords()
+	if err != nil {
+		t.Fatalf("DurableRecords: %v", err)
+	}
+	if len(durable) != goroutines*perG {
+		t.Fatalf("durable records = %d, want %d", len(durable), goroutines*perG)
+	}
+}
+
+func TestFlushAsyncWakesAtDurability(t *testing.T) {
+	m := NewManager()
+	defer m.Close()
+	lsn := m.Append(&Record{Txn: 1, Type: RecCommit})
+	ch := m.FlushAsync(lsn)
+	if ch == nil {
+		t.Fatal("FlushAsync of an unflushed LSN returned nil")
+	}
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("flush wakeup never arrived")
+	}
+	if m.FlushedLSN() < lsn {
+		t.Fatalf("FlushedLSN = %d after wakeup, want >= %d", m.FlushedLSN(), lsn)
+	}
+	if m.FlushAsync(lsn) != nil {
+		t.Fatal("FlushAsync of a durable LSN should return nil")
+	}
+}
+
+func TestManagerCloseDrainsAndAllowsLateFlush(t *testing.T) {
+	m := NewManager()
+	m.Append(&Record{Txn: 1, Type: RecCommit})
+	m.Close()
+	m.Close() // idempotent
+
+	// A commit that races past Close must not strand: the committer flushes
+	// inline once the flusher has exited.
+	lsn := m.Append(&Record{Txn: 2, Type: RecCommit})
+	done := make(chan struct{})
+	go func() {
+		m.Flush(lsn)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("post-Close Flush hung")
+	}
+	durable, err := m.DurableRecords()
+	if err != nil {
+		t.Fatalf("DurableRecords: %v", err)
+	}
+	if len(durable) != 2 {
+		t.Fatalf("durable records = %d, want 2", len(durable))
 	}
 }
 
