@@ -11,6 +11,10 @@ benchtime=${BENCHTIME:-1s}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
 
+# Correctness gate before measuring anything: the full five-transaction TPC-C
+# mix must pass the consistency-invariant checker on both execution systems.
+go run ./cmd/dorabench -fig check -txns 800
+
 go test -run '^$' -bench 'BenchmarkTM1Throughput|BenchmarkExecutorQueue|BenchmarkGroupCommit' \
   -benchtime "$benchtime" . | tee "$raw"
 

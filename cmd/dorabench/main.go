@@ -46,7 +46,7 @@ type options struct {
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.fig, "fig", "all", "figure to regenerate: 1a,1b,1c,2,3,4,5,6,7,8,10,11 or 'all'")
+	flag.StringVar(&opt.fig, "fig", "all", "figure to regenerate: 1a,1b,1c,2,3,4,5,6,7,8,10,11,check or 'all'")
 	flag.IntVar(&opt.contexts, "contexts", 64, "simulated hardware contexts")
 	flag.DurationVar(&opt.quantum, "quantum", 10*time.Millisecond, "simulated OS scheduling quantum")
 	flag.DurationVar(&opt.simDuration, "sim-duration", 300*time.Millisecond, "simulated time per load point")
@@ -61,10 +61,10 @@ func main() {
 	figs := map[string]func(options) error{
 		"1a": fig1a, "1b": fig1bc, "1c": fig1bc, "2": fig2, "3": fig3,
 		"4": fig4, "5": fig5, "6": fig6, "7": fig7, "8": fig8,
-		"10": fig10, "11": fig11,
+		"10": fig10, "11": fig11, "check": figCheck,
 	}
 	if opt.fig == "all" {
-		order := []string{"1a", "1b", "2", "3", "4", "5", "6", "7", "8", "10", "11"}
+		order := []string{"1a", "1b", "2", "3", "4", "5", "6", "7", "8", "10", "11", "check"}
 		for _, f := range order {
 			if err := figs[f](opt); err != nil {
 				fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
@@ -185,7 +185,9 @@ func fig3(o options) error {
 		return err
 	}
 	defer env.Close()
-	res := env.Run(harness.Config{System: harness.Baseline, Workers: 4, TxnsPerWorker: o.txns / 4, Seed: o.seed})
+	// Performance figures skip the per-run invariant scan (it grows with the
+	// accumulated history); `-fig check` is the correctness gate.
+	res := env.Run(harness.Config{System: harness.Baseline, Workers: 4, TxnsPerWorker: o.txns / 4, Seed: o.seed, SkipCheck: true})
 	fmt.Printf("acquire=%.1f%% acquire_cont=%.1f%% release=%.1f%% release_cont=%.1f%% other=%.1f%%\n",
 		res.LockMgr.Acquire*100, res.LockMgr.AcquireContention*100,
 		res.LockMgr.Release*100, res.LockMgr.ReleaseContention*100, res.LockMgr.Other*100)
@@ -225,7 +227,7 @@ func fig5(o options) error {
 		}
 		for _, sys := range []harness.SystemKind{harness.Baseline, harness.DORA} {
 			res := env.Run(harness.Config{System: sys, Workers: 2, TxnsPerWorker: o.txns / 2,
-				Mix: w.mix, Seed: o.seed})
+				Mix: w.mix, Seed: o.seed, SkipCheck: true})
 			fmt.Printf("%s,%s,%.0f,%.0f,%.0f\n", w.name, sys,
 				res.LocksPer100Txns[metrics.RowLock],
 				res.LocksPer100Txns[metrics.HigherLevelLock],
@@ -270,6 +272,8 @@ func fig7(o options) error {
 		{"TPC-C Payment", newTPCC(o), tpcc.Payment},
 		{"TPC-C NewOrder", newTPCC(o), tpcc.NewOrder},
 		{"TPC-C OrderStatus", newTPCC(o), tpcc.OrderStatus},
+		{"TPC-C Delivery", newTPCC(o), tpcc.Delivery},
+		{"TPC-C StockLevel", newTPCC(o), tpcc.StockLevel},
 		{"TPC-B AccountUpdate", newTPCB(o), tpcb.AccountUpdate},
 	}
 	for _, en := range entries {
@@ -277,9 +281,24 @@ func fig7(o options) error {
 		if err != nil {
 			return err
 		}
+		// The TPC-C load ships every order delivered, so a pure-Delivery mix
+		// would measure empty district probes; seed enough undelivered orders
+		// before each system's measurement for the deliveries to do real work
+		// (each Delivery ships up to one order per district).
+		seedUndelivered := func() {
+			if en.kind != tpcc.Delivery {
+				return
+			}
+			env.Run(harness.Config{System: harness.Baseline, Workers: 2,
+				TxnsPerWorker: 10 * o.txns / 8,
+				Mix:           workload.Mix{{Name: tpcc.NewOrder, Weight: 100}},
+				Seed:          o.seed, SkipCheck: true})
+		}
 		mix := workload.Mix{{Name: en.kind, Weight: 100}}
-		base := env.Run(harness.Config{System: harness.Baseline, Workers: 1, TxnsPerWorker: o.txns / 4, Mix: mix, Seed: o.seed})
-		dra := env.Run(harness.Config{System: harness.DORA, Workers: 1, TxnsPerWorker: o.txns / 4, Mix: mix, Seed: o.seed})
+		seedUndelivered()
+		base := env.Run(harness.Config{System: harness.Baseline, Workers: 1, TxnsPerWorker: o.txns / 4, Mix: mix, Seed: o.seed, SkipCheck: true})
+		seedUndelivered()
+		dra := env.Run(harness.Config{System: harness.DORA, Workers: 1, TxnsPerWorker: o.txns / 4, Mix: mix, Seed: o.seed, SkipCheck: true})
 		norm := 0.0
 		if base.MeanLatency > 0 {
 			norm = float64(dra.MeanLatency) / float64(base.MeanLatency)
@@ -352,7 +371,7 @@ func collectTrace(o options, sys harness.SystemKind, txns int) ([]string, error)
 	env.Engine.SetTraceHook(rec.Record)
 	defer env.Engine.SetTraceHook(nil)
 	env.Run(harness.Config{System: sys, Workers: 10, TxnsPerWorker: txns / 10,
-		Mix: workload.Mix{{Name: tpcc.Payment, Weight: 100}}, Seed: o.seed})
+		Mix: workload.Mix{{Name: tpcc.Payment, Weight: 100}}, Seed: o.seed, SkipCheck: true})
 	var rows []string
 	for _, ev := range rec.Events() {
 		if ev.Table != "DISTRICT" {
@@ -401,6 +420,36 @@ func fig11(o options) error {
 	rate, n := env.DORA.ResourceManager().AbortRate(tm1.UpdateSubscriberData)
 	fmt.Printf("observed abort rate %.1f%% over %d txns -> plan %s\n",
 		rate*100, n, env.DORA.ResourceManager().PlanFor(tm1.UpdateSubscriberData))
+	return nil
+}
+
+// figCheck runs the full five-transaction TPC-C mix (45/43/4/4/4) end to end
+// on both execution systems and gates on the consistency-invariant checker:
+// any violated invariant fails the command. It is the correctness baseline
+// the performance figures rest on.
+func figCheck(o options) error {
+	header("Consistency check — TPC-C five-transaction mix, both systems")
+	fmt.Println("system,committed,aborted,errors,tps,invariants")
+	env, err := harness.Setup(newTPCC(o), o.executors, o.seed)
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+	for _, sys := range []harness.SystemKind{harness.Baseline, harness.DORA} {
+		res := env.Run(harness.Config{System: sys, Workers: 4, TxnsPerWorker: o.txns / 4, Seed: o.seed})
+		verdict := "ok"
+		if !res.Valid() {
+			verdict = res.InvariantErr.Error()
+		}
+		fmt.Printf("%s,%d,%d,%d,%.0f,%s\n",
+			sys, res.Committed, res.Aborted, res.Errors, res.Throughput, verdict)
+		if !res.Valid() {
+			return fmt.Errorf("%s run violated invariants: %w", sys, res.InvariantErr)
+		}
+		if res.Committed == 0 {
+			return fmt.Errorf("%s run committed nothing", sys)
+		}
+	}
 	return nil
 }
 

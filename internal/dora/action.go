@@ -2,6 +2,7 @@ package dora
 
 import (
 	"sync"
+	"time"
 
 	"dora/internal/engine"
 	"dora/internal/storage"
@@ -146,6 +147,11 @@ type boundAction struct {
 	action *Action
 	flow   *Transaction
 	phase  int
+	// waitTimer is armed the first time the action parks on a local-lock wait
+	// list; it fails the flow with ErrLockWaitTimeout if the action is still
+	// waiting when it fires (the cross-executor deadlock backstop). The field
+	// is only touched by the owning executor goroutine.
+	waitTimer *time.Timer
 }
 
 // lockKey returns the identifier the executor's local lock table uses.
@@ -165,6 +171,9 @@ func newBoundAction(a *Action, flow *Transaction, phase int) *boundAction {
 // It must never be called while the action is queued or parked on a wait
 // list, and callers must not touch the action afterwards.
 func releaseBoundAction(b *boundAction) {
+	if b.waitTimer != nil {
+		b.waitTimer.Stop()
+	}
 	*b = boundAction{}
 	actionPool.Put(b)
 }

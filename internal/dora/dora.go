@@ -49,6 +49,13 @@ var (
 	// ErrTxnTimeout is returned when a transaction exceeds the system's
 	// transaction timeout and is aborted.
 	ErrTxnTimeout = errors.New("dora: transaction timed out")
+	// ErrLockWaitTimeout aborts a transaction whose action stayed parked on a
+	// local-lock wait list longer than the system's lock-wait timeout. Local
+	// locks are partitioned per executor, so a cycle spanning executors is
+	// invisible to any single lock table; bounding the wait and aborting the
+	// victim is the deadlock-resolution mechanism. Workloads treat it as a
+	// retryable abort.
+	ErrLockWaitTimeout = errors.New("dora: local lock wait timed out (possible deadlock)")
 	// ErrSystemStopped is returned when work is submitted after Stop.
 	ErrSystemStopped = errors.New("dora: system stopped")
 )
@@ -58,6 +65,10 @@ type Config struct {
 	// TxnTimeout aborts transactions that run longer than this. Zero uses
 	// DefaultTxnTimeout.
 	TxnTimeout time.Duration
+	// LockWaitTimeout aborts a transaction when one of its actions waits on a
+	// local lock longer than this (the cross-executor deadlock backstop).
+	// Zero uses DefaultLockWaitTimeout.
+	LockWaitTimeout time.Duration
 	// DisableOrderedSubmission turns off the deadlock-avoidance mechanism of
 	// §4.2.3 (latching all target incoming queues in a strict executor order
 	// so a phase's submission appears atomic). It exists only for the
@@ -67,6 +78,14 @@ type Config struct {
 
 // DefaultTxnTimeout is the default transaction timeout.
 const DefaultTxnTimeout = 10 * time.Second
+
+// DefaultLockWaitTimeout is the default local-lock wait bound. It is generous
+// next to the microsecond-scale waits of healthy execution, so it fires only
+// for genuine cross-executor deadlocks: multi-phase flows that do not claim
+// their whole lock footprint in their first atomic submission (the TPC-C
+// drivers do, via claim actions, and are deadlock-free among themselves), or
+// routing-boundary moves re-homing a key between a transaction's phases.
+const DefaultLockWaitTimeout = time.Second
 
 // System is a DORA execution engine layered over a storage engine.
 type System struct {
@@ -97,6 +116,9 @@ type tableExecutors struct {
 func NewSystem(eng *engine.Engine, cfg Config) *System {
 	if cfg.TxnTimeout <= 0 {
 		cfg.TxnTimeout = DefaultTxnTimeout
+	}
+	if cfg.LockWaitTimeout <= 0 {
+		cfg.LockWaitTimeout = DefaultLockWaitTimeout
 	}
 	s := &System{
 		eng:    eng,

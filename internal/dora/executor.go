@@ -1,6 +1,7 @@
 package dora
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -302,7 +303,21 @@ func (e *Executor) tryExecute(a *boundAction) bool {
 	e.doraClockStop(start)
 	if !granted {
 		e.statBlocked.Add(1)
+		// First park arms the deadlock backstop; a woken action that re-parks
+		// elsewhere keeps its original wait budget. The closure captures the
+		// flow, not the pooled action, so a late firing against a recycled
+		// action can only re-fail an already-finished transaction (a no-op).
+		if a.waitTimer == nil {
+			flow, wait := a.flow, e.sys.cfg.LockWaitTimeout
+			a.waitTimer = time.AfterFunc(wait, func() {
+				flow.fail(fmt.Errorf("%w after %v", ErrLockWaitTimeout, wait))
+			})
+		}
 		return false
+	}
+	if a.waitTimer != nil {
+		a.waitTimer.Stop()
+		a.waitTimer = nil
 	}
 	// Register as a participant so the terminal completion message releases
 	// the lock just taken. If the flow died in the meantime, undo just this

@@ -48,22 +48,33 @@ func prefixRelated(a, b storage.Key) bool {
 	return a.HasPrefix(b) || b.HasPrefix(a)
 }
 
-// conflicting returns an entry that blocks a request (key, mode, txn) held by
-// a different transaction, or nil when the request can be granted.
+// conflicting returns an entry that blocks a request (key, mode, txn), or nil
+// when the request can be granted. Grants are fair in arrival order: a request
+// that is compatible with the current holders still parks behind already
+// waiting actions (otherwise a continuous stream of shared holders starves a
+// parked exclusive request forever — under the TPC-C mix, NewOrder's shared
+// warehouse/customer probes would starve Payment's exclusive updates). The
+// only exception is a transaction re-acquiring a lock it already holds, which
+// must never wait (multi-phase flows re-acquire their first phase's claims).
 func (lt *localLockTable) conflicting(key storage.Key, mode Mode, txn uint64) *localLock {
 	for _, e := range lt.entries {
 		if !prefixRelated(key, e.key) {
 			continue
 		}
-		if mode == Shared && e.mode == Shared {
-			continue
-		}
-		// Exclusive somewhere in the pair: conflict unless the only holder
-		// is the requesting transaction itself.
-		if len(e.holders) == 1 {
-			if _, own := e.holders[txn]; own {
+		if _, own := e.holders[txn]; own {
+			// Reentrant: shared-on-shared, or any mode while the requester is
+			// the sole holder. An upgrade alongside other shared holders still
+			// conflicts.
+			if (mode == Shared && e.mode == Shared) || len(e.holders) == 1 {
 				continue
 			}
+			return e
+		}
+		if len(e.waiters) > 0 {
+			return e
+		}
+		if mode == Shared && e.mode == Shared {
+			continue
 		}
 		return e
 	}

@@ -146,3 +146,40 @@ func TestLocalLockReleaseUnknownTxn(t *testing.T) {
 		t.Fatal("release of unknown txn disturbed the table")
 	}
 }
+
+func TestLocalLockFairnessNoSharedOvertaking(t *testing.T) {
+	lt := newLocalLockTable()
+	if !lt.acquire(key(1), Shared, 1) {
+		t.Fatal("first shared acquire failed")
+	}
+	// Park an exclusive waiter behind the shared holder (as acquireOrBlock
+	// does).
+	e := lt.entries[string(key(1))]
+	e.waiters = append(e.waiters, &boundAction{})
+	lt.waiting++
+	// A new shared request is compatible with the holder but must queue
+	// behind the parked exclusive — otherwise a continuous shared stream
+	// starves writers forever.
+	if lt.acquire(key(1), Shared, 2) {
+		t.Fatal("shared request overtook a parked exclusive waiter")
+	}
+	// The holder itself still re-acquires reentrantly: multi-phase flows
+	// re-take their first phase's claims and must never self-block.
+	if !lt.acquire(key(1), Shared, 1) {
+		t.Fatal("reentrant shared re-acquire blocked by a waiter")
+	}
+
+	lt2 := newLocalLockTable()
+	if !lt2.acquire(key(2), Exclusive, 7) {
+		t.Fatal("exclusive acquire failed")
+	}
+	e2 := lt2.entries[string(key(2))]
+	e2.waiters = append(e2.waiters, &boundAction{})
+	lt2.waiting++
+	if !lt2.acquire(key(2), Exclusive, 7) {
+		t.Fatal("reentrant exclusive re-acquire blocked by a waiter")
+	}
+	if lt2.acquire(key(2), Shared, 8) {
+		t.Fatal("shared granted over an exclusive holder")
+	}
+}

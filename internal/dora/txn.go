@@ -112,14 +112,24 @@ func (t *Transaction) Run() error {
 	if err := t.start_(); err != nil {
 		return err
 	}
+	t.await()
+	return t.Err()
+}
+
+// await blocks until the transaction finishes, aborting it if the transaction
+// timeout expires first. The timer is stopped on the normal path: time.After
+// would pin a timer for the full timeout per transaction, which at high
+// throughput accumulates millions of pending timers.
+func (t *Transaction) await() {
 	timeout := t.sys.cfg.TxnTimeout
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
 	select {
 	case <-t.done:
-	case <-time.After(timeout):
+	case <-timer.C:
 		t.fail(fmt.Errorf("%w after %v", ErrTxnTimeout, timeout))
 		<-t.done
 	}
-	return t.Err()
 }
 
 // RunAsync dispatches the transaction and returns a channel that receives the
@@ -131,13 +141,7 @@ func (t *Transaction) RunAsync() <-chan error {
 		return out
 	}
 	go func() {
-		timeout := t.sys.cfg.TxnTimeout
-		select {
-		case <-t.done:
-		case <-time.After(timeout):
-			t.fail(fmt.Errorf("%w after %v", ErrTxnTimeout, timeout))
-			<-t.done
-		}
+		t.await()
 		out <- t.Err()
 	}()
 	return out

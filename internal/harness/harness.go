@@ -59,6 +59,10 @@ type Config struct {
 	ExecutorsPerTable int
 	// Seed seeds the per-worker random generators.
 	Seed int64
+	// SkipCheck disables the post-run invariant check (for callers that run
+	// many back-to-back measurements on the same data and check once at the
+	// end).
+	SkipCheck bool
 }
 
 // Result is the measurement output of one run.
@@ -94,12 +98,25 @@ type Result struct {
 	// CommitsPerFlush is the average commit group size during the run
 	// (commit waiters made durable / device writes).
 	CommitsPerFlush float64
+
+	// InvariantErr is the post-run verdict of the workload's consistency
+	// checker (workload.Driver.Check): nil when every invariant holds. A
+	// non-nil value marks the run as failed regardless of its throughput.
+	InvariantErr error
 }
+
+// Valid reports whether the run's final database state passed the workload's
+// consistency checker.
+func (r Result) Valid() bool { return r.InvariantErr == nil }
 
 // String renders a one-line summary.
 func (r Result) String() string {
-	return fmt.Sprintf("%s/%s workers=%d tps=%.0f committed=%d aborted=%d mean=%s",
+	s := fmt.Sprintf("%s/%s workers=%d tps=%.0f committed=%d aborted=%d mean=%s",
 		r.Workload, r.System, r.Workers, r.Throughput, r.Committed, r.Aborted, r.MeanLatency)
+	if r.InvariantErr != nil {
+		s += fmt.Sprintf(" INVARIANT-VIOLATION: %v", r.InvariantErr)
+	}
+	return s
 }
 
 // Bench is a prepared experiment environment: a loaded engine plus an
@@ -241,6 +258,12 @@ func (b *Bench) Run(cfg Config) Result {
 	if res.LogFlushes > 0 {
 		res.CommitsPerFlush = float64(flushAfter.CommitsFlushed-flushBefore.CommitsFlushed) / float64(res.LogFlushes)
 	}
+	// Every worker has returned and DORA commits complete before Run()
+	// returns to the worker, so the engine is quiescent: run the workload's
+	// consistency checker and fail the result on a violation.
+	if !cfg.SkipCheck {
+		res.InvariantErr = b.Driver.Check(b.Engine)
+	}
 	return res
 }
 
@@ -254,7 +277,10 @@ type PeakResult struct {
 }
 
 // FindPeak runs the configuration at each worker count and returns the
-// highest-throughput run, modeling a perfectly tuned admission control.
+// highest-throughput run, modeling a perfectly tuned admission control. Runs
+// whose final state fails the workload's invariant checker stay in the sweep
+// (for diagnosis) but are never selected as the peak: a fast but wrong run is
+// not a result.
 func (b *Bench) FindPeak(cfg Config, workerCounts []int) PeakResult {
 	var out PeakResult
 	for _, w := range workerCounts {
@@ -262,7 +288,7 @@ func (b *Bench) FindPeak(cfg Config, workerCounts []int) PeakResult {
 		c.Workers = w
 		r := b.Run(c)
 		out.Sweep = append(out.Sweep, r)
-		if r.Throughput > out.Best.Throughput {
+		if r.Valid() && r.Throughput > out.Best.Throughput {
 			out.Best = r
 			out.WorkersAtPeak = w
 		}

@@ -1,14 +1,18 @@
 package harness
 
 import (
+	"errors"
+	"runtime"
 	"strings"
 	"testing"
 	"time"
 
+	"dora/internal/engine"
 	"dora/internal/metrics"
 	"dora/internal/workload"
 	"dora/internal/workload/tm1"
 	"dora/internal/workload/tpcb"
+	"dora/internal/workload/tpcc"
 )
 
 func setupTM1(t *testing.T) *Bench {
@@ -167,6 +171,105 @@ func TestDefaultWorkerSweep(t *testing.T) {
 	sweep := DefaultWorkerSweep()
 	if len(sweep) < 3 || sweep[0] != 1 {
 		t.Fatalf("sweep = %v", sweep)
+	}
+	// Strictly increasing, bounded by 4x GOMAXPROCS.
+	for i := 1; i < len(sweep); i++ {
+		if sweep[i] <= sweep[i-1] {
+			t.Fatalf("sweep not increasing: %v", sweep)
+		}
+	}
+	if max := sweep[len(sweep)-1]; max > 4*runtime.GOMAXPROCS(0) {
+		t.Fatalf("sweep peak %d exceeds 4x GOMAXPROCS", max)
+	}
+}
+
+// TestFindPeakOverDefaultSweep exercises the worker-sweep path end to end:
+// FindPeak driven by DefaultWorkerSweep must produce one valid result per
+// sweep entry and pick the best among them.
+func TestFindPeakOverDefaultSweep(t *testing.T) {
+	b := setupTM1(t)
+	sweep := DefaultWorkerSweep()
+	peak := b.FindPeak(Config{
+		System:        Baseline,
+		TxnsPerWorker: 5,
+		Mix:           workload.Mix{{Name: tm1.GetSubscriberData, Weight: 100}},
+		Seed:          2,
+	}, sweep)
+	if len(peak.Sweep) != len(sweep) {
+		t.Fatalf("sweep produced %d results, want %d", len(peak.Sweep), len(sweep))
+	}
+	for i, r := range peak.Sweep {
+		if r.Workers != sweep[i] {
+			t.Fatalf("sweep[%d] ran %d workers, want %d", i, r.Workers, sweep[i])
+		}
+		if !r.Valid() {
+			t.Fatalf("sweep[%d] violated invariants: %v", i, r.InvariantErr)
+		}
+	}
+	if peak.Best.Throughput <= 0 {
+		t.Fatal("no peak found over the default sweep")
+	}
+}
+
+// failCheckDriver wraps a real workload but reports an invariant violation
+// from Check, standing in for a run that corrupted the database.
+type failCheckDriver struct {
+	workload.Driver
+}
+
+var errInvariant = errors.New("synthetic invariant violation")
+
+func (failCheckDriver) Check(*engine.Engine) error { return errInvariant }
+
+func TestRunReportsInvariantViolation(t *testing.T) {
+	b, err := Setup(failCheckDriver{tm1.New(200)}, 2, 1)
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	defer b.Close()
+	cfg := Config{System: Baseline, Workers: 1, TxnsPerWorker: 5,
+		Mix: workload.Mix{{Name: tm1.GetSubscriberData, Weight: 100}}}
+	res := b.Run(cfg)
+	if res.Valid() || !errors.Is(res.InvariantErr, errInvariant) {
+		t.Fatalf("InvariantErr = %v, want the checker's verdict", res.InvariantErr)
+	}
+	if !strings.Contains(res.String(), "INVARIANT-VIOLATION") {
+		t.Fatalf("String() hides the violation: %s", res.String())
+	}
+	// A violating run must never be selected as the peak.
+	peak := b.FindPeak(cfg, []int{1, 2})
+	if len(peak.Sweep) != 2 {
+		t.Fatalf("sweep has %d entries", len(peak.Sweep))
+	}
+	if peak.Best.Throughput != 0 || peak.WorkersAtPeak != 0 {
+		t.Fatalf("invalid run selected as peak: %+v", peak.Best)
+	}
+	// SkipCheck suppresses the checker for mid-sweep measurements.
+	cfg.SkipCheck = true
+	if res := b.Run(cfg); res.InvariantErr != nil {
+		t.Fatalf("SkipCheck still ran the checker: %v", res.InvariantErr)
+	}
+}
+
+// TestRunChecksRealInvariants: the real drivers' checkers pass after honest
+// runs on both systems (the TPC-C five-transaction mix included).
+func TestRunChecksRealInvariants(t *testing.T) {
+	w := tpcc.New(2)
+	w.CustomersPerDistrict = 20
+	w.Items = 50
+	b, err := Setup(w, 2, 1)
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	defer b.Close()
+	for _, sys := range []SystemKind{Baseline, DORA} {
+		res := b.Run(Config{System: sys, Workers: 2, TxnsPerWorker: 60, Seed: 9})
+		if res.Committed == 0 {
+			t.Fatalf("%s committed nothing", sys)
+		}
+		if !res.Valid() {
+			t.Fatalf("%s run violated TPC-C invariants: %v", sys, res.InvariantErr)
+		}
 	}
 }
 

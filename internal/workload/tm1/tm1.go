@@ -203,6 +203,46 @@ func (d *Driver) Load(e *engine.Engine, rng *rand.Rand) error {
 	return nil
 }
 
+// Check implements workload.Driver: it verifies TM1's structural invariants
+// over a quiescent engine. The transactions never create or destroy
+// subscribers, so the population must stay intact, and InsertCallForwarding
+// only adds rows under an existing special facility, so every CALL_FORWARDING
+// row must keep a parent SPECIAL_FACILITY row.
+func (d *Driver) Check(e *engine.Engine) error {
+	txn := e.Begin()
+	defer e.Commit(txn)
+	opt := engine.DORARead() // quiescent engine: lock-free reads
+
+	subs := 0
+	if err := e.ScanTable(txn, "SUBSCRIBER", opt, func(storage.Tuple) bool {
+		subs++
+		return true
+	}); err != nil {
+		return err
+	}
+	if int64(subs) != d.Subscribers {
+		return fmt.Errorf("tm1: %d SUBSCRIBER rows, want %d", subs, d.Subscribers)
+	}
+
+	var checkErr error
+	if err := e.ScanTable(txn, "CALL_FORWARDING", opt, func(tu storage.Tuple) bool {
+		switch _, err := e.Probe(txn, "SPECIAL_FACILITY", sfKey(tu[0].Int, tu[1].Int), opt); {
+		case errors.Is(err, engine.ErrNotFound):
+			checkErr = fmt.Errorf("tm1: CALL_FORWARDING (%d,%d,%d) has no SPECIAL_FACILITY parent",
+				tu[0].Int, tu[1].Int, tu[2].Int)
+			return false
+		case err != nil:
+			// A system-level failure is not a referential-integrity verdict.
+			checkErr = err
+			return false
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	return checkErr
+}
+
 // BindDORA implements workload.Driver: every table is routed on the
 // subscriber id.
 func (d *Driver) BindDORA(sys *dora.System, executorsPerTable int) error {

@@ -8,6 +8,7 @@ import (
 
 	"dora/internal/dora"
 	"dora/internal/engine"
+	"dora/internal/storage"
 	"dora/internal/workload"
 )
 
@@ -286,4 +287,43 @@ func executedOn(sys *dora.System, table string) uint64 {
 		total += ex.Stats().ActionsExecuted
 	}
 	return total
+}
+
+func TestCheckInvariants(t *testing.T) {
+	d, e, sys := newLoaded(t, 300, true)
+	rng := rand.New(rand.NewSource(6))
+	for i := 0; i < 200; i++ {
+		kind := d.Mix().Pick(rng)
+		var err error
+		if i%2 == 0 {
+			err = d.RunDORA(sys, kind, rng, 0)
+		} else {
+			err = d.RunBaseline(e, kind, rng, 0)
+		}
+		if err != nil && !errors.Is(err, workload.ErrAborted) {
+			t.Fatalf("%s: %v", kind, err)
+		}
+	}
+	if err := d.Check(e); err != nil {
+		t.Fatalf("invariants after mixed run: %v", err)
+	}
+	// Orphan a CALL_FORWARDING row by removing its SPECIAL_FACILITY parent:
+	// the checker must notice.
+	txn := e.Begin()
+	var orphanSID, orphanSF int64 = -1, -1
+	e.ScanTable(txn, "CALL_FORWARDING", engine.Conventional(), func(tu storage.Tuple) bool {
+		orphanSID, orphanSF = tu[0].Int, tu[1].Int
+		return false
+	})
+	if orphanSID < 0 {
+		e.Commit(txn)
+		t.Skip("no CALL_FORWARDING rows in this seed")
+	}
+	if err := e.Delete(txn, "SPECIAL_FACILITY", sfKey(orphanSID, orphanSF), engine.Conventional()); err != nil {
+		t.Fatal(err)
+	}
+	e.Commit(txn)
+	if err := d.Check(e); err == nil {
+		t.Fatal("checker missed an orphaned CALL_FORWARDING row")
+	}
 }

@@ -140,6 +140,50 @@ func (d *Driver) Load(e *engine.Engine, rng *rand.Rand) error {
 	return nil
 }
 
+// Check implements workload.Driver: the TPC-B consistency condition. Every
+// committed AccountUpdate applies the same delta to one account, one teller,
+// and one branch and appends it to HISTORY, so on a quiescent engine the four
+// sums must agree (balances start at zero).
+func (d *Driver) Check(e *engine.Engine) error {
+	txn := e.Begin()
+	defer e.Commit(txn)
+	opt := engine.DORARead() // quiescent engine: lock-free reads
+
+	sum := func(table string, col int) (float64, error) {
+		total := 0.0
+		err := e.ScanTable(txn, table, opt, func(tu storage.Tuple) bool {
+			total += tu[col].Float
+			return true
+		})
+		return total, err
+	}
+	branches, err := sum("BRANCH", 1)
+	if err != nil {
+		return err
+	}
+	tellers, err := sum("TELLER", 2)
+	if err != nil {
+		return err
+	}
+	accounts, err := sum("ACCOUNT", 2)
+	if err != nil {
+		return err
+	}
+	history, err := sum("HISTORY", 4)
+	if err != nil {
+		return err
+	}
+	for _, other := range []struct {
+		name string
+		got  float64
+	}{{"BRANCH", branches}, {"TELLER", tellers}, {"ACCOUNT", accounts}} {
+		if !workload.FloatClose(other.got, history) {
+			return fmt.Errorf("tpcb: Σ %s balance %.2f != Σ HISTORY delta %.2f", other.name, other.got, history)
+		}
+	}
+	return nil
+}
+
 // BindDORA implements workload.Driver.
 func (d *Driver) BindDORA(sys *dora.System, executorsPerTable int) error {
 	for _, table := range []string{"BRANCH", "TELLER", "ACCOUNT", "HISTORY"} {

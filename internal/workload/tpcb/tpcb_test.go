@@ -171,3 +171,37 @@ func TestRemoteAccountFraction(t *testing.T) {
 		t.Fatalf("remote account fraction = %.3f, want about 0.15", frac)
 	}
 }
+
+func TestCheckBalanceConservation(t *testing.T) {
+	d, e, sys := newLoaded(t, 4, true)
+	if err := d.Check(e); err != nil {
+		t.Fatalf("freshly loaded database fails checker: %v", err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 150; i++ {
+		var err error
+		if i%2 == 0 {
+			err = d.RunDORA(sys, AccountUpdate, rng, 0)
+		} else {
+			err = d.RunBaseline(e, AccountUpdate, rng, 0)
+		}
+		if err != nil && !errors.Is(err, workload.ErrAborted) {
+			t.Fatalf("AccountUpdate: %v", err)
+		}
+	}
+	if err := d.Check(e); err != nil {
+		t.Fatalf("conservation violated after mixed run: %v", err)
+	}
+	// Skim a branch: Σ BRANCH no longer matches Σ HISTORY.
+	txn := e.Begin()
+	if err := e.Update(txn, "BRANCH", bk(1), engine.Conventional(), func(tu storage.Tuple) (storage.Tuple, error) {
+		tu[1] = storage.FloatValue(tu[1].Float + 500)
+		return tu, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Commit(txn)
+	if err := d.Check(e); err == nil {
+		t.Fatal("checker missed a skimmed branch balance")
+	}
+}

@@ -1,0 +1,147 @@
+package tpcc
+
+import (
+	"fmt"
+
+	"dora/internal/engine"
+	"dora/internal/storage"
+	"dora/internal/workload"
+)
+
+// wd identifies a district; wdo identifies an order.
+type wd struct{ w, d int64 }
+type wdo struct {
+	w, d, o int64
+}
+
+// Check implements workload.Driver: it verifies the TPC-C consistency
+// conditions (§3.3.2) the five transactions must preserve, over a quiescent
+// engine:
+//
+//  1. W_YTD = Σ D_YTD over the warehouse's districts (Payment conservation).
+//  2. D_NEXT_O_ID - 1 = max(O_ID) of the district's ORDERS rows, and every
+//     NEW_ORDER entry references an existing order id at most that large
+//     (NewOrder increments and inserts atomically).
+//  3. The district's NEW_ORDER entries are contiguous:
+//     count = max(NO_O_ID) - min(NO_O_ID) + 1 (Delivery removes oldest-first).
+//  4. For every order, O_OL_CNT equals its ORDER_LINE row count, and every
+//     ORDER_LINE row belongs to an existing order.
+func (d *Driver) Check(e *engine.Engine) error {
+	txn := e.Begin()
+	defer e.Commit(txn)
+	// The engine is quiescent, so the reads skip locking entirely (the same
+	// access mode DORA probes use).
+	opt := engine.DORARead()
+
+	wYTD := make(map[int64]float64)
+	if err := e.ScanTable(txn, "WAREHOUSE", opt, func(tu storage.Tuple) bool {
+		wYTD[tu[0].Int] = tu[3].Float
+		return true
+	}); err != nil {
+		return err
+	}
+
+	dYTDSum := make(map[int64]float64)
+	nextOID := make(map[wd]int64)
+	if err := e.ScanTable(txn, "DISTRICT", opt, func(tu storage.Tuple) bool {
+		dYTDSum[tu[0].Int] += tu[4].Float
+		nextOID[wd{tu[0].Int, tu[1].Int}] = tu[5].Int
+		return true
+	}); err != nil {
+		return err
+	}
+
+	maxOID := make(map[wd]int64)
+	olCnt := make(map[wdo]int64)
+	if err := e.ScanTable(txn, "ORDERS", opt, func(tu storage.Tuple) bool {
+		key := wd{tu[0].Int, tu[1].Int}
+		if tu[2].Int > maxOID[key] {
+			maxOID[key] = tu[2].Int
+		}
+		olCnt[wdo{tu[0].Int, tu[1].Int, tu[2].Int}] = tu[5].Int
+		return true
+	}); err != nil {
+		return err
+	}
+
+	type noStats struct {
+		min, max, count int64
+	}
+	newOrders := make(map[wd]*noStats)
+	if err := e.ScanTable(txn, "NEW_ORDER", opt, func(tu storage.Tuple) bool {
+		key := wd{tu[0].Int, tu[1].Int}
+		st := newOrders[key]
+		if st == nil {
+			st = &noStats{min: tu[2].Int, max: tu[2].Int}
+			newOrders[key] = st
+		}
+		if tu[2].Int < st.min {
+			st.min = tu[2].Int
+		}
+		if tu[2].Int > st.max {
+			st.max = tu[2].Int
+		}
+		st.count++
+		return true
+	}); err != nil {
+		return err
+	}
+
+	lineCount := make(map[wdo]int64)
+	if err := e.ScanTable(txn, "ORDER_LINE", opt, func(tu storage.Tuple) bool {
+		lineCount[wdo{tu[0].Int, tu[1].Int, tu[2].Int}]++
+		return true
+	}); err != nil {
+		return err
+	}
+
+	// Condition 1: warehouse YTD conservation.
+	for w, ytd := range wYTD {
+		if !workload.FloatClose(ytd, dYTDSum[w]) {
+			return fmt.Errorf("tpcc: warehouse %d W_YTD=%.2f but Σ D_YTD=%.2f", w, ytd, dYTDSum[w])
+		}
+	}
+
+	// Conditions 2 and 3: next-order-id and NEW_ORDER consistency.
+	for key, next := range nextOID {
+		if got := maxOID[key]; got != next-1 {
+			return fmt.Errorf("tpcc: district (%d,%d) D_NEXT_O_ID=%d but max ORDERS o_id=%d",
+				key.w, key.d, next, got)
+		}
+		st := newOrders[key]
+		if st == nil {
+			continue // all orders delivered
+		}
+		if st.max > next-1 {
+			return fmt.Errorf("tpcc: district (%d,%d) NEW_ORDER max=%d beyond D_NEXT_O_ID-1=%d",
+				key.w, key.d, st.max, next-1)
+		}
+		if st.count != st.max-st.min+1 {
+			return fmt.Errorf("tpcc: district (%d,%d) NEW_ORDER not contiguous: count=%d span=[%d,%d]",
+				key.w, key.d, st.count, st.min, st.max)
+		}
+		// The span is contiguous, so every NEW_ORDER entry is one of
+		// min..max: each must reference an existing order.
+		for o := st.min; o <= st.max; o++ {
+			if _, ok := olCnt[wdo{key.w, key.d, o}]; !ok {
+				return fmt.Errorf("tpcc: district (%d,%d) NEW_ORDER %d has no ORDERS row",
+					key.w, key.d, o)
+			}
+		}
+	}
+
+	// Condition 4: order-line counts.
+	for key, want := range olCnt {
+		if got := lineCount[key]; got != want {
+			return fmt.Errorf("tpcc: order (%d,%d,%d) O_OL_CNT=%d but %d ORDER_LINE rows",
+				key.w, key.d, key.o, want, got)
+		}
+	}
+	for key := range lineCount {
+		if _, ok := olCnt[key]; !ok {
+			return fmt.Errorf("tpcc: ORDER_LINE rows of (%d,%d,%d) have no ORDERS row",
+				key.w, key.d, key.o)
+		}
+	}
+	return nil
+}

@@ -79,10 +79,14 @@ func TestMixPicksAllKinds(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		counts[d.Mix().Pick(rng)]++
 	}
-	for _, k := range []string{Payment, OrderStatus, NewOrder} {
+	for _, k := range []string{Payment, OrderStatus, NewOrder, Delivery, StockLevel} {
 		if counts[k] == 0 {
 			t.Fatalf("kind %s never picked", k)
 		}
+	}
+	// The standard 45/43/4/4/4 weights: NewOrder and Payment dominate.
+	if counts[NewOrder] < 4*counts[Delivery] || counts[Payment] < 4*counts[StockLevel] {
+		t.Fatalf("mix weights look wrong: %v", counts)
 	}
 }
 

@@ -6,6 +6,7 @@ package workload
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sort"
 
@@ -72,6 +73,13 @@ type Driver interface {
 	// RunDORA executes one transaction of the given kind as a DORA
 	// transaction flow graph.
 	RunDORA(sys *dora.System, kind string, rng *rand.Rand, workerID int) error
+	// Check verifies the workload's consistency invariants over the loaded
+	// database (for TPC-C, the §3.3.2 consistency conditions; for TPC-B, the
+	// balance/history conservation law; for TM1, referential integrity). It
+	// must be called on a quiescent engine — after a run finished or after
+	// recovery — and returns nil when every invariant holds. Both execution
+	// systems must leave a state that passes the same checks.
+	Check(e *engine.Engine) error
 }
 
 // ErrAborted marks an intentional, benchmark-specified abort (for example
@@ -104,6 +112,15 @@ func Names() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// FloatClose compares monetary sums to within a cent. The tolerance is
+// absolute, not relative: the checkers exist to catch lost updates, whose
+// smallest interesting magnitude is a transaction amount (dollars), while
+// float64 summation error over any realistic run stays far below 0.01. The
+// invariant checkers share it so every workload applies the same tolerance.
+func FloatClose(a, b float64) bool {
+	return math.Abs(a-b) <= 0.01
 }
 
 // NURand is the TPC-C non-uniform random function NURand(A, x, y) with C = 0,
