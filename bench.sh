@@ -1,12 +1,15 @@
 #!/usr/bin/env bash
-# bench.sh — run the TM1 end-to-end throughput benchmarks and emit a JSON
-# summary so successive PRs accumulate a performance trajectory.
+# bench.sh — run the end-to-end throughput benchmarks and emit JSON summaries
+# so successive PRs accumulate a performance trajectory: BENCH_tm1.json for
+# the TM1 mix and pipeline microbenchmarks, BENCH_tpcc.json for the TPC-C
+# secondary-phase A/B (serial vs parallel secondaries) and allocation counts.
 #
-# Usage: ./bench.sh [output.json]
+# Usage: ./bench.sh [tm1-output.json] [tpcc-output.json]
 #   BENCHTIME=2s ./bench.sh        # longer measurement interval
 set -euo pipefail
 
-out=${1:-BENCH_tm1.json}
+out_tm1=${1:-BENCH_tm1.json}
+out_tpcc=${2:-BENCH_tpcc.json}
 benchtime=${BENCHTIME:-1s}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -15,25 +18,32 @@ trap 'rm -f "$raw"' EXIT
 # mix must pass the consistency-invariant checker on both execution systems.
 go run ./cmd/dorabench -fig check -txns 800
 
+# Convert `name  iters  value ns/op  v1 unit1  v2 unit2 …` lines into JSON.
+bench_to_json() {
+  awk '
+  /^Benchmark/ {
+      name = $1
+      sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
+      printf "%s  {\"name\": \"%s\", \"iterations\": %s", sep, name, $2
+      for (i = 3; i + 1 <= NF; i += 2) {
+          unit = $(i + 1)
+          gsub(/[\\"]/, "", unit)
+          printf ", \"%s\": %s", unit, $i
+      }
+      printf "}"
+      sep = ",\n"
+  }
+  BEGIN { print "{" ; printf "  \"benchtime\": \"'"$benchtime"'\",\n  \"results\": [\n" }
+  END   { print "\n  ]\n}" }
+  ' "$1" > "$2"
+}
+
 go test -run '^$' -bench 'BenchmarkTM1Throughput|BenchmarkExecutorQueue|BenchmarkGroupCommit' \
   -benchtime "$benchtime" . | tee "$raw"
+bench_to_json "$raw" "$out_tm1"
+echo "wrote $out_tm1"
 
-# Convert `name  iters  value ns/op  v1 unit1  v2 unit2 …` lines into JSON.
-awk '
-/^Benchmark/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)  # strip the GOMAXPROCS suffix
-    printf "%s  {\"name\": \"%s\", \"iterations\": %s", sep, name, $2
-    for (i = 3; i + 1 <= NF; i += 2) {
-        unit = $(i + 1)
-        gsub(/[\\"]/, "", unit)
-        printf ", \"%s\": %s", unit, $i
-    }
-    printf "}"
-    sep = ",\n"
-}
-BEGIN { print "{" ; printf "  \"benchtime\": \"'"$benchtime"'\",\n  \"results\": [\n" }
-END   { print "\n  ]\n}" }
-' "$raw" > "$out"
-
-echo "wrote $out"
+go test -run '^$' -bench 'BenchmarkSecondaryPhase|BenchmarkTxnStartAllocs' -benchmem \
+  -benchtime "$benchtime" . | tee "$raw"
+bench_to_json "$raw" "$out_tpcc"
+echo "wrote $out_tpcc"

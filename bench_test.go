@@ -506,6 +506,96 @@ func BenchmarkTM1Throughput(b *testing.B) {
 	}
 }
 
+// BenchmarkSecondaryPhase is the intra-transaction-parallelism A/B on the
+// secondary-heavy skewed mix: every Payment/OrderStatus selects the customer
+// by last name (a secondary resolve-then-forward action), warehouses are
+// drawn zipfian so one warehouse is hot, and Delivery fans ten per-district
+// probes into its second phase. Serial forces the secondaries onto the RVP
+// threads (the old behavior); Parallel dispatches them to the resolver pool.
+// Lower ns/op and a lower critpath_us mean the secondaries left the critical
+// path. Run with ≥4 concurrent clients via SetParallelism.
+func BenchmarkSecondaryPhase(b *testing.B) {
+	mix := workload.Mix{
+		{Name: tpcc.NewOrder, Weight: 20},
+		{Name: tpcc.Payment, Weight: 35},
+		{Name: tpcc.OrderStatus, Weight: 35},
+		{Name: tpcc.Delivery, Weight: 10},
+	}
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{
+		{"Serial", true},
+		{"Parallel", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			w := tpcc.New(4)
+			w.CustomersPerDistrict = 60
+			w.Items = 200
+			w.ByNamePercent = 100
+			w.WarehouseZipfTheta = workload.ZipfianTheta
+			env, err := harness.Setup(w, 4, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer env.Close()
+			if err := env.RebindDORA(dora.SystemConfig{SerialSecondaries: mode.serial}, 4); err != nil {
+				b.Fatal(err)
+			}
+			col := metrics.NewCollector()
+			env.Engine.SetCollector(col)
+			defer env.Engine.SetCollector(nil)
+			var seed atomic.Int64
+			b.SetParallelism(8) // >= 4 concurrent closed-loop clients
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				rng := rand.New(rand.NewSource(seed.Add(1) * 104729))
+				for pb.Next() {
+					kind := mix.Pick(rng)
+					if err := env.Driver.RunDORA(env.DORA, kind, rng, 0); err != nil && !isAbort(err) {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.StopTimer()
+			b.ReportMetric(col.CriticalPath().Mean(), "critpath_us")
+			b.ReportMetric(col.RVPThreadTime().Mean(), "rvpthread_us")
+			st := env.DORA.Stats()
+			if n := float64(b.N); n > 0 {
+				b.ReportMetric(float64(st.SecondariesParallel+st.SecondariesInline)/n, "secondaries/txn")
+				b.ReportMetric(float64(st.ActionsForwarded)/n, "forwarded/txn")
+			}
+		})
+	}
+}
+
+// BenchmarkTxnStartAllocs measures allocations on the transaction start hot
+// path (rvp slice, participants map, shared map — all pooled), using a
+// two-phase flow that exercises every pooled structure.
+func BenchmarkTxnStartAllocs(b *testing.B) {
+	env := benchTM1(b)
+	sys := env.DORA
+	key := dora.Key(dora.Int(123))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx := sys.NewTransaction()
+		tx.Add(0, &dora.Action{Table: "SUBSCRIBER", Key: key, Mode: dora.Shared,
+			Work: func(s *dora.Scope) error {
+				s.Put("k", 1)
+				return nil
+			}})
+		tx.Add(1, &dora.Action{Table: "SUBSCRIBER", Key: key, Mode: dora.Shared,
+			Work: func(s *dora.Scope) error {
+				_, _ = s.Get("k")
+				return nil
+			}})
+		if err := tx.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // --- Ablations -----------------------------------------------------------------
 
 // BenchmarkAblation_CentralVsLocal compares the cost of coordinating one

@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"dora/internal/dora"
 	"dora/internal/engine"
 	"dora/internal/harness"
 	"dora/internal/metrics"
@@ -46,7 +47,7 @@ type options struct {
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.fig, "fig", "all", "figure to regenerate: 1a,1b,1c,2,3,4,5,6,7,8,10,11,check or 'all'")
+	flag.StringVar(&opt.fig, "fig", "all", "figure to regenerate: 1a,1b,1c,2,3,4,5,6,7,8,10,11,secondary,check or 'all'")
 	flag.IntVar(&opt.contexts, "contexts", 64, "simulated hardware contexts")
 	flag.DurationVar(&opt.quantum, "quantum", 10*time.Millisecond, "simulated OS scheduling quantum")
 	flag.DurationVar(&opt.simDuration, "sim-duration", 300*time.Millisecond, "simulated time per load point")
@@ -61,10 +62,10 @@ func main() {
 	figs := map[string]func(options) error{
 		"1a": fig1a, "1b": fig1bc, "1c": fig1bc, "2": fig2, "3": fig3,
 		"4": fig4, "5": fig5, "6": fig6, "7": fig7, "8": fig8,
-		"10": fig10, "11": fig11, "check": figCheck,
+		"10": fig10, "11": fig11, "secondary": figSecondary, "check": figCheck,
 	}
 	if opt.fig == "all" {
-		order := []string{"1a", "1b", "2", "3", "4", "5", "6", "7", "8", "10", "11", "check"}
+		order := []string{"1a", "1b", "2", "3", "4", "5", "6", "7", "8", "10", "11", "secondary", "check"}
 		for _, f := range order {
 			if err := figs[f](opt); err != nil {
 				fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)
@@ -420,6 +421,67 @@ func fig11(o options) error {
 	rate, n := env.DORA.ResourceManager().AbortRate(tm1.UpdateSubscriberData)
 	fmt.Printf("observed abort rate %.1f%% over %d txns -> plan %s\n",
 		rate*100, n, env.DORA.ResourceManager().PlanFor(tm1.UpdateSubscriberData))
+	return nil
+}
+
+// figSecondary is the intra-transaction-parallelism A/B: the same
+// secondary-heavy TPC-C mix (every Payment/OrderStatus selects the customer
+// by last name, warehouses drawn zipfian so one warehouse is hot) run with
+// secondary actions forced serial on the RVP threads versus dispatched to
+// the resolver pool, across worker counts. Besides throughput it reports the
+// per-transaction critical-path and RVP-thread-time histogram means — the
+// quantities the parallel path is designed to shrink.
+func figSecondary(o options) error {
+	header("Secondary actions — serial (RVP-thread) vs parallel (resolver pool), skewed by-name mix")
+	fmt.Println("mode,workers,tps,mean_us,p95_us,critpath_mean_us,rvpthread_mean_us,secondaries,forwarded")
+	mix := workload.Mix{
+		{Name: tpcc.NewOrder, Weight: 20},
+		{Name: tpcc.Payment, Weight: 35},
+		{Name: tpcc.OrderStatus, Weight: 35},
+		{Name: tpcc.Delivery, Weight: 10},
+	}
+	for _, serial := range []bool{true, false} {
+		mode := "serial"
+		if !serial {
+			mode = "parallel"
+		}
+		d := newTPCC(o)
+		d.ByNamePercent = 100
+		d.WarehouseZipfTheta = workload.ZipfianTheta
+		env, err := harness.Setup(d, o.executors, o.seed)
+		if err != nil {
+			return err
+		}
+		if err := env.RebindDORA(dora.Config{SerialSecondaries: serial}, o.executors); err != nil {
+			env.Close()
+			return err
+		}
+		for _, w := range []int{1, 2, 4, 8} {
+			// System counters are cumulative; report per-run deltas.
+			before := env.DORA.Stats()
+			res := env.Run(harness.Config{System: harness.DORA, Workers: w,
+				TxnsPerWorker: o.txns / (4 * w), Mix: mix, Seed: o.seed, SkipCheck: true})
+			if res.Errors > 0 {
+				env.Close()
+				return fmt.Errorf("secondary A/B (%s, %d workers): %d hard errors", mode, w, res.Errors)
+			}
+			st := env.DORA.Stats()
+			secondaries := st.SecondariesParallel + st.SecondariesInline -
+				before.SecondariesParallel - before.SecondariesInline
+			fmt.Printf("%s,%d,%.0f,%.0f,%.0f,%.0f,%.0f,%d,%d\n",
+				mode, w, res.Throughput,
+				float64(res.MeanLatency.Microseconds()), float64(res.P95Latency.Microseconds()),
+				res.CriticalPath.Mean(), res.RVPThreadTime.Mean(),
+				secondaries, st.ActionsForwarded-before.ActionsForwarded)
+		}
+		// One invariant scan per mode over everything the sweep committed:
+		// a fast-but-wrong parallel path must fail the figure, not pass it.
+		if err := env.Driver.Check(env.Engine); err != nil {
+			env.Close()
+			return fmt.Errorf("secondary A/B (%s): invariants violated: %w", mode, err)
+		}
+		env.Close()
+	}
 	return nil
 }
 

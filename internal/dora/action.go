@@ -29,6 +29,14 @@ type Action struct {
 	// the paper's mechanism for operations that span every dataset, such as
 	// table scans. Broadcast actions lock the executor's whole dataset.
 	Broadcast bool
+	// Unordered dispatches the action to its owning executor outside the
+	// phase's ordered queue-latching protocol (§4.2.3): it is enqueued
+	// individually, before the ordered group latches its queues, so its
+	// executor starts immediately instead of waiting for the slowest sibling
+	// dispatch. Only safe for actions that cannot join a local-lock deadlock
+	// cycle — e.g. read-only probes of a table no multi-phase flow holds
+	// exclusively while waiting elsewhere (NewOrder's per-item ITEM probes).
+	Unordered bool
 	// Work is the action body. It runs on the owning executor's goroutine
 	// with DORA access options (no centralized locking for probes and
 	// updates, row-only locks for inserts and deletes).
@@ -41,18 +49,21 @@ type Action struct {
 type Scope struct {
 	flow     *Transaction
 	executor *Executor
+	// phase is the flow-graph phase the action belongs to; forwarded actions
+	// join this phase's RVP.
+	phase int
+	// worker attributes engine accesses (time, lock stats, traces) to the
+	// executing thread: the executor's global ordinal for routed actions, the
+	// resolver's worker id for pooled secondary actions, and -1 only for
+	// secondaries executed inline on an anonymous RVP thread.
+	worker int
 }
 
 // Executor returns the executor running the action, or nil for secondary
-// actions executed by the RVP thread.
+// actions executed by a resolver or the RVP thread.
 func (s *Scope) Executor() *Executor { return s.executor }
 
-func (s *Scope) workerID() int {
-	if s.executor == nil {
-		return -1
-	}
-	return s.executor.global
-}
+func (s *Scope) workerID() int { return s.worker }
 
 func (s *Scope) readOpts() engine.AccessOptions {
 	opt := engine.DORARead()
@@ -123,7 +134,7 @@ func (s *Scope) ScanPrefix(table string, prefix storage.Key, fn func(storage.Tup
 func (s *Scope) Put(key string, value any) {
 	s.flow.sharedMu.Lock()
 	if s.flow.shared == nil {
-		s.flow.shared = make(map[string]any)
+		s.flow.shared = sharedPool.Get().(map[string]any)
 	}
 	s.flow.shared[key] = value
 	s.flow.sharedMu.Unlock()
@@ -140,6 +151,22 @@ func (s *Scope) Get(key string) (any, bool) {
 // Txn exposes the underlying engine transaction (for advanced uses such as
 // conventional-locking escapes in tests).
 func (s *Scope) Txn() *engine.Txn { return s.flow.txn }
+
+// Forward routes a follow-on primary action to the executor owning its
+// routing key and attaches it to the calling action's phase: the phase's RVP
+// does not fire until the forwarded action completes. It is the paper's
+// resolve-then-forward mechanism for secondary actions (§4.2.2): the
+// secondary action recovers the routing fields of the records it matched
+// (SecondaryLookup returns them from the index leaves) and forwards the
+// actual record access to the owning executor, so the heap access never runs
+// on a non-owning thread. Forwarded actions bypass the phase's ordered
+// submission; to stay deadlock-free, forward with an identifier the
+// transaction already claimed in its first atomic submission (the TPC-C
+// flows forward with the routing-prefix key of their phase-0 claims, which
+// re-acquires reentrantly).
+func (s *Scope) Forward(a *Action) error {
+	return s.flow.forward(a, s.phase)
+}
 
 // boundAction is an action bound to its transaction and phase, the unit that
 // travels through executor queues.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dora/internal/engine"
@@ -74,6 +75,15 @@ type Config struct {
 	// so a phase's submission appears atomic). It exists only for the
 	// ablation study; production use keeps it false.
 	DisableOrderedSubmission bool
+	// SerialSecondaries forces every secondary action to execute inline on
+	// the thread that zeroes the previous phase's RVP (the dispatcher for
+	// phase 0) instead of the resolver pool — the pre-parallelism behavior,
+	// kept for A/B comparison of the secondary critical path.
+	SerialSecondaries bool
+	// SecondaryWorkers is the size of the resolver pool that executes
+	// secondary actions in parallel. Zero uses DefaultSecondaryWorkers; it is
+	// ignored when SerialSecondaries is set.
+	SecondaryWorkers int
 }
 
 // DefaultTxnTimeout is the default transaction timeout.
@@ -87,6 +97,11 @@ const DefaultTxnTimeout = 10 * time.Second
 // routing-boundary moves re-homing a key between a transaction's phases.
 const DefaultLockWaitTimeout = time.Second
 
+// DefaultSecondaryWorkers is the default resolver-pool size. Secondary
+// actions are index lookups and read probes, so a small pool keeps them off
+// the RVP critical path without oversubscribing the executors' cores.
+const DefaultSecondaryWorkers = 4
+
 // System is a DORA execution engine layered over a storage engine.
 type System struct {
 	eng *engine.Engine
@@ -97,7 +112,12 @@ type System struct {
 	stopped  bool
 	nextExec int // global executor ordinal, defines the submission order
 
-	rm *ResourceManager
+	rm        *ResourceManager
+	resolvers *resolverPool
+
+	statSecondaryParallel atomic.Uint64 // secondary actions run on the resolver pool
+	statSecondaryInline   atomic.Uint64 // secondary actions run on the RVP thread
+	statForwarded         atomic.Uint64 // primary actions forwarded by secondaries
 }
 
 // tableExecutors is the per-table routing rule plus its executors.
@@ -120,12 +140,18 @@ func NewSystem(eng *engine.Engine, cfg Config) *System {
 	if cfg.LockWaitTimeout <= 0 {
 		cfg.LockWaitTimeout = DefaultLockWaitTimeout
 	}
+	if cfg.SecondaryWorkers <= 0 {
+		cfg.SecondaryWorkers = DefaultSecondaryWorkers
+	}
 	s := &System{
 		eng:    eng,
 		cfg:    cfg,
 		tables: make(map[string]*tableExecutors),
 	}
 	s.rm = newResourceManager(s)
+	if !cfg.SerialSecondaries {
+		s.resolvers = newResolverPool(s, cfg.SecondaryWorkers)
+	}
 	return s
 }
 
@@ -269,6 +295,11 @@ func (s *System) Stop() {
 	for _, ex := range all {
 		ex.stop()
 	}
+	if s.resolvers != nil {
+		// After the pool stops, in-flight transactions that still submit
+		// secondary actions execute them inline (submit returns false).
+		s.resolvers.stop()
+	}
 }
 
 // Stats aggregates executor statistics for the whole system.
@@ -292,6 +323,17 @@ type Stats struct {
 	MessagesProcessed uint64
 	// ExecutorCount is the number of executors across all tables.
 	ExecutorCount int
+	// SecondariesParallel is the number of secondary actions executed on the
+	// resolver pool (off the RVP critical path).
+	SecondariesParallel uint64
+	// SecondariesInline is the number of secondary actions executed inline on
+	// the RVP thread (SerialSecondaries mode, or the post-Stop fallback).
+	SecondariesInline uint64
+	// ActionsForwarded is the number of primary actions forwarded by
+	// secondary actions after resolving their routing keys (§4.2.2).
+	ActionsForwarded uint64
+	// SecondaryQueue is the current resolver-pool backlog.
+	SecondaryQueue int
 }
 
 // Stats returns aggregate statistics across all executors.
@@ -310,6 +352,12 @@ func (s *System) Stats() Stats {
 			out.MessagesProcessed += st.MessagesProcessed
 			out.ExecutorCount++
 		}
+	}
+	out.SecondariesParallel = s.statSecondaryParallel.Load()
+	out.SecondariesInline = s.statSecondaryInline.Load()
+	out.ActionsForwarded = s.statForwarded.Load()
+	if s.resolvers != nil {
+		out.SecondaryQueue = s.resolvers.queueLen()
 	}
 	return out
 }

@@ -341,7 +341,7 @@ func (e *Executor) tryExecute(a *boundAction) bool {
 // execute runs the action body and reports to its RVP (steps 3-5).
 func (e *Executor) execute(a *boundAction) {
 	e.statExecuted.Add(1)
-	scope := &Scope{flow: a.flow, executor: e}
+	scope := &Scope{flow: a.flow, executor: e, phase: a.phase, worker: e.global}
 	if err := a.action.Work(scope); err != nil {
 		a.flow.fail(err)
 		return

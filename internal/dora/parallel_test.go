@@ -1,0 +1,361 @@
+package dora
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"dora/internal/engine"
+	"dora/internal/metrics"
+	"dora/internal/storage"
+)
+
+// TestSecondaryActionsRunOnResolverPool verifies that in the default
+// (parallel) mode, secondary actions execute on resolver threads — off any
+// executor, with a real worker id — and concurrently with each other.
+func TestSecondaryActionsRunOnResolverPool(t *testing.T) {
+	sys, e := newBankSystem(t, 4)
+	loadAccounts(t, e, 4, 1, 100)
+
+	const n = 4
+	var (
+		mu      sync.Mutex
+		workers = map[int]bool{}
+	)
+	ready := make(chan struct{}, n)
+	gate := make(chan struct{})
+	tx := sys.NewTransaction()
+	for i := 0; i < n; i++ {
+		tx.Add(0, &Action{
+			Table: "accounts", Mode: Shared,
+			Work: func(s *Scope) error {
+				if s.Executor() != nil {
+					return errors.New("secondary action ran on an executor")
+				}
+				if s.workerID() < 0 {
+					return fmt.Errorf("secondary action got worker id %d, want a real resolver id", s.workerID())
+				}
+				mu.Lock()
+				workers[s.workerID()] = true
+				mu.Unlock()
+				ready <- struct{}{}
+				<-gate // hold every resolver until all n are in flight
+				return nil
+			},
+		})
+	}
+	done := tx.RunAsync()
+	// All n secondaries must be in flight simultaneously: the pool has
+	// DefaultSecondaryWorkers (= n) resolvers, and none can finish until the
+	// gate opens, so this receive only completes if they run in parallel.
+	for i := 0; i < n; i++ {
+		<-ready
+	}
+	close(gate)
+	if err := <-done; err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(workers) < 2 {
+		t.Fatalf("secondaries ran on %d distinct resolver workers, want several", len(workers))
+	}
+	st := sys.Stats()
+	if st.SecondariesParallel != n || st.SecondariesInline != 0 {
+		t.Fatalf("stats = parallel %d inline %d, want %d/0", st.SecondariesParallel, st.SecondariesInline, n)
+	}
+}
+
+// TestSerialSecondariesRunInline verifies the SerialSecondaries escape hatch:
+// secondaries execute on the dispatching/RVP thread, one after another.
+func TestSerialSecondariesRunInline(t *testing.T) {
+	sys, e := newBankSystem(t, 4)
+	loadAccounts(t, e, 4, 1, 100)
+	serial := NewSystem(e, Config{SerialSecondaries: true})
+	if err := serial.BindTableInts("accounts", 0, 99, 4); err != nil {
+		t.Fatalf("BindTableInts: %v", err)
+	}
+	defer serial.Stop()
+	_ = sys
+
+	var inFlight, maxInFlight atomic.Int32
+	tx := serial.NewTransaction()
+	for i := 0; i < 4; i++ {
+		tx.Add(0, &Action{
+			Table: "accounts", Mode: Shared,
+			Work: func(s *Scope) error {
+				if s.Executor() != nil {
+					return errors.New("secondary action ran on an executor")
+				}
+				cur := inFlight.Add(1)
+				defer inFlight.Add(-1)
+				for {
+					prev := maxInFlight.Load()
+					if cur <= prev || maxInFlight.CompareAndSwap(prev, cur) {
+						break
+					}
+				}
+				return nil
+			},
+		})
+	}
+	if err := tx.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := maxInFlight.Load(); got != 1 {
+		t.Fatalf("max concurrent secondaries = %d, want 1 in serial mode", got)
+	}
+	st := serial.Stats()
+	if st.SecondariesInline != 4 || st.SecondariesParallel != 0 {
+		t.Fatalf("stats = parallel %d inline %d, want 0/4", st.SecondariesParallel, st.SecondariesInline)
+	}
+}
+
+// TestSecondaryForwardsPrimaryAction exercises resolve-then-forward: a
+// secondary action resolves a routing key through the secondary index and
+// forwards the record access to the owning executor; the phase's RVP must
+// wait for the forwarded action, so the next phase sees its effect.
+func TestSecondaryForwardsPrimaryAction(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		name := "Parallel"
+		if serial {
+			name = "Serial"
+		}
+		t.Run(name, func(t *testing.T) {
+			sys, e := newBankSystem(t, 4)
+			loadAccounts(t, e, 4, 1, 100)
+			if serial {
+				sys = NewSystem(e, Config{SerialSecondaries: true})
+				if err := sys.BindTableInts("accounts", 0, 99, 4); err != nil {
+					t.Fatalf("BindTableInts: %v", err)
+				}
+				defer sys.Stop()
+			}
+
+			var forwardedOn *Executor
+			tx := sys.NewTransaction()
+			tx.Add(0, &Action{
+				Table: "accounts", Mode: Exclusive,
+				Work: func(s *Scope) error {
+					matches, err := s.SecondaryLookup("accounts", "by_owner",
+						storage.EncodeKey(storage.StringValue("owner-2-0")))
+					if err != nil {
+						return err
+					}
+					if len(matches) != 1 {
+						return fmt.Errorf("got %d matches", len(matches))
+					}
+					m := matches[0]
+					return s.Forward(&Action{
+						Table: "accounts", Key: m.Routing, Mode: Exclusive,
+						Work: func(s *Scope) error {
+							forwardedOn = s.Executor()
+							return s.UpdateRID("accounts", m.RID, func(tu storage.Tuple) (storage.Tuple, error) {
+								tu[3] = storage.FloatValue(tu[3].Float + 11)
+								return tu, nil
+							})
+						},
+					})
+				},
+			})
+			// The next phase reads the updated balance: it must observe the
+			// forwarded action's effect, proving the RVP waited for it.
+			var seen float64
+			tx.Add(1, &Action{
+				Table: "accounts", Key: key(2), Mode: Shared,
+				Work: func(s *Scope) error {
+					tu, err := s.Probe("accounts", accountPK(2, 0))
+					if err != nil {
+						return err
+					}
+					seen = tu[3].Float
+					return nil
+				},
+			})
+			if err := tx.Run(); err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if seen != 111 {
+				t.Fatalf("phase 1 saw balance %v, want 111 (forwarded update applied first)", seen)
+			}
+			if forwardedOn == nil {
+				t.Fatalf("forwarded action did not run on an executor")
+			}
+			if forwardedOn.Table() != "accounts" {
+				t.Fatalf("forwarded action ran on executor for %q", forwardedOn.Table())
+			}
+			if st := sys.Stats(); st.ActionsForwarded != 1 {
+				t.Fatalf("ActionsForwarded = %d, want 1", st.ActionsForwarded)
+			}
+		})
+	}
+}
+
+// TestForwardValidation rejects forwards that are not routed primary actions.
+func TestForwardValidation(t *testing.T) {
+	sys, e := newBankSystem(t, 2)
+	loadAccounts(t, e, 2, 1, 100)
+	run := func(bad *Action) error {
+		tx := sys.NewTransaction()
+		tx.Add(0, &Action{
+			Table: "accounts", Mode: Shared,
+			Work: func(s *Scope) error { return s.Forward(bad) },
+		})
+		return tx.Run()
+	}
+	if err := run(&Action{Table: "accounts", Work: func(*Scope) error { return nil }}); err == nil {
+		t.Fatalf("forwarding a keyless action should fail the transaction")
+	}
+	if err := run(&Action{Table: "accounts", Key: key(1), Broadcast: true,
+		Work: func(*Scope) error { return nil }}); err == nil {
+		t.Fatalf("forwarding a broadcast action should fail the transaction")
+	}
+	if err := run(&Action{Table: "accounts", Key: key(1)}); err == nil {
+		t.Fatalf("forwarding a bodyless action should fail the transaction")
+	}
+}
+
+// TestSecondaryFailureAbortsFlow: an error from a pooled secondary aborts the
+// whole transaction, including its routed siblings' effects.
+func TestSecondaryFailureAbortsFlow(t *testing.T) {
+	sys, e := newBankSystem(t, 4)
+	loadAccounts(t, e, 4, 1, 100)
+
+	boom := errors.New("resolver boom")
+	tx := sys.NewTransaction()
+	tx.Add(0, &Action{
+		Table: "accounts", Key: key(1), Mode: Exclusive,
+		Work: func(s *Scope) error {
+			return s.Update("accounts", accountPK(1, 0), func(tu storage.Tuple) (storage.Tuple, error) {
+				tu[3] = storage.FloatValue(999)
+				return tu, nil
+			})
+		},
+	})
+	tx.Add(0, &Action{
+		Table: "accounts", Mode: Shared,
+		Work: func(s *Scope) error { return boom },
+	})
+	if err := tx.Run(); !errors.Is(err, boom) {
+		t.Fatalf("Run = %v, want %v", err, boom)
+	}
+	check := e.Begin()
+	got, err := e.Probe(check, "accounts", accountPK(1, 0), engine.Conventional())
+	if err != nil || got[3].Float != 100 {
+		t.Fatalf("balance after abort = %v (%v), want 100", got, err)
+	}
+	e.Commit(check)
+}
+
+// TestSecondaryWorkerAttribution: engine accesses from a pooled secondary
+// carry the resolver's worker id into record-access traces, not -1.
+func TestSecondaryWorkerAttribution(t *testing.T) {
+	sys, e := newBankSystem(t, 4)
+	loadAccounts(t, e, 4, 1, 100)
+	rec := engine.NewTraceRecorder()
+	e.SetTraceHook(rec.Record)
+	defer e.SetTraceHook(nil)
+
+	tx := sys.NewTransaction()
+	tx.Add(0, &Action{
+		Table: "accounts", Mode: Shared,
+		Work: func(s *Scope) error {
+			_, err := s.Probe("accounts", accountPK(3, 0))
+			return err
+		},
+	})
+	if err := tx.Run(); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	events := rec.Events()
+	if len(events) == 0 {
+		t.Fatalf("no trace events recorded")
+	}
+	for _, ev := range events {
+		if ev.WorkerID < 0 {
+			t.Fatalf("trace event attributed to worker %d, want a real resolver id", ev.WorkerID)
+		}
+	}
+}
+
+// TestCriticalPathHistograms: DORA runs with a collector record per-txn
+// critical-path and RVP-thread-time histograms.
+func TestCriticalPathHistograms(t *testing.T) {
+	sys, e := newBankSystem(t, 4)
+	loadAccounts(t, e, 4, 1, 100)
+	col := metrics.NewCollector()
+	e.SetCollector(col)
+	defer e.SetCollector(nil)
+
+	for i := int64(0); i < 10; i++ {
+		tx := sys.NewTransaction()
+		acct := i % 4
+		tx.Add(0, &Action{
+			Table: "accounts", Key: key(acct), Mode: Shared,
+			Work: func(s *Scope) error {
+				_, err := s.Probe("accounts", accountPK(acct, 0))
+				return err
+			},
+		})
+		tx.Add(0, &Action{
+			Table: "accounts", Mode: Shared,
+			Work: func(s *Scope) error { return nil },
+		})
+		if err := tx.Run(); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+	}
+	if cp := col.CriticalPath(); cp.Count != 10 {
+		t.Fatalf("critical-path histogram has %d observations, want 10", cp.Count)
+	}
+	if rt := col.RVPThreadTime(); rt.Count != 10 {
+		t.Fatalf("rvp-thread histogram has %d observations, want 10", rt.Count)
+	}
+}
+
+// TestTransactionPoolReuse drives enough sequential transactions through the
+// pooled start path to recycle rvp slices, participants maps, and shared
+// maps, and verifies effects and isolation stay correct.
+func TestTransactionPoolReuse(t *testing.T) {
+	sys, e := newBankSystem(t, 4)
+	loadAccounts(t, e, 4, 1, 0)
+
+	for i := 0; i < 200; i++ {
+		acct := int64(i % 4)
+		tx := sys.NewTransaction()
+		tx.Add(0, &Action{
+			Table: "accounts", Key: key(acct), Mode: Exclusive,
+			Work: func(s *Scope) error {
+				if err := s.Update("accounts", accountPK(acct, 0), func(tu storage.Tuple) (storage.Tuple, error) {
+					tu[3] = storage.FloatValue(tu[3].Float + 1)
+					return tu, nil
+				}); err != nil {
+					return err
+				}
+				s.Put("acct", acct)
+				return nil
+			},
+		})
+		tx.Add(1, &Action{
+			Table: "history", Key: key(acct), Mode: Exclusive,
+			Work: func(s *Scope) error {
+				v, ok := s.Get("acct")
+				if !ok || v.(int64) != acct {
+					return fmt.Errorf("shared map lost %d: got %v", acct, v)
+				}
+				return nil
+			},
+		})
+		if err := tx.Run(); err != nil {
+			t.Fatalf("txn %d: %v", i, err)
+		}
+	}
+	check := e.Begin()
+	for b := int64(0); b < 4; b++ {
+		tu, err := e.Probe(check, "accounts", accountPK(b, 0), engine.Conventional())
+		if err != nil || tu[3].Float != 50 {
+			t.Fatalf("account %d balance = %v (%v), want 50", b, tu, err)
+		}
+	}
+	e.Commit(check)
+}

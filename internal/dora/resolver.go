@@ -1,0 +1,118 @@
+package dora
+
+import "sync"
+
+// resolverPool executes secondary actions off the RVP critical path (§4.2.2).
+// Without it, every secondary action of a phase runs serially on the single
+// thread that zeroed the previous phase's RVP (an executor goroutine for later
+// phases, the dispatcher for phase 0), turning secondary-heavy transactions —
+// by-name customer resolution, per-district delivery probes — into a serial
+// bottleneck on exactly the flows DORA is supposed to spread across cores.
+// The pool is a small set of resolver goroutines with an unbounded queue;
+// each resolver carries a real worker id from the same ordinal space as the
+// executors, so engine time and record-access traces attribute secondary work
+// to a concrete thread instead of the anonymous -1.
+type resolverPool struct {
+	sys *System
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []*boundAction
+	stopped bool
+	wg      sync.WaitGroup
+}
+
+func newResolverPool(sys *System, workers int) *resolverPool {
+	p := &resolverPool{sys: sys}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < workers; i++ {
+		// Resolver worker ids come from the same counter as executor global
+		// ordinals; the pool is created before any table is bound, so the
+		// resolvers occupy the first `workers` ids.
+		id := sys.nextExec
+		sys.nextExec++
+		p.wg.Add(1)
+		go p.run(id)
+	}
+	return p
+}
+
+// submit hands a batch of secondary actions to the pool. It returns false
+// when the pool has been stopped, in which case the caller must execute the
+// actions itself (inline fallback) so no action is ever lost.
+func (p *resolverPool) submit(batch []*boundAction) bool {
+	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		return false
+	}
+	p.queue = append(p.queue, batch...)
+	if len(batch) == 1 {
+		p.cond.Signal()
+	} else {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+	return true
+}
+
+// queueLen returns the number of secondary actions waiting for a resolver.
+func (p *resolverPool) queueLen() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.queue)
+}
+
+// stop drains the queue and terminates the resolvers. Secondary actions
+// submitted afterwards fall back to inline execution on the caller's thread.
+func (p *resolverPool) stop() {
+	p.mu.Lock()
+	p.stopped = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+func (p *resolverPool) run(worker int) {
+	defer p.wg.Done()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.stopped {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 {
+			p.mu.Unlock()
+			return
+		}
+		a := p.queue[0]
+		p.queue[0] = nil
+		p.queue = p.queue[1:]
+		if len(p.queue) == 0 {
+			// Reset so the slice does not pin an ever-growing backing array.
+			p.queue = nil
+		}
+		p.mu.Unlock()
+		p.sys.statSecondaryParallel.Add(1)
+		runSecondary(a, worker)
+	}
+}
+
+// runSecondary executes one secondary action outside any executor: on a
+// resolver goroutine (parallel mode) or on the thread that zeroed the
+// previous phase's RVP (serial mode, worker -1). The scope carries the
+// worker id so engine accesses are attributed to the executing thread.
+func runSecondary(a *boundAction, worker int) {
+	t := a.flow
+	if !t.running() {
+		releaseBoundAction(a)
+		return
+	}
+	scope := &Scope{flow: t, phase: a.phase, worker: worker}
+	if err := a.action.Work(scope); err != nil {
+		t.fail(err)
+		releaseBoundAction(a)
+		return
+	}
+	t.actionDone(a)
+	releaseBoundAction(a)
+}

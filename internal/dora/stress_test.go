@@ -2,6 +2,7 @@ package dora
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 	"sync/atomic"
@@ -185,5 +186,122 @@ func TestLockWaitTimeoutResolvesCrossExecutorDeadlock(t *testing.T) {
 	}
 	if elapsed > 10*time.Second {
 		t.Fatalf("deadlock took %v to resolve, want the ~100ms lock-wait bound", elapsed)
+	}
+}
+
+// TestSecondaryForwardingBoundaryMoveStress mixes the resolve-then-forward
+// path with mid-flight ResourceManager boundary moves (run under -race in
+// CI): every transaction claims its account's local lock, resolves the
+// account through the by_owner secondary index on a resolver thread, and
+// forwards the balance update to the owning executor, while a mover thread
+// wiggles the routing boundaries. Transactions may abort (lock-wait victims
+// of boundary re-homing) but must never be lost, and the committed effects
+// must reconcile exactly with the final balances.
+func TestSecondaryForwardingBoundaryMoveStress(t *testing.T) {
+	sys, e := newBankSystem(t, 4) // keys [0,99], boundaries at 25/50/75
+	loadAccounts(t, e, 100, 1, 0)
+
+	const (
+		workers   = 4
+		perWorker = 150
+	)
+	var committed, aborted atomic.Uint64
+	stop := make(chan struct{})
+
+	var moverWg sync.WaitGroup
+	moverWg.Add(1)
+	go func() {
+		defer moverWg.Done()
+		rm := sys.ResourceManager()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			b := i % 3
+			base := int64(25 * (b + 1))
+			off := int64(i*7%21) - 10
+			if err := rm.MoveBoundary("accounts", b, key(base+off)); err != nil {
+				t.Errorf("MoveBoundary(%d, %d): %v", b, base+off, err)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) + 77))
+			for i := 0; i < perWorker; i++ {
+				acct := rng.Int63n(100)
+				owner := storage.EncodeKey(storage.StringValue(fmt.Sprintf("owner-%d-0", acct)))
+				tx := sys.NewTransaction()
+				// Claim the footprint up front so the forwarded action
+				// re-acquires reentrantly, exactly like the TPC-C flows.
+				tx.Add(0, &Action{Table: "accounts", Key: key(acct), Mode: Exclusive,
+					Work: func(s *Scope) error { return nil }})
+				tx.Add(1, &Action{Table: "accounts", Mode: Exclusive,
+					Work: func(s *Scope) error {
+						matches, err := s.SecondaryLookup("accounts", "by_owner", owner)
+						if err != nil {
+							return err
+						}
+						if len(matches) != 1 {
+							return fmt.Errorf("owner lookup: %d matches", len(matches))
+						}
+						m := matches[0]
+						return s.Forward(&Action{
+							Table: "accounts", Key: m.Routing, Mode: Exclusive,
+							Work: func(s *Scope) error {
+								return s.UpdateRID("accounts", m.RID, func(tu storage.Tuple) (storage.Tuple, error) {
+									tu[3] = storage.FloatValue(tu[3].Float + 1)
+									return tu, nil
+								})
+							},
+						})
+					}})
+				switch err := tx.Run(); {
+				case err == nil:
+					committed.Add(1)
+				default:
+					aborted.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	moverWg.Wait()
+
+	total := committed.Load() + aborted.Load()
+	if total != workers*perWorker {
+		t.Fatalf("completions lost: committed=%d aborted=%d, want %d total",
+			committed.Load(), aborted.Load(), workers*perWorker)
+	}
+	st := sys.Stats()
+	if st.ActionsForwarded < committed.Load() {
+		t.Fatalf("Stats.ActionsForwarded=%d < committed=%d", st.ActionsForwarded, committed.Load())
+	}
+	if st.SecondariesParallel < committed.Load() {
+		t.Fatalf("Stats.SecondariesParallel=%d < committed=%d", st.SecondariesParallel, committed.Load())
+	}
+
+	// The committed effects all landed: each committed transaction added 1 to
+	// exactly one balance.
+	check := e.Begin()
+	totalBalance := 0.0
+	if err := e.ScanTable(check, "accounts", engine.Conventional(), func(tu storage.Tuple) bool {
+		totalBalance += tu[3].Float
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	e.Commit(check)
+	if totalBalance != float64(committed.Load()) {
+		t.Fatalf("balance sum %.0f != committed %d (lost or phantom updates)",
+			totalBalance, committed.Load())
 	}
 }

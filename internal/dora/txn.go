@@ -20,10 +20,26 @@ const (
 // rvp is a rendezvous point: the synchronization object separating two phases
 // of a transaction flow graph (§4.1.2). Its counter starts at the number of
 // actions that must report to it; the executor that zeroes it initiates the
-// next phase, and zeroing the terminal RVP calls for commit.
+// next phase, and zeroing the terminal RVP calls for commit. Forwarded
+// actions (Scope.Forward) join their phase's RVP by incrementing the counter
+// before the forwarding action reports, so the counter can never hit zero
+// with a forwarded action still outstanding.
 type rvp struct {
 	remaining atomic.Int32
 }
+
+// Hot-path allocation pools for transaction start (one rvp slice, one
+// participants map, and — on first Put — one shared map per transaction).
+// Pooled resources are recycled only on paths where no action can still
+// reference them: the rvp slice and shared map when the terminal RVP fires
+// (every action has reported by then), the participants map when the
+// completion broadcast clears it. Aborted transactions leave them to the GC —
+// an in-flight action of a failing transaction may still touch its RVP.
+var (
+	rvpSlicePool     = sync.Pool{New: func() any { s := make([]rvp, 0, 4); return &s }}
+	participantsPool = sync.Pool{New: func() any { return make(map[*Executor]struct{}, 8) }}
+	sharedPool       = sync.Pool{New: func() any { return make(map[string]any, 8) }}
+)
 
 // Transaction is a DORA transaction: a flow graph of actions grouped into
 // phases, executed collectively by the executors owning the touched data.
@@ -32,7 +48,8 @@ type Transaction struct {
 	txn *engine.Txn
 
 	phases [][]*Action
-	rvps   []*rvp
+	rvps   []rvp
+	rvpBuf *[]rvp // pool holder for rvps' backing array
 
 	state atomic.Int32
 	done  chan struct{}
@@ -48,6 +65,12 @@ type Transaction struct {
 	start     time.Time
 	started   bool
 	dispatchN int // total actions dispatched, for stats
+
+	// rvpNanos accumulates the time RVP threads spend on this transaction's
+	// critical path: routing and enqueueing each phase plus any inline
+	// secondary-action execution. Atomic because phase submissions happen on
+	// whichever thread zeroes the previous RVP.
+	rvpNanos atomic.Int64
 }
 
 // NewTransaction starts building a DORA transaction.
@@ -55,7 +78,7 @@ func (s *System) NewTransaction() *Transaction {
 	return &Transaction{
 		sys:          s,
 		done:         make(chan struct{}),
-		participants: make(map[*Executor]struct{}),
+		participants: participantsPool.Get().(map[*Executor]struct{}),
 	}
 }
 
@@ -176,9 +199,16 @@ func (t *Transaction) start_() error {
 	}
 	t.start = time.Now()
 	t.txn = t.sys.eng.Begin()
-	t.rvps = make([]*rvp, len(t.phases))
-	for i := range t.rvps {
-		t.rvps[i] = &rvp{}
+	t.rvpBuf = rvpSlicePool.Get().(*[]rvp)
+	if s := *t.rvpBuf; cap(s) >= len(t.phases) {
+		s = s[:len(t.phases)]
+		for i := range s {
+			s[i].remaining.Store(0)
+		}
+		t.rvps = s
+	} else {
+		t.rvps = make([]rvp, len(t.phases))
+		*t.rvpBuf = t.rvps
 	}
 	if t.NumActions() == 0 {
 		t.finalize()
@@ -192,6 +222,9 @@ func (t *Transaction) start_() error {
 // queues of all target executors are latched in the global executor order
 // before any action is enqueued, so the submission appears atomic and two
 // transactions with the same flow graph can never deadlock (§4.2.3).
+// Unordered actions are enqueued individually before the ordered group, and
+// secondary actions are dispatched to the resolver pool (or executed inline
+// here when the system runs with SerialSecondaries).
 func (t *Transaction) submitPhase(idx int) {
 	if !t.running() {
 		return
@@ -205,21 +238,24 @@ func (t *Transaction) submitPhase(idx int) {
 		return
 	}
 	phase := t.phases[idx]
+	clock := t.rvpClockStart()
 
 	type target struct {
 		ex  *Executor
 		act *boundAction
 	}
-	var targets []target
-	var inline []*boundAction
+	var targets, free []target
+	var secondaries []*boundAction
 	// failSubmit recycles the not-yet-enqueued actions before aborting.
 	failSubmit := func(err error) {
 		for _, tg := range targets {
 			releaseBoundAction(tg.act)
 		}
-		for _, ba := range inline {
-			releaseBoundAction(ba)
+		for _, tg := range free {
+			releaseBoundAction(tg.act)
 		}
+		recycleBoundActions(secondaries)
+		t.rvpClockStop(clock)
 		t.fail(err)
 	}
 	for _, a := range phase {
@@ -234,8 +270,15 @@ func (t *Transaction) submitPhase(idx int) {
 				targets = append(targets, target{ex: ex, act: newBoundAction(a, t, idx)})
 			}
 		case len(a.Key) == 0:
-			// Secondary action: executed by the RVP-executing thread itself.
-			inline = append(inline, newBoundAction(a, t, idx))
+			// Secondary action (§4.2.2): no routing key until it resolves one.
+			secondaries = append(secondaries, newBoundAction(a, t, idx))
+		case a.Unordered:
+			ex, err := t.sys.executorFor(a.Table, a.Key)
+			if err != nil {
+				failSubmit(err)
+				return
+			}
+			free = append(free, target{ex: ex, act: newBoundAction(a, t, idx)})
 		default:
 			ex, err := t.sys.executorFor(a.Table, a.Key)
 			if err != nil {
@@ -245,8 +288,14 @@ func (t *Transaction) submitPhase(idx int) {
 			targets = append(targets, target{ex: ex, act: newBoundAction(a, t, idx)})
 		}
 	}
-	t.rvps[idx].remaining.Store(int32(len(targets) + len(inline)))
-	t.dispatchN += len(targets) + len(inline)
+	t.rvps[idx].remaining.Store(int32(len(targets) + len(free) + len(secondaries)))
+	t.dispatchN += len(targets) + len(free) + len(secondaries)
+
+	// Unordered actions go out first, one enqueue each, so their executors
+	// start while the ordered group below is still latching queues.
+	for _, tg := range free {
+		tg.ex.enqueueAction(tg.act)
+	}
 
 	if t.sys.cfg.DisableOrderedSubmission {
 		for _, tg := range targets {
@@ -273,23 +322,77 @@ func (t *Transaction) submitPhase(idx int) {
 			distinct[i].unlockQueue()
 		}
 	}
+	t.rvpClockStop(clock)
 
-	// Secondary actions run on this thread (the previous phase's
-	// RVP-executing thread, or the dispatcher for phase 0).
-	for i, ba := range inline {
+	if len(secondaries) == 0 {
+		return
+	}
+	if !t.sys.cfg.SerialSecondaries && t.sys.resolvers != nil &&
+		t.sys.resolvers.submit(secondaries) {
+		return
+	}
+	// Serial mode (or post-Stop fallback): secondary actions run on this
+	// thread — the previous phase's RVP-executing thread, or the dispatcher
+	// for phase 0 — one after another, on the transaction's critical path.
+	for i, ba := range secondaries {
 		if !t.running() {
-			recycleBoundActions(inline[i:])
+			recycleBoundActions(secondaries[i:])
 			return
 		}
-		scope := &Scope{flow: t, executor: nil}
-		if err := ba.action.Work(scope); err != nil {
+		t.sys.statSecondaryInline.Add(1)
+		scope := &Scope{flow: t, phase: idx, worker: -1}
+		c := t.rvpClockStart()
+		err := ba.action.Work(scope)
+		t.rvpClockStop(c)
+		if err != nil {
 			t.fail(err)
-			recycleBoundActions(inline[i:])
+			recycleBoundActions(secondaries[i:])
 			return
 		}
 		t.actionDone(ba)
 		releaseBoundAction(ba)
 	}
+}
+
+// forward attaches a follow-on primary action to the given (still-open) phase
+// and enqueues it to the executor owning its routing key; see Scope.Forward.
+// The RVP increment happens before the enqueue and before the forwarding
+// action reports its own completion, so the phase cannot close early.
+func (t *Transaction) forward(a *Action, phase int) error {
+	if a.Table == "" || a.Work == nil {
+		return fmt.Errorf("dora: forwarded action needs a table and a body")
+	}
+	if len(a.Key) == 0 || a.Broadcast {
+		return fmt.Errorf("dora: forwarded action must be a routed primary action")
+	}
+	if !t.running() {
+		return fmt.Errorf("dora: cannot forward, transaction is no longer running")
+	}
+	ex, err := t.sys.executorFor(a.Table, a.Key)
+	if err != nil {
+		return err
+	}
+	t.rvps[phase].remaining.Add(1)
+	t.sys.statForwarded.Add(1)
+	ex.enqueueAction(newBoundAction(a, t, phase))
+	return nil
+}
+
+// rvpClockStart / rvpClockStop attribute time spent on the RVP thread —
+// routing, enqueueing, and inline secondary execution — to the transaction's
+// critical-path accounting.
+func (t *Transaction) rvpClockStart() time.Time {
+	if t.sys.collector() == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+func (t *Transaction) rvpClockStop(start time.Time) {
+	if start.IsZero() {
+		return
+	}
+	t.rvpNanos.Add(int64(time.Since(start)))
 }
 
 // recycleBoundActions returns unexecuted actions to the pool.
@@ -337,6 +440,29 @@ func (t *Transaction) finalize() {
 	if !t.state.CompareAndSwap(flowRunning, flowCommitted) {
 		return
 	}
+	if col := t.sys.collector(); col != nil {
+		// The critical path ends when the terminal RVP fires: commit
+		// durability is pipelined off it, so this measures what
+		// intra-transaction parallelism can actually shorten.
+		col.ObserveCriticalPath(time.Since(t.start))
+		col.ObserveRVPThread(time.Duration(t.rvpNanos.Load()))
+	}
+	// Every action has reported (the terminal RVP fired) and no new phase can
+	// start, so the rvp slice and shared map are unreachable: recycle them.
+	if t.rvpBuf != nil {
+		*t.rvpBuf = t.rvps
+		t.rvps = nil
+		rvpSlicePool.Put(t.rvpBuf)
+		t.rvpBuf = nil
+	}
+	t.sharedMu.Lock()
+	shared := t.shared
+	t.shared = nil
+	t.sharedMu.Unlock()
+	if shared != nil {
+		clear(shared)
+		sharedPool.Put(shared)
+	}
 	t.sys.eng.CommitAsync(t.txn, func(err error) {
 		if err != nil {
 			t.errMu.Lock()
@@ -369,15 +495,19 @@ func (t *Transaction) fail(cause error) {
 
 // broadcastCompletions enqueues the transaction-completion message to every
 // participant executor. It must be called exactly once, after the state left
-// flowRunning (so no new participants can register).
+// flowRunning (so no new participants can register: registerParticipant
+// checks the state under partMu before touching the map, which also makes it
+// safe to recycle the map here).
 func (t *Transaction) broadcastCompletions() {
 	t.partMu.Lock()
-	parts := make([]*Executor, 0, len(t.participants))
-	for ex := range t.participants {
-		parts = append(parts, ex)
-	}
+	parts := t.participants
+	t.participants = nil
 	t.partMu.Unlock()
-	for _, ex := range parts {
+	for ex := range parts {
 		ex.enqueueCompletion(t.txnID())
+	}
+	if parts != nil {
+		clear(parts)
+		participantsPool.Put(parts)
 	}
 }

@@ -90,6 +90,14 @@ type Result struct {
 	// ExecutorBatches is the histogram of executor queue-drain batch sizes
 	// (messages served per queue-latch acquisition); empty for Baseline runs.
 	ExecutorBatches metrics.HistogramSnapshot
+	// CriticalPath is the per-transaction dispatch-to-terminal-RVP wall-time
+	// histogram in microseconds (DORA runs only): the span that parallel
+	// secondary actions shorten.
+	CriticalPath metrics.HistogramSnapshot
+	// RVPThreadTime is the per-transaction histogram of time RVP threads
+	// spent on the critical path (routing, enqueueing, inline secondaries),
+	// in microseconds; DORA runs only.
+	RVPThreadTime metrics.HistogramSnapshot
 	// FlushCoalescing is the histogram of commits made durable per log
 	// flush, as reported by the WAL group-commit flusher.
 	FlushCoalescing metrics.HistogramSnapshot
@@ -154,6 +162,22 @@ func (b *Bench) Close() {
 		b.DORA.Stop()
 	}
 	b.Engine.Close()
+}
+
+// RebindDORA replaces the environment's DORA system with one built from the
+// given configuration (stopping the previous system first). It is how A/B
+// experiments — serial vs parallel secondaries, ordered vs unordered
+// submission — run both variants over the same loaded engine.
+func (b *Bench) RebindDORA(cfg dora.Config, executorsPerTable int) error {
+	if b.DORA != nil {
+		b.DORA.Stop()
+	}
+	sys := dora.NewSystem(b.Engine, cfg)
+	if err := b.Driver.BindDORA(sys, executorsPerTable); err != nil {
+		return err
+	}
+	b.DORA = sys
+	return nil
 }
 
 // Run executes one measurement run against the prepared environment.
@@ -252,6 +276,8 @@ func (b *Bench) Run(cfg Config) Result {
 		LockMgr:         col.LockMgrBreakdown(),
 		LocksPer100Txns: col.LocksPer100Txns(),
 		ExecutorBatches: col.ExecutorBatches(),
+		CriticalPath:    col.CriticalPath(),
+		RVPThreadTime:   col.RVPThreadTime(),
 		FlushCoalescing: col.FlushCoalescing(),
 		LogFlushes:      flushAfter.Flushes - flushBefore.Flushes,
 	}

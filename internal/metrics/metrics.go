@@ -184,6 +184,14 @@ type Collector struct {
 	execBatches   Histogram
 	flushCoalesce Histogram
 
+	// Intra-transaction parallelism histograms, in microseconds per
+	// transaction: critPath is the dispatch-to-terminal-RVP wall time (the
+	// span that parallel secondary actions can shorten), rvpThread is the
+	// time RVP threads spent on the transaction's critical path (routing,
+	// enqueueing, inline secondary execution).
+	critPath  Histogram
+	rvpThread Histogram
+
 	mu        sync.Mutex
 	latencies []time.Duration
 }
@@ -245,6 +253,33 @@ func (m *Collector) ObserveFlushCoalesce(n int) {
 		return
 	}
 	m.flushCoalesce.Observe(n)
+}
+
+// ObserveCriticalPath records one transaction's dispatch-to-terminal-RVP
+// wall time.
+func (m *Collector) ObserveCriticalPath(d time.Duration) {
+	if m == nil || d < 0 {
+		return
+	}
+	m.critPath.Observe(int(d.Microseconds()))
+}
+
+// ObserveRVPThread records the RVP-thread time one transaction consumed.
+func (m *Collector) ObserveRVPThread(d time.Duration) {
+	if m == nil || d < 0 {
+		return
+	}
+	m.rvpThread.Observe(int(d.Microseconds()))
+}
+
+// CriticalPath returns the per-transaction critical-path histogram (µs).
+func (m *Collector) CriticalPath() HistogramSnapshot {
+	return m.critPath.Snapshot()
+}
+
+// RVPThreadTime returns the per-transaction RVP-thread-time histogram (µs).
+func (m *Collector) RVPThreadTime() HistogramSnapshot {
+	return m.rvpThread.Snapshot()
 }
 
 // ExecutorBatches returns the executor queue-drain batch-size histogram.
@@ -423,6 +458,8 @@ func (m *Collector) Reset() {
 	m.aborted.Store(0)
 	m.execBatches.reset()
 	m.flushCoalesce.reset()
+	m.critPath.reset()
+	m.rvpThread.reset()
 	m.mu.Lock()
 	m.latencies = m.latencies[:0]
 	m.mu.Unlock()
@@ -448,6 +485,12 @@ func (m *Collector) String() string {
 	}
 	if fc := m.FlushCoalescing(); fc.Count > 0 {
 		fmt.Fprintf(&sb, " flush-coalesce[%s]", fc)
+	}
+	if cp := m.CriticalPath(); cp.Count > 0 {
+		fmt.Fprintf(&sb, " critpath-us[%s]", cp)
+	}
+	if rt := m.RVPThreadTime(); rt.Count > 0 {
+		fmt.Fprintf(&sb, " rvpthread-us[%s]", rt)
 	}
 	return sb.String()
 }

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestZipfianBoundsAndSkew(t *testing.T) {
+	const items = 16
+	z := NewZipfian(items, ZipfianTheta)
+	rng := rand.New(rand.NewSource(1))
+	counts := make([]int, items)
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		v := z.Next(rng)
+		if v < 0 || v >= items {
+			t.Fatalf("draw %d out of [0,%d)", v, items)
+		}
+		counts[v]++
+	}
+	// Item 0 is the hottest and must dominate the tail item.
+	if counts[0] <= counts[items-1] {
+		t.Fatalf("no skew: counts[0]=%d <= counts[%d]=%d", counts[0], items-1, counts[items-1])
+	}
+	// With theta≈0.99 the hottest item draws roughly a quarter of the
+	// accesses over 16 items; demand at least 3x the uniform share.
+	if counts[0] < 3*draws/items {
+		t.Fatalf("hottest item drew %d of %d, want >= %d", counts[0], draws, 3*draws/items)
+	}
+}
+
+func TestHotspotBoundsAndSkew(t *testing.T) {
+	const items = 100
+	h := NewHotspot(items, 0.1, 0.9)
+	rng := rand.New(rand.NewSource(2))
+	hot := 0
+	const draws = 10000
+	for i := 0; i < draws; i++ {
+		v := h.Next(rng)
+		if v < 0 || v >= items {
+			t.Fatalf("draw %d out of [0,%d)", v, items)
+		}
+		if v < 10 {
+			hot++
+		}
+	}
+	if frac := float64(hot) / draws; frac < 0.85 || frac > 0.95 {
+		t.Fatalf("hot fraction = %.3f, want ~0.9", frac)
+	}
+}

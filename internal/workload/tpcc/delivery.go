@@ -19,7 +19,7 @@ type deliveryInput struct {
 
 func (d *Driver) genDelivery(rng *rand.Rand) deliveryInput {
 	return deliveryInput{
-		wID:       1 + rng.Int63n(d.Warehouses),
+		wID:       d.pickWarehouse(rng),
 		carrierID: 1 + rng.Int63n(10),
 	}
 }
@@ -82,37 +82,50 @@ func (d *Driver) deliveryConventional(e *engine.Engine, txn *engine.Txn, in deli
 	return delivered, nil
 }
 
+// deliveredKey names the shared-map slot for one district's delivered order.
+func deliveredKey(dd int64) string { return fmt.Sprintf("del_%d", dd) }
+
 // deliveryFlow builds the Delivery transaction flow graph — the poster child
 // for DORA's multi-phase decomposition, with genuine inter-action data
 // dependencies carried across rendezvous points through the transaction's
 // shared map:
 //
-//	phase 0: NEW_ORDER[w]   probe oldest undelivered order per district,
-//	                        delete its entry         -> shared "delivered"
-//	phase 0: lock claims on ORDERS[w], ORDER_LINE[w], CUSTOMER[w]
+//	phase 0: lock claims on NEW_ORDER[w] (X), ORDERS[w] (X),
+//	         ORDER_LINE[w] (S), CUSTOMER[w] (X)
 //	---- RVP1 ----
-//	phase 1: ORDERS[w]      stamp carrier, read customer ids -> shared "cids"
-//	phase 1: ORDER_LINE[w]  sum line amounts per district    -> shared "amounts"
+//	phase 1: 10 secondary actions, one per district: probe the oldest
+//	         undelivered order (resolver pool, concurrent), record it under
+//	         shared "del_<d>", and forward the NEW_ORDER delete to the
+//	         owning executor (resolve-then-forward, §4.2.2)
 //	---- RVP2 ----
-//	phase 2: CUSTOMER[w]    credit balances with the summed amounts
+//	phase 2: ORDERS[w]      stamp carrier, read customer ids -> shared "cids"
+//	phase 2: ORDER_LINE[w]  sum line amounts per district    -> shared "amounts"
+//	---- RVP3 ----
+//	phase 3: CUSTOMER[w]    credit balances with the summed amounts
 //	---- terminal RVP: commit ----
 //
-// The two phase-1 actions depend only on phase 0's order ids and run
-// concurrently on their tables' executors; the phase-2 action needs both their
-// outputs. The later phases' locks are claimed with phase 0's atomic
-// submission (see claim) so the flow cannot deadlock against NewOrder's write
-// set. When delivered is non-nil it receives the number of delivered orders
-// after the flow commits.
+// The whole lock footprint is claimed in phase 0's atomic submission (see
+// claim), so the flow cannot deadlock against NewOrder's write set and —
+// because the per-district probes only start after the NEW_ORDER[w]
+// exclusive claim is granted — two concurrent Deliveries on one warehouse
+// serialize and never probe the same undelivered order. The probes
+// themselves run off the executor threads and fan out across the resolver
+// pool; only the deletes they forward run on the NEW_ORDER executor. The two
+// phase-2 actions depend only on the probed order ids and run concurrently
+// on their tables' executors; the phase-3 action needs both their outputs.
+// When delivered is non-nil it receives the number of delivered orders after
+// the flow commits.
 func (d *Driver) deliveryFlow(sys *dora.System, in deliveryInput, delivered *int) *dora.Transaction {
 	tx := sys.NewTransaction()
+	claim(tx, "NEW_ORDER", ik(in.wID), dora.Exclusive)
 	claim(tx, "ORDERS", ik(in.wID), dora.Exclusive)
 	claim(tx, "ORDER_LINE", ik(in.wID), dora.Shared)
 	claim(tx, "CUSTOMER", ik(in.wID), dora.Exclusive)
-	tx.Add(0, &dora.Action{
-		Table: "NEW_ORDER", Key: ik(in.wID), Mode: dora.Exclusive,
-		Work: func(s *dora.Scope) error {
-			orders := make(map[int64]int64, DistrictsPerWarehouse) // district -> order id
-			for dd := int64(1); dd <= DistrictsPerWarehouse; dd++ {
+	for dd := int64(1); dd <= DistrictsPerWarehouse; dd++ {
+		dd := dd
+		tx.Add(1, &dora.Action{
+			Table: "NEW_ORDER", Mode: dora.Exclusive,
+			Work: func(s *dora.Scope) error {
 				oID, err := oldestUndelivered(func(prefix storage.Key, fn func(storage.Tuple) bool) error {
 					return s.ScanPrefix("NEW_ORDER", prefix, fn)
 				}, in.wID, dd)
@@ -120,25 +133,28 @@ func (d *Driver) deliveryFlow(sys *dora.System, in deliveryInput, delivered *int
 					return err
 				}
 				if oID < 0 {
-					continue
+					return nil // district has no undelivered orders (§2.7.4.2)
 				}
-				if err := s.Delete("NEW_ORDER", ik(in.wID, dd, oID)); err != nil {
-					return err
-				}
-				orders[dd] = oID
-			}
-			s.Put("delivered", orders)
-			return nil
-		},
-	})
-	getDelivered := func(s *dora.Scope) (map[int64]int64, error) {
-		v, ok := s.Get("delivered")
-		if !ok {
-			return nil, errors.New("tpcc: delivery new-order phase did not run")
-		}
-		return v.(map[int64]int64), nil
+				s.Put(deliveredKey(dd), oID)
+				return s.Forward(&dora.Action{
+					Table: "NEW_ORDER", Key: ik(in.wID), Mode: dora.Exclusive,
+					Work: func(s *dora.Scope) error {
+						return s.Delete("NEW_ORDER", ik(in.wID, dd, oID))
+					},
+				})
+			},
+		})
 	}
-	tx.Add(1, &dora.Action{
+	getDelivered := func(s *dora.Scope) (map[int64]int64, error) {
+		orders := make(map[int64]int64, DistrictsPerWarehouse) // district -> order id
+		for dd := int64(1); dd <= DistrictsPerWarehouse; dd++ {
+			if v, ok := s.Get(deliveredKey(dd)); ok {
+				orders[dd] = v.(int64)
+			}
+		}
+		return orders, nil
+	}
+	tx.Add(2, &dora.Action{
 		Table: "ORDERS", Key: ik(in.wID), Mode: dora.Exclusive,
 		Work: func(s *dora.Scope) error {
 			orders, err := getDelivered(s)
@@ -161,7 +177,7 @@ func (d *Driver) deliveryFlow(sys *dora.System, in deliveryInput, delivered *int
 			return nil
 		},
 	})
-	tx.Add(1, &dora.Action{
+	tx.Add(2, &dora.Action{
 		Table: "ORDER_LINE", Key: ik(in.wID), Mode: dora.Shared,
 		Work: func(s *dora.Scope) error {
 			orders, err := getDelivered(s)
@@ -183,7 +199,7 @@ func (d *Driver) deliveryFlow(sys *dora.System, in deliveryInput, delivered *int
 			return nil
 		},
 	})
-	tx.Add(2, &dora.Action{
+	tx.Add(3, &dora.Action{
 		Table: "CUSTOMER", Key: ik(in.wID), Mode: dora.Exclusive,
 		Work: func(s *dora.Scope) error {
 			v, ok := s.Get("cids")

@@ -119,14 +119,16 @@ func TestDeliveryDORAFlowGraphShapeAndEffects(t *testing.T) {
 
 	var delivered int
 	tx := d.deliveryFlow(sys, deliveryInput{wID: 1, carrierID: 9}, &delivered)
-	// The genuinely multi-phase graph: probe+delete (plus the three lock
-	// claims), then the ORDERS/ORDER_LINE pair, then the CUSTOMER update —
-	// 3 phases, 4 work actions + 3 claims.
-	if tx.NumPhases() != 3 {
-		t.Fatalf("Delivery flow graph has %d phases, want 3", tx.NumPhases())
+	// The genuinely multi-phase graph: the four lock claims, then one
+	// secondary probe per district (which forward the NEW_ORDER deletes),
+	// then the ORDERS/ORDER_LINE pair, then the CUSTOMER update — 4 phases,
+	// 4 claims + 10 probes + 3 work actions (forwarded deletes are not part
+	// of the static graph).
+	if tx.NumPhases() != 4 {
+		t.Fatalf("Delivery flow graph has %d phases, want 4", tx.NumPhases())
 	}
-	if tx.NumActions() != 7 {
-		t.Fatalf("Delivery flow graph has %d actions, want 7", tx.NumActions())
+	if want := 4 + int(DistrictsPerWarehouse) + 3; tx.NumActions() != want {
+		t.Fatalf("Delivery flow graph has %d actions, want %d", tx.NumActions(), want)
 	}
 	if err := tx.Run(); err != nil {
 		t.Fatalf("delivery flow: %v", err)

@@ -8,6 +8,7 @@ package tpcc
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"sync/atomic"
 
 	"dora/internal/dora"
@@ -43,7 +44,33 @@ type Driver struct {
 	CustomersPerDistrict int64
 	Items                int64
 
+	// ByNamePercent is the share of Payment and OrderStatus customer
+	// selections made by last name through the by-name secondary index
+	// (the TPC-C specification uses 60). The by-name flows carry a
+	// secondary resolve-then-forward action in DORA mode, so raising this
+	// makes the mix secondary-heavy.
+	ByNamePercent int
+
+	// WarehouseZipfTheta, when positive, draws warehouse ids from a zipfian
+	// distribution with that theta instead of uniformly — the skewed
+	// hot-warehouse scenario. Set it before the first transaction runs.
+	WarehouseZipfTheta float64
+
+	zipfOnce sync.Once
+	zipf     *workload.Zipfian
+
 	historyID atomic.Int64
+}
+
+// pickWarehouse draws a warehouse id, zipf-skewed when configured.
+func (d *Driver) pickWarehouse(rng *rand.Rand) int64 {
+	if d.WarehouseZipfTheta > 0 && d.Warehouses > 1 {
+		d.zipfOnce.Do(func() {
+			d.zipf = workload.NewZipfian(d.Warehouses, d.WarehouseZipfTheta)
+		})
+		return 1 + d.zipf.Next(rng)
+	}
+	return 1 + rng.Int63n(d.Warehouses)
 }
 
 func init() {
@@ -59,6 +86,7 @@ func New(warehouses int64) *Driver {
 		Warehouses:           warehouses,
 		CustomersPerDistrict: DefaultCustomersPerDistrict,
 		Items:                DefaultItems,
+		ByNamePercent:        60,
 	}
 }
 

@@ -19,7 +19,7 @@ type stockLevelInput struct {
 
 func (d *Driver) genStockLevel(rng *rand.Rand) stockLevelInput {
 	return stockLevelInput{
-		wID:       1 + rng.Int63n(d.Warehouses),
+		wID:       d.pickWarehouse(rng),
 		dID:       1 + rng.Int63n(DistrictsPerWarehouse),
 		threshold: 10 + rng.Int63n(11), // uniform in [10, 20]
 	}

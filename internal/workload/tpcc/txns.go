@@ -32,7 +32,7 @@ type paymentInput struct {
 
 func (d *Driver) genPayment(rng *rand.Rand) paymentInput {
 	in := paymentInput{
-		wID:    1 + rng.Int63n(d.Warehouses),
+		wID:    d.pickWarehouse(rng),
 		dID:    1 + rng.Int63n(DistrictsPerWarehouse),
 		amount: 1 + rng.Float64()*4999,
 	}
@@ -49,8 +49,8 @@ func (d *Driver) genPayment(rng *rand.Rand) paymentInput {
 		in.cWID = in.wID
 	}
 	in.cDID = 1 + rng.Int63n(DistrictsPerWarehouse)
-	// 60% of Payments select the customer by last name (§2.5.1.2).
-	if rng.Intn(100) < 60 {
+	// By default 60% of Payments select the customer by last name (§2.5.1.2).
+	if rng.Intn(100) < d.ByNamePercent {
 		in.cLast = workload.LastName(workload.NURand(rng, 255, 0, 999) % d.CustomersPerDistrict)
 	} else {
 		in.cID = workload.NURand(rng, 1023, 1, d.CustomersPerDistrict)
@@ -66,10 +66,10 @@ type orderStatusInput struct {
 
 func (d *Driver) genOrderStatus(rng *rand.Rand) orderStatusInput {
 	in := orderStatusInput{
-		wID: 1 + rng.Int63n(d.Warehouses),
+		wID: d.pickWarehouse(rng),
 		dID: 1 + rng.Int63n(DistrictsPerWarehouse),
 	}
-	if rng.Intn(100) < 60 {
+	if rng.Intn(100) < d.ByNamePercent {
 		in.cLast = workload.LastName(workload.NURand(rng, 255, 0, 999) % d.CustomersPerDistrict)
 	} else {
 		in.cID = workload.NURand(rng, 1023, 1, d.CustomersPerDistrict)
@@ -86,7 +86,7 @@ type newOrderInput struct {
 
 func (d *Driver) genNewOrder(rng *rand.Rand) newOrderInput {
 	in := newOrderInput{
-		wID: 1 + rng.Int63n(d.Warehouses),
+		wID: d.pickWarehouse(rng),
 		dID: 1 + rng.Int63n(DistrictsPerWarehouse),
 		cID: workload.NURand(rng, 1023, 1, d.CustomersPerDistrict),
 	}
@@ -205,12 +205,7 @@ func paymentCustomerUpdate(in paymentInput,
 	byPK func(pk storage.Key, fn func(storage.Tuple) (storage.Tuple, error)) error,
 	lookup func(key storage.Key) ([]engine.IndexMatch, error),
 	byRID func(rid storage.RID, fn func(storage.Tuple) (storage.Tuple, error)) error) error {
-	apply := func(tu storage.Tuple) (storage.Tuple, error) {
-		tu[5] = storage.FloatValue(tu[5].Float - in.amount)
-		tu[6] = storage.FloatValue(tu[6].Float + in.amount)
-		tu[7] = storage.IntValue(tu[7].Int + 1)
-		return tu, nil
-	}
+	apply := applyPayment(in.amount)
 	if in.cID != 0 {
 		return byPK(ik(in.cWID, in.cDID, in.cID), apply)
 	}
@@ -262,10 +257,29 @@ func (d *Driver) paymentConventional(e *engine.Engine, txn *engine.Txn, in payme
 	return err
 }
 
+// applyPayment returns the customer-row mutation of a Payment.
+func applyPayment(amount float64) func(storage.Tuple) (storage.Tuple, error) {
+	return func(tu storage.Tuple) (storage.Tuple, error) {
+		tu[5] = storage.FloatValue(tu[5].Float - amount)
+		tu[6] = storage.FloatValue(tu[6].Float + amount)
+		tu[7] = storage.IntValue(tu[7].Int + 1)
+		return tu, nil
+	}
+}
+
 // paymentDORA is the paper's running example (Figure 4): the Warehouse,
 // District, and Customer actions form the first phase (each merging the probe
-// with the update because they share an identifier), and an RVP separates them
-// from the History insert, which depends on them.
+// with the update because they share an identifier), and an RVP separates
+// them from the History insert, which depends on them.
+//
+// When the customer is selected by last name (60% of Payments, §2.5.1.2) the
+// flow instead uses a secondary action (§4.2.2): phase 0 runs the Warehouse
+// and District updates and claims the Customer lock, phase 1 resolves the
+// customer through the by-name index on a resolver thread and forwards the
+// balance update to the executor owning the customer's warehouse
+// (resolve-then-forward), and phase 2 inserts the History row. The forwarded
+// action re-acquires the phase-0 claim reentrantly, so the out-of-band
+// forward cannot deadlock.
 func (d *Driver) paymentDORA(sys *dora.System, in paymentInput) error {
 	tx := sys.NewTransaction()
 	tx.Add(0, &dora.Action{
@@ -287,28 +301,44 @@ func (d *Driver) paymentDORA(sys *dora.System, in paymentInput) error {
 		},
 	})
 	// The Customer may live in a remote warehouse (15%); DORA handles it by
-	// simply routing the action to that warehouse's executor (§4.1.2). 60%
-	// of the time the customer is selected through the by-name secondary
-	// index; because that index contains the warehouse id, the action's
-	// identifier still covers the routing field and no secondary action is
-	// needed (§4.1.2's discussion of the Payment example).
-	tx.Add(0, &dora.Action{
-		Table: "CUSTOMER", Key: ik(in.cWID), Mode: dora.Exclusive,
-		Work: func(s *dora.Scope) error {
-			return paymentCustomerUpdate(in,
-				func(pk storage.Key, fn func(storage.Tuple) (storage.Tuple, error)) error {
-					return s.Update("CUSTOMER", pk, fn)
-				},
-				func(key storage.Key) ([]engine.IndexMatch, error) {
-					return s.SecondaryLookup("CUSTOMER", "by_name", key)
-				},
-				func(rid storage.RID, fn func(storage.Tuple) (storage.Tuple, error)) error {
-					return s.UpdateRID("CUSTOMER", rid, fn)
+	// simply routing the action to that warehouse's executor (§4.1.2).
+	historyPhase := 1
+	if in.cID != 0 {
+		// Selected by id: the identifier covers the routing field directly.
+		tx.Add(0, &dora.Action{
+			Table: "CUSTOMER", Key: ik(in.cWID), Mode: dora.Exclusive,
+			Work: func(s *dora.Scope) error {
+				return s.Update("CUSTOMER", ik(in.cWID, in.cDID, in.cID), applyPayment(in.amount))
+			},
+		})
+	} else {
+		// Selected by last name: a secondary action resolves the customer's
+		// RID through the by-name index and forwards the update.
+		historyPhase = 2
+		claim(tx, "CUSTOMER", ik(in.cWID), dora.Exclusive)
+		tx.Add(1, &dora.Action{
+			Table: "CUSTOMER", Mode: dora.Exclusive,
+			Work: func(s *dora.Scope) error {
+				matches, err := s.SecondaryLookup("CUSTOMER", "by_name", storage.EncodeKey(
+					storage.IntValue(in.cWID), storage.IntValue(in.cDID), storage.StringValue(in.cLast)))
+				if err != nil {
+					return err
+				}
+				m, err := middleMatch(matches)
+				if err != nil {
+					return err
+				}
+				return s.Forward(&dora.Action{
+					Table: "CUSTOMER", Key: ik(in.cWID), Mode: dora.Exclusive,
+					Work: func(s *dora.Scope) error {
+						return s.UpdateRID("CUSTOMER", m.RID, applyPayment(in.amount))
+					},
 				})
-		},
-	})
+			},
+		})
+	}
 	claim(tx, "HISTORY", ik(in.wID), dora.Exclusive)
-	tx.Add(1, &dora.Action{
+	tx.Add(historyPhase, &dora.Action{
 		Table: "HISTORY", Key: ik(in.wID), Mode: dora.Exclusive,
 		Work: func(s *dora.Scope) error {
 			_, err := s.Insert("HISTORY", storage.Tuple{
@@ -333,10 +363,11 @@ func (d *Driver) orderStatusConventional(e *engine.Engine, txn *engine.Txn, in o
 		if err != nil {
 			return err
 		}
-		if len(matches) == 0 {
-			return engine.ErrNotFound
+		m, err := middleMatch(matches)
+		if err != nil {
+			return err
 		}
-		rec, err := e.ProbeRID(txn, "CUSTOMER", matches[len(matches)/2].RID, opt)
+		rec, err := e.ProbeRID(txn, "CUSTOMER", m.RID, opt)
 		if err != nil {
 			return err
 		}
@@ -392,39 +423,59 @@ func latestOrderOf(lookup func(storage.Key) ([]engine.IndexMatch, error), probe 
 	return best, nil
 }
 
-// orderStatusDORA: customer probe, then the last order, then its lines. All
-// identifiers contain the warehouse id; the phases encode the data
-// dependencies (customer id -> order id -> lines).
+// orderStatusDORA: customer resolution, then the last order, then its lines.
+// The phases encode the data dependencies (customer id -> order id -> lines).
+// When the customer is selected by last name, phase 0 claims the flow's lock
+// footprint and a phase-1 secondary action resolves the customer through the
+// by-name index off the executor threads, forwarding the customer probe to
+// the owning executor (resolve-then-forward, §4.2.2); the by-id variant keeps
+// the direct three-phase shape.
 func (d *Driver) orderStatusDORA(sys *dora.System, in orderStatusInput) error {
 	tx := sys.NewTransaction()
-	tx.Add(0, &dora.Action{
-		Table: "CUSTOMER", Key: ik(in.wID), Mode: dora.Shared,
-		Work: func(s *dora.Scope) error {
-			cID := in.cID
-			if cID == 0 {
+	customerPhase := 0
+	if in.cID != 0 {
+		tx.Add(0, &dora.Action{
+			Table: "CUSTOMER", Key: ik(in.wID), Mode: dora.Shared,
+			Work: func(s *dora.Scope) error {
+				if _, err := s.Probe("CUSTOMER", ik(in.wID, in.dID, in.cID)); err != nil {
+					return err
+				}
+				s.Put("c_id", in.cID)
+				return nil
+			},
+		})
+	} else {
+		customerPhase = 1
+		claim(tx, "CUSTOMER", ik(in.wID), dora.Shared)
+		tx.Add(1, &dora.Action{
+			Table: "CUSTOMER", Mode: dora.Shared,
+			Work: func(s *dora.Scope) error {
 				matches, err := s.SecondaryLookup("CUSTOMER", "by_name",
 					storage.EncodeKey(storage.IntValue(in.wID), storage.IntValue(in.dID), storage.StringValue(in.cLast)))
 				if err != nil {
 					return err
 				}
-				if len(matches) == 0 {
-					return engine.ErrNotFound
-				}
-				rec, err := s.ProbeRID("CUSTOMER", matches[len(matches)/2].RID)
+				m, err := middleMatch(matches)
 				if err != nil {
 					return err
 				}
-				cID = rec[2].Int
-			} else if _, err := s.Probe("CUSTOMER", ik(in.wID, in.dID, cID)); err != nil {
-				return err
-			}
-			s.Put("c_id", cID)
-			return nil
-		},
-	})
+				return s.Forward(&dora.Action{
+					Table: "CUSTOMER", Key: ik(in.wID), Mode: dora.Shared,
+					Work: func(s *dora.Scope) error {
+						rec, err := s.ProbeRID("CUSTOMER", m.RID)
+						if err != nil {
+							return err
+						}
+						s.Put("c_id", rec[2].Int)
+						return nil
+					},
+				})
+			},
+		})
+	}
 	claim(tx, "ORDERS", ik(in.wID), dora.Shared)
 	claim(tx, "ORDER_LINE", ik(in.wID), dora.Shared)
-	tx.Add(1, &dora.Action{
+	tx.Add(customerPhase+1, &dora.Action{
 		Table: "ORDERS", Key: ik(in.wID), Mode: dora.Shared,
 		Work: func(s *dora.Scope) error {
 			v, ok := s.Get("c_id")
@@ -443,7 +494,7 @@ func (d *Driver) orderStatusDORA(sys *dora.System, in orderStatusInput) error {
 			return nil
 		},
 	})
-	tx.Add(2, &dora.Action{
+	tx.Add(customerPhase+2, &dora.Action{
 		Table: "ORDER_LINE", Key: ik(in.wID), Mode: dora.Shared,
 		Work: func(s *dora.Scope) error {
 			v, ok := s.Get("o_id")
@@ -567,12 +618,16 @@ func (d *Driver) newOrderDORA(sys *dora.System, in newOrderInput) error {
 		},
 	})
 	// One item-read action per distinct item: ITEM routes on the item id, so
-	// these actions spread over the ITEM executors.
+	// these actions spread over the ITEM executors. They are dispatched
+	// Unordered — outside the phase's ordered queue-latching group — so each
+	// ITEM executor starts its probe immediately instead of waiting for the
+	// whole write-set submission below to latch its queues; read-only ITEM
+	// probes cannot join a deadlock cycle (nothing locks ITEM exclusively).
 	prices := make([]float64, len(in.items))
 	for i, item := range in.items {
 		i, item := i, item
 		tx.Add(0, &dora.Action{
-			Table: "ITEM", Key: ik(item), Mode: dora.Shared,
+			Table: "ITEM", Key: ik(item), Mode: dora.Shared, Unordered: true,
 			Work: func(s *dora.Scope) error {
 				rec, err := s.Probe("ITEM", ik(item))
 				if err != nil {
