@@ -2,14 +2,18 @@
 # bench.sh — run the end-to-end throughput benchmarks and emit JSON summaries
 # so successive PRs accumulate a performance trajectory: BENCH_tm1.json for
 # the TM1 mix and pipeline microbenchmarks, BENCH_tpcc.json for the TPC-C
-# secondary-phase A/B (serial vs parallel secondaries) and allocation counts.
+# secondary-phase A/B (serial vs parallel secondaries) and allocation counts,
+# and BENCH_skew.json for the hot-warehouse-shift rebalancing benchmark
+# (before/during/after-shift throughput and imbalance, balancer on vs off).
 #
-# Usage: ./bench.sh [tm1-output.json] [tpcc-output.json]
+# Usage: ./bench.sh [tm1-output.json] [tpcc-output.json] [skew-output.json]
 #   BENCHTIME=2s ./bench.sh        # longer measurement interval
+#   SKEW_FLAGS="-skew-windows 6 -skew-window 150ms" ./bench.sh   # faster skew run
 set -euo pipefail
 
 out_tm1=${1:-BENCH_tm1.json}
 out_tpcc=${2:-BENCH_tpcc.json}
+out_skew=${3:-BENCH_skew.json}
 benchtime=${BENCHTIME:-1s}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -47,3 +51,10 @@ go test -run '^$' -bench 'BenchmarkSecondaryPhase|BenchmarkTxnStartAllocs' -benc
   -benchtime "$benchtime" . | tee "$raw"
 bench_to_json "$raw" "$out_tpcc"
 echo "wrote $out_tpcc"
+
+# Adaptive-partitioning benchmark: hot warehouses shift at t/2, balancer on vs
+# off. Gates on invariants, hard errors, and the uniform spurious-move bound —
+# not on throughput.
+# shellcheck disable=SC2086
+go run ./cmd/dorabench -fig skew -skew-json "$out_skew" ${SKEW_FLAGS:-}
+echo "wrote $out_skew"

@@ -115,8 +115,15 @@ type (
 	Transaction = dora.Transaction
 	// Executor is a worker thread bound to one dataset.
 	Executor = dora.Executor
-	// ResourceManager maintains routing rules and execution plans.
-	ResourceManager = dora.ResourceManager
+	// PartitionManager owns the versioned routing tables, the load
+	// accounting, and the execution-plan policy.
+	PartitionManager = dora.PartitionManager
+	// Balancer is the online rebalancing control loop.
+	Balancer = dora.Balancer
+	// BalancerConfig tunes the rebalancing control loop.
+	BalancerConfig = dora.BalancerConfig
+	// RebalanceEvent records one applied routing-boundary move.
+	RebalanceEvent = dora.RebalanceEvent
 	// Mode is a thread-local lock mode.
 	Mode = dora.Mode
 	// Plan selects serial or parallel intra-transaction execution.

@@ -1,4 +1,4 @@
-// loadbalance demonstrates the DORA resource manager (Appendix A.2.1):
+// loadbalance demonstrates the DORA partition manager (Appendix A.2.1):
 // executors are bound to key ranges of a table, a skewed client hammers the
 // low end of the key space, the resource manager observes the per-executor
 // load imbalance, and it moves the routing boundary to rebalance — without
@@ -46,7 +46,7 @@ func main() {
 		log.Fatal(err)
 	}
 	defer sys.Stop()
-	rm := sys.ResourceManager()
+	pm := sys.PartitionManager()
 
 	// Skewed load: 90% of the requests touch the first quarter of the keys,
 	// which all live on executor 0 under the initial even split.
@@ -76,20 +76,20 @@ func main() {
 
 	fmt.Println("Phase 1: skewed load with the initial even routing rule")
 	runSkewed(2000)
-	loads := rm.ExecutorLoads("ITEMS")
+	loads := pm.ExecutorLoads("ITEMS")
 	fmt.Printf("  actions routed per executor: %v  (executor 0 is overloaded)\n", loads)
 
 	// Rebalance: shrink executor 0's dataset down to half of the hot range so
 	// both executors see a comparable share of the skewed traffic.
 	fmt.Println("\nPhase 2: the resource manager moves the routing boundary (no data moves)")
-	if err := rm.MoveBoundary("ITEMS", 0, dora.Key(dora.Int(keys/8+1))); err != nil {
+	if err := pm.MoveBoundary("ITEMS", 0, dora.Key(dora.Int(keys/8+1))); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  new routing boundaries: executor 0 owns [1..%d], executor 1 owns [%d..%d]\n",
 		keys/8, keys/8+1, keys)
 
 	runSkewed(2000)
-	loads = rm.ExecutorLoads("ITEMS")
+	loads = pm.ExecutorLoads("ITEMS")
 	fmt.Printf("  actions routed per executor after the resize: %v\n", loads)
 	fmt.Println("\nThe imbalance narrows without repartitioning any records — the contrast the")
 	fmt.Println("paper draws with shared-nothing systems, which must physically move rows and")

@@ -9,13 +9,17 @@
 // locks in the centralized manager to coordinate page-slot reuse (§4.2.1), and
 // commit is a one-off log flush followed by asynchronous local-lock release
 // messages to the participating executors (Appendix A.1).
+//
+// Routing state is owned by the PartitionManager (partition.go): an
+// immutable, versioned partition table per dataset, swapped atomically on
+// every change, so the route-lookup hot path takes no locks. The optional
+// Balancer (balancer.go) closes the loop between the executors' load reports
+// and the routing rule.
 package dora
 
 import (
 	"errors"
 	"fmt"
-	"sort"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -84,6 +88,11 @@ type Config struct {
 	// secondary actions in parallel. Zero uses DefaultSecondaryWorkers; it is
 	// ignored when SerialSecondaries is set.
 	SecondaryWorkers int
+	// Balancer, when non-nil, starts the online rebalancing control loop with
+	// the given configuration (zero-value fields select the defaults): the
+	// partition manager then moves routing boundaries automatically when the
+	// executors' load reports show sustained skew.
+	Balancer *BalancerConfig
 }
 
 // DefaultTxnTimeout is the default transaction timeout.
@@ -107,27 +116,15 @@ type System struct {
 	eng *engine.Engine
 	cfg Config
 
-	mu       sync.RWMutex
-	tables   map[string]*tableExecutors
-	stopped  bool
-	nextExec int // global executor ordinal, defines the submission order
+	stopped  atomic.Bool
+	nextExec int // global executor ordinal (guarded by pm.mu), defines the submission order
 
-	rm        *ResourceManager
+	pm        *PartitionManager
 	resolvers *resolverPool
 
 	statSecondaryParallel atomic.Uint64 // secondary actions run on the resolver pool
 	statSecondaryInline   atomic.Uint64 // secondary actions run on the RVP thread
 	statForwarded         atomic.Uint64 // primary actions forwarded by secondaries
-}
-
-// tableExecutors is the per-table routing rule plus its executors.
-type tableExecutors struct {
-	table string
-	// boundaries[i] is the lowest routing key owned by executors[i+1]; an
-	// action with routing key k is owned by the executor whose range
-	// contains k. len(boundaries) == len(executors)-1.
-	boundaries []storage.Key
-	executors  []*Executor
 }
 
 // NewSystem creates a DORA system over the given storage engine. Tables must
@@ -144,11 +141,14 @@ func NewSystem(eng *engine.Engine, cfg Config) *System {
 		cfg.SecondaryWorkers = DefaultSecondaryWorkers
 	}
 	s := &System{
-		eng:    eng,
-		cfg:    cfg,
-		tables: make(map[string]*tableExecutors),
+		eng: eng,
+		cfg: cfg,
 	}
-	s.rm = newResourceManager(s)
+	s.pm = newPartitionManager(s)
+	if cfg.Balancer != nil {
+		s.pm.balancer = newBalancer(s.pm, *cfg.Balancer)
+		s.pm.balancer.start()
+	}
 	if !cfg.SerialSecondaries {
 		s.resolvers = newResolverPool(s, cfg.SecondaryWorkers)
 	}
@@ -158,8 +158,13 @@ func NewSystem(eng *engine.Engine, cfg Config) *System {
 // Engine returns the underlying storage engine.
 func (s *System) Engine() *engine.Engine { return s.eng }
 
-// ResourceManager returns the system's resource manager.
-func (s *System) ResourceManager() *ResourceManager { return s.rm }
+// PartitionManager returns the system's partition manager: the owner of the
+// routing rules, the load accounting, and the execution-plan policy.
+func (s *System) PartitionManager() *PartitionManager { return s.pm }
+
+// Balancer returns the online rebalancing control loop, or nil when the
+// system runs without one.
+func (s *System) Balancer() *Balancer { return s.pm.balancer }
 
 func (s *System) collector() *metrics.Collector { return s.eng.Collector() }
 
@@ -167,35 +172,14 @@ func (s *System) collector() *metrics.Collector { return s.eng.Collector() }
 // rule: boundaries[i] is the smallest routing key assigned to executor i+1, so
 // numExecutors = len(boundaries)+1. Keys below boundaries[0] (or all keys,
 // when boundaries is empty) belong to executor 0.
+//
+// Tables bound this way have no known key-space extent, so the balancer
+// leaves them alone; BindTableInts declares the extent and arms it.
 func (s *System) BindTable(table string, boundaries []storage.Key) error {
 	if _, err := s.eng.Table(table); err != nil {
 		return err
 	}
-	for i := 1; i < len(boundaries); i++ {
-		if string(boundaries[i-1]) >= string(boundaries[i]) {
-			return fmt.Errorf("dora: routing boundaries for %q are not strictly increasing", table)
-		}
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.stopped {
-		return ErrSystemStopped
-	}
-	if old, exists := s.tables[table]; exists {
-		for _, ex := range old.executors {
-			ex.stop()
-		}
-	}
-	te := &tableExecutors{table: table, boundaries: append([]storage.Key(nil), boundaries...)}
-	numExec := len(boundaries) + 1
-	for i := 0; i < numExec; i++ {
-		ex := newExecutor(s, table, i, s.nextExec)
-		s.nextExec++
-		te.executors = append(te.executors, ex)
-		go ex.run()
-	}
-	s.tables[table] = te
-	return nil
+	return s.pm.bind(table, boundaries, false, 0, 0)
 }
 
 // BindTableInts is a convenience wrapper for tables whose first routing field
@@ -209,91 +193,76 @@ func (s *System) BindTableInts(table string, lo, hi int64, numExecutors int) err
 	if hi < lo {
 		return fmt.Errorf("dora: invalid key range [%d,%d] for %q", lo, hi, table)
 	}
+	if _, err := s.eng.Table(table); err != nil {
+		return err
+	}
 	span := hi - lo + 1
 	boundaries := make([]storage.Key, 0, numExecutors-1)
 	for i := 1; i < numExecutors; i++ {
 		cut := lo + span*int64(i)/int64(numExecutors)
 		boundaries = append(boundaries, storage.EncodeKey(storage.IntValue(cut)))
 	}
-	return s.BindTable(table, boundaries)
+	return s.pm.bind(table, boundaries, true, lo, hi)
 }
 
 // Executors returns the executors bound to a table, in dataset order.
 func (s *System) Executors(table string) []*Executor {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	te := s.tables[table]
-	if te == nil {
+	rt := s.pm.current(table)
+	if rt == nil {
 		return nil
 	}
-	out := make([]*Executor, len(te.executors))
-	copy(out, te.executors)
+	out := make([]*Executor, len(rt.executors))
+	copy(out, rt.executors)
 	return out
 }
 
 // RoutingBoundaries returns a copy of the table's routing boundaries.
 func (s *System) RoutingBoundaries(table string) []storage.Key {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	te := s.tables[table]
-	if te == nil {
+	rt := s.pm.current(table)
+	if rt == nil {
 		return nil
 	}
-	out := make([]storage.Key, len(te.boundaries))
-	copy(out, te.boundaries)
+	out := make([]storage.Key, len(rt.boundaries))
+	copy(out, rt.boundaries)
 	return out
 }
 
-// route picks the executor that owns the routing key. The caller must hold
-// the system's mu (read or write) so the boundaries and executors slices are
-// stable.
-func (te *tableExecutors) route(key storage.Key) *Executor {
-	idx := sort.Search(len(te.boundaries), func(i int) bool {
-		return string(key) < string(te.boundaries[i])
-	})
-	return te.executors[idx]
-}
-
 // executorFor returns the executor owning the routing key of the given table.
+// It is the route-lookup hot path: three atomic pointer loads and a binary
+// search over an immutable boundary slice, no locks.
 func (s *System) executorFor(table string, key storage.Key) (*Executor, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	te := s.tables[table]
-	if te == nil {
+	rt := s.pm.current(table)
+	if rt == nil {
 		return nil, fmt.Errorf("%w: %q", ErrNoRoutingRule, table)
 	}
-	return te.route(key), nil
+	return rt.route(key), nil
 }
 
 // allExecutors returns every executor of the table (for broadcast actions).
 func (s *System) allExecutors(table string) ([]*Executor, error) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	te := s.tables[table]
-	if te == nil {
+	rt := s.pm.current(table)
+	if rt == nil {
 		return nil, fmt.Errorf("%w: %q", ErrNoRoutingRule, table)
 	}
-	out := make([]*Executor, len(te.executors))
-	copy(out, te.executors)
+	out := make([]*Executor, len(rt.executors))
+	copy(out, rt.executors)
 	return out, nil
 }
 
-// Stop shuts down every executor. In-flight transactions are allowed to
-// finish their current actions; new submissions fail with ErrSystemStopped.
+// Stop shuts down the balancer and every executor. In-flight transactions are
+// allowed to finish their current actions; new submissions fail with
+// ErrSystemStopped.
 func (s *System) Stop() {
-	s.mu.Lock()
-	if s.stopped {
-		s.mu.Unlock()
+	if !s.stopped.CompareAndSwap(false, true) {
 		return
 	}
-	s.stopped = true
-	var all []*Executor
-	for _, te := range s.tables {
-		all = append(all, te.executors...)
+	if s.pm.balancer != nil {
+		s.pm.balancer.Stop()
 	}
-	s.mu.Unlock()
-	for _, ex := range all {
-		ex.stop()
+	for _, p := range s.pm.snapshot() {
+		for _, ex := range p.cur.Load().executors {
+			ex.stop()
+		}
 	}
 	if s.resolvers != nil {
 		// After the pool stops, in-flight transactions that still submit
@@ -334,15 +303,18 @@ type Stats struct {
 	ActionsForwarded uint64
 	// SecondaryQueue is the current resolver-pool backlog.
 	SecondaryQueue int
+	// PartitionVersion is the global partition-table version (bumped on every
+	// bind and boundary move).
+	PartitionVersion uint64
+	// BoundaryMoves is the number of routing-boundary moves applied.
+	BoundaryMoves uint64
 }
 
 // Stats returns aggregate statistics across all executors.
 func (s *System) Stats() Stats {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out Stats
-	for _, te := range s.tables {
-		for _, ex := range te.executors {
+	for _, p := range s.pm.snapshot() {
+		for _, ex := range p.cur.Load().executors {
 			st := ex.Stats()
 			out.ActionsExecuted += st.ActionsExecuted
 			out.ActionsBlocked += st.ActionsBlocked
@@ -359,5 +331,7 @@ func (s *System) Stats() Stats {
 	if s.resolvers != nil {
 		out.SecondaryQueue = s.resolvers.queueLen()
 	}
+	out.PartitionVersion = s.pm.Version()
+	out.BoundaryMoves = s.pm.BoundaryMoves()
 	return out
 }

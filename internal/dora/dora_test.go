@@ -16,6 +16,22 @@ import (
 // and a DORA system with the given number of executors.
 func newBankSystem(t testing.TB, executors int) (*System, *engine.Engine) {
 	t.Helper()
+	e := newBankEngine(t)
+	sys := NewSystem(e, Config{TxnTimeout: 5 * time.Second})
+	if err := sys.BindTableInts("accounts", 0, 99, executors); err != nil {
+		t.Fatalf("BindTableInts: %v", err)
+	}
+	if err := sys.BindTableInts("history", 0, 99, executors); err != nil {
+		t.Fatalf("BindTableInts history: %v", err)
+	}
+	t.Cleanup(sys.Stop)
+	return sys, e
+}
+
+// newBankEngine creates the bank schema without binding a DORA system, for
+// tests that configure the system themselves.
+func newBankEngine(t testing.TB) *engine.Engine {
+	t.Helper()
 	e := engine.New(engine.Config{BufferPoolFrames: 512})
 	_, err := e.CreateTable(engine.TableDef{
 		Name: "accounts",
@@ -45,18 +61,8 @@ func newBankSystem(t testing.TB, executors int) (*System, *engine.Engine) {
 	if err != nil {
 		t.Fatalf("CreateTable history: %v", err)
 	}
-	sys := NewSystem(e, Config{TxnTimeout: 5 * time.Second})
-	if err := sys.BindTableInts("accounts", 0, 99, executors); err != nil {
-		t.Fatalf("BindTableInts: %v", err)
-	}
-	if err := sys.BindTableInts("history", 0, 99, executors); err != nil {
-		t.Fatalf("BindTableInts history: %v", err)
-	}
-	t.Cleanup(func() {
-		sys.Stop()
-		e.Close()
-	})
-	return sys, e
+	t.Cleanup(e.Close)
+	return e
 }
 
 func accountTuple(branch, id int64, owner string, balance float64) storage.Tuple {

@@ -1,12 +1,14 @@
 package dora
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dora/internal/metrics"
+	"dora/internal/storage"
 )
 
 // ExecutorStats reports one executor's activity.
@@ -43,6 +45,13 @@ const (
 	msgAction messageKind = iota
 	msgCompletion
 	msgSystem
+	// msgSystemBarrier is a system action that must not run in the middle of
+	// a drained batch: it executes only after every message of the batch it
+	// arrived in has been served. The A.2.1 drain runs as a barrier — run
+	// inline it would block the executor with the tail of its own batch still
+	// in hand, deadlocking against any transaction whose next action sits in
+	// that tail while the drain waits for its locks.
+	msgSystemBarrier
 	msgStop
 )
 
@@ -95,6 +104,19 @@ type Executor struct {
 	stopped   bool
 
 	locks *localLockTable
+
+	// part is the partition this executor serves; its load histogram is fed
+	// with every action the executor drains, which is the signal the
+	// balancer's control loop consumes.
+	part *partition
+
+	// gates holds the active region gates of in-flight boundary moves in
+	// which this executor is the growing side: actions for a newly acquired
+	// region are deferred until the shrinking executor's drain finishes
+	// (A.2.1), while everything else keeps being served — blocking the whole
+	// executor here would deadlock multi-table flows against the drain. Only
+	// the executor goroutine touches the slice.
+	gates []*regionGate
 
 	statExecuted atomic.Uint64
 	statBlocked  atomic.Uint64
@@ -185,9 +207,19 @@ func (e *Executor) enqueueCompletion(txnID uint64) {
 	e.mu.Unlock()
 }
 
-// enqueueSystem appends a system action (used by the resource manager).
+// enqueueSystem appends a system action (used by the partition manager).
 func (e *Executor) enqueueSystem(fn func()) {
-	m := newMessage(msgSystem)
+	e.enqueueSystemKind(msgSystem, fn)
+}
+
+// enqueueSystemBarrier appends a system action that runs only once the batch
+// it was drained with has been fully served (see msgSystemBarrier).
+func (e *Executor) enqueueSystemBarrier(fn func()) {
+	e.enqueueSystemKind(msgSystemBarrier, fn)
+}
+
+func (e *Executor) enqueueSystemKind(kind messageKind, fn func()) {
+	m := newMessage(kind)
 	m.sys = fn
 	e.mu.Lock()
 	e.incoming = append(e.incoming, m)
@@ -233,24 +265,153 @@ func (e *Executor) run() {
 		if col := e.sys.collector(); col != nil {
 			col.ObserveExecutorBatch(len(comp) + len(inc))
 		}
+		e.liftGates()
 		for _, m := range comp {
 			e.handleCompletion(m.txnID)
 			releaseMessage(m)
 		}
+		var barriers []func()
 		for _, m := range inc {
 			switch m.kind {
 			case msgStop:
 				return
 			case msgSystem:
 				m.sys()
+			case msgSystemBarrier:
+				barriers = append(barriers, m.sys)
 			case msgAction:
+				if e.gateDefer(m) {
+					continue // held by a region gate; requeued when it lifts
+				}
+				// Report the action to the partition's load accounting as part
+				// of the batch drain: the balancer reads a per-range histogram
+				// fed continuously from executor batch stats instead of
+				// sampling queue lengths ad hoc.
+				if h := e.part.hist; h != nil {
+					h.observe(m.act.lockKey())
+				}
 				e.handleAction(m.act)
 			}
 			releaseMessage(m)
 		}
+		// Barrier system actions (the A.2.1 drain) run only now, with the
+		// whole batch served: anything they wait on can no longer be stranded
+		// in this goroutine's hands.
+		for _, fn := range barriers {
+			fn()
+		}
 		e.statHeld.Store(int64(e.locks.size()))
 		e.statWaiting.Store(int64(e.locks.waiterCount()))
 	}
+}
+
+// regionGate is the growing side of one in-flight boundary move: actions for
+// the moved key region are deferred until the shrinking executor's drain
+// completes (signalled by closing drained).
+type regionGate struct {
+	lo, hi   storage.Key // the moved region [lo, hi), by routing-key prefix
+	shrink   *Executor   // the shrinking side whose drain the gate waits on
+	drained  <-chan struct{}
+	deferred []*message
+}
+
+// gateRegion arms a region gate. It runs on the executor goroutine (as a
+// system action) and returns immediately — the executor keeps serving
+// everything outside the gated region.
+func (e *Executor) gateRegion(lo, hi storage.Key, shrink *Executor, drained <-chan struct{}) {
+	e.gates = append(e.gates, &regionGate{lo: lo, hi: hi, shrink: shrink, drained: drained})
+}
+
+// liftGates requeues the deferred actions of every gate whose drain has
+// completed and drops those gates. Runs on the executor goroutine.
+func (e *Executor) liftGates() {
+	if len(e.gates) == 0 {
+		return
+	}
+	kept := e.gates[:0]
+	var requeue []*message
+	for _, g := range e.gates {
+		select {
+		case <-g.drained:
+			requeue = append(requeue, g.deferred...)
+		default:
+			kept = append(kept, g)
+		}
+	}
+	for i := len(kept); i < len(e.gates); i++ {
+		e.gates[i] = nil
+	}
+	e.gates = kept
+	e.requeueRerouted(requeue)
+}
+
+// requeueRerouted puts deferred messages back into service: actions whose
+// routing key now belongs to another executor (the boundary moved again in
+// the meantime) are forwarded there, everything else returns to the front of
+// this executor's queue.
+func (e *Executor) requeueRerouted(msgs []*message) {
+	if len(msgs) == 0 {
+		return
+	}
+	var local []*message
+	for _, m := range msgs {
+		if m.kind != msgAction || m.act.action.Broadcast || len(m.act.lockKey()) == 0 {
+			local = append(local, m)
+			continue
+		}
+		owner, err := e.sys.executorFor(m.act.action.Table, m.act.lockKey())
+		if err != nil || owner == e {
+			local = append(local, m)
+			continue
+		}
+		owner.enqueueAction(m.act)
+		releaseMessage(m)
+	}
+	if len(local) > 0 {
+		e.mu.Lock()
+		e.incoming = append(local, e.incoming...)
+		e.mu.Unlock()
+	}
+}
+
+// gateDefer defers the action if an active region gate covers its routing
+// key, unless its transaction was already served by this executor or by the
+// gate's shrinking executor: such a flow holds local locks the drain waits
+// for, so deferring it would deadlock the move against the transaction (a
+// multi-phase flow whose claimed key was re-homed between its phases).
+// Returns true when the message was parked on a gate.
+func (e *Executor) gateDefer(m *message) bool {
+	if len(e.gates) == 0 {
+		return false
+	}
+	k := m.act.lockKey()
+	for _, g := range e.gates {
+		if bytes.Compare(k, g.lo) >= 0 && bytes.Compare(k, g.hi) < 0 &&
+			!e.locks.heldByTxn(m.act.flow.txnID()) &&
+			!m.act.flow.isParticipant(g.shrink) {
+			g.deferred = append(g.deferred, m)
+			e.armWaitBackstop(m.act)
+			return true
+		}
+	}
+	return false
+}
+
+// armWaitBackstop starts the lock-wait deadlock backstop for an action parked
+// on a gate or drain deferred list. The participant test in gateDefer races
+// benignly against a sibling action registering on the shrinking executor: a
+// flow can be deferred here moments before it acquires the very locks the
+// drain waits for, a cycle no lock table can see. The backstop aborts the
+// flow after the lock-wait timeout, exactly like a parked lock wait. It runs
+// on the executor goroutine (waitTimer discipline).
+func (e *Executor) armWaitBackstop(a *boundAction) {
+	if a.waitTimer != nil {
+		return
+	}
+	flow, wait := a.flow, e.sys.cfg.LockWaitTimeout
+	a.waitTimer = time.AfterFunc(wait, func() {
+		flow.fail(fmt.Errorf("%w after %v", ErrLockWaitTimeout, wait))
+	})
 }
 
 // handleCompletion releases the finished transaction's local locks and
@@ -307,12 +468,7 @@ func (e *Executor) tryExecute(a *boundAction) bool {
 		// elsewhere keeps its original wait budget. The closure captures the
 		// flow, not the pooled action, so a late firing against a recycled
 		// action can only re-fail an already-finished transaction (a no-op).
-		if a.waitTimer == nil {
-			flow, wait := a.flow, e.sys.cfg.LockWaitTimeout
-			a.waitTimer = time.AfterFunc(wait, func() {
-				flow.fail(fmt.Errorf("%w after %v", ErrLockWaitTimeout, wait))
-			})
-		}
+		e.armWaitBackstop(a)
 		return false
 	}
 	if a.waitTimer != nil {

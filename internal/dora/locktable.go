@@ -188,6 +188,19 @@ func (lt *localLockTable) held(key storage.Key, mode Mode, txn uint64) bool {
 	return mode == Shared || e.mode == Exclusive
 }
 
+// heldByTxn reports whether the transaction holds any local lock in this
+// table — the test the A.2.1 drain protocol uses to tell transactions this
+// executor has already served (and therefore must keep serving, or they can
+// never release their locks here) from new transactions it must defer.
+func (lt *localLockTable) heldByTxn(txn uint64) bool {
+	for _, e := range lt.entries {
+		if _, ok := e.holders[txn]; ok {
+			return true
+		}
+	}
+	return false
+}
+
 // size returns the number of locked identifiers.
 func (lt *localLockTable) size() int { return len(lt.entries) }
 

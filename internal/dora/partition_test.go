@@ -9,7 +9,7 @@ import (
 
 func TestPlanForSwitchesToSerialOnHighAbortRate(t *testing.T) {
 	sys, _ := newBankSystem(t, 2)
-	rm := sys.ResourceManager()
+	rm := sys.PartitionManager()
 
 	// Not enough samples: stay parallel even with aborts.
 	for i := 0; i < 10; i++ {
@@ -49,7 +49,7 @@ func TestPlanForSwitchesToSerialOnHighAbortRate(t *testing.T) {
 func TestExecutorLoads(t *testing.T) {
 	sys, e := newBankSystem(t, 2)
 	loadAccounts(t, e, 2, 1, 0)
-	rm := sys.ResourceManager()
+	rm := sys.PartitionManager()
 	// Route everything to branch 0 (executor 0): the loads must be skewed.
 	for i := 0; i < 10; i++ {
 		tx := sys.NewTransaction()
@@ -79,7 +79,7 @@ func TestExecutorLoads(t *testing.T) {
 func TestMoveBoundaryReroutesKeys(t *testing.T) {
 	sys, e := newBankSystem(t, 2)
 	loadAccounts(t, e, 100, 1, 10)
-	rm := sys.ResourceManager()
+	rm := sys.PartitionManager()
 
 	// Initially the boundary splits [0,99] at 50.
 	ex, _ := sys.executorFor("accounts", key(60))
@@ -121,7 +121,7 @@ func TestMoveBoundaryReroutesKeys(t *testing.T) {
 
 func TestMoveBoundaryValidation(t *testing.T) {
 	sys, _ := newBankSystem(t, 4) // boundaries at 25, 50, 75
-	rm := sys.ResourceManager()
+	rm := sys.PartitionManager()
 	if err := rm.MoveBoundary("accounts", 5, key(10)); err == nil {
 		t.Fatal("out-of-range boundary index accepted")
 	}
@@ -144,7 +144,7 @@ func TestMoveBoundaryValidation(t *testing.T) {
 func TestMoveBoundaryDown(t *testing.T) {
 	sys, e := newBankSystem(t, 2)
 	loadAccounts(t, e, 100, 1, 10)
-	rm := sys.ResourceManager()
+	rm := sys.PartitionManager()
 	// Shrink executor 0 to [0,19].
 	if err := rm.MoveBoundary("accounts", 0, key(20)); err != nil {
 		t.Fatalf("MoveBoundary: %v", err)

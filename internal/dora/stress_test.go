@@ -35,7 +35,7 @@ func TestRoutingBoundaryMoveStress(t *testing.T) {
 	moverWg.Add(1)
 	go func() {
 		defer moverWg.Done()
-		rm := sys.ResourceManager()
+		rm := sys.PartitionManager()
 		for i := 0; ; i++ {
 			select {
 			case <-stop:
@@ -212,7 +212,7 @@ func TestSecondaryForwardingBoundaryMoveStress(t *testing.T) {
 	moverWg.Add(1)
 	go func() {
 		defer moverWg.Done()
-		rm := sys.ResourceManager()
+		rm := sys.PartitionManager()
 		for i := 0; ; i++ {
 			select {
 			case <-stop:

@@ -178,10 +178,7 @@ func (t *Transaction) start_() error {
 		return fmt.Errorf("dora: transaction already started")
 	}
 	t.started = true
-	t.sys.mu.RLock()
-	stopped := t.sys.stopped
-	t.sys.mu.RUnlock()
-	if stopped {
+	if t.sys.stopped.Load() {
 		return ErrSystemStopped
 	}
 	// Pre-resolve routing for every action so an unbound table fails fast.
@@ -414,6 +411,17 @@ func (t *Transaction) actionDone(a *boundAction) {
 		return
 	}
 	t.submitPhase(a.phase + 1)
+}
+
+// isParticipant reports whether the executor holds (or held) local locks on
+// behalf of this transaction. Region gates use it to recognize flows the
+// shrinking side of a boundary move has already served: deferring those would
+// deadlock the drain that waits for their locks.
+func (t *Transaction) isParticipant(e *Executor) bool {
+	t.partMu.Lock()
+	defer t.partMu.Unlock()
+	_, ok := t.participants[e]
+	return ok
 }
 
 // registerParticipant records that the executor holds local locks on behalf of

@@ -107,6 +107,22 @@ type Result struct {
 	// (commit waiters made durable / device writes).
 	CommitsPerFlush float64
 
+	// BoundaryMoves is the number of routing-boundary moves the partition
+	// manager applied during the run (balancer-driven or manual), and
+	// MovesPerSec the same normalized by the run's wall time.
+	BoundaryMoves uint64
+	MovesPerSec   float64
+	// Imbalance is the balancer's last imbalance score of the run (max/mean
+	// per-executor load across the most loaded table; 1.0 is perfectly even,
+	// 0 when the balancer is off or never ticked).
+	Imbalance float64
+	// PartitionVersion is the last partition-table version installed during
+	// the run (0 when the routing rule never changed mid-run).
+	PartitionVersion uint64
+	// Rebalances are the balancer's boundary-move events recorded during the
+	// run, in order.
+	Rebalances []dora.RebalanceEvent
+
 	// InvariantErr is the post-run verdict of the workload's consistency
 	// checker (workload.Driver.Check): nil when every invariant holds. A
 	// non-nil value marks the run as failed regardless of its throughput.
@@ -121,6 +137,9 @@ func (r Result) Valid() bool { return r.InvariantErr == nil }
 func (r Result) String() string {
 	s := fmt.Sprintf("%s/%s workers=%d tps=%.0f committed=%d aborted=%d mean=%s",
 		r.Workload, r.System, r.Workers, r.Throughput, r.Committed, r.Aborted, r.MeanLatency)
+	if r.BoundaryMoves > 0 {
+		s += fmt.Sprintf(" moves=%d imbalance=%.2f", r.BoundaryMoves, r.Imbalance)
+	}
 	if r.InvariantErr != nil {
 		s += fmt.Sprintf(" INVARIANT-VIOLATION: %v", r.InvariantErr)
 	}
@@ -196,6 +215,12 @@ func (b *Bench) Run(cfg Config) Result {
 	b.Engine.SetCollector(col)
 	defer b.Engine.SetCollector(nil)
 	flushBefore := b.Engine.Log().FlushStats()
+	// Rebalance events accumulate for the balancer's lifetime; remember the
+	// watermark so the result reports only this run's moves.
+	eventsBefore := 0
+	if b.DORA != nil && b.DORA.Balancer() != nil {
+		eventsBefore = b.DORA.Balancer().EventCount()
+	}
 
 	var committed, aborted, errs atomic.Uint64
 	var busyNanos atomic.Int64
@@ -283,6 +308,15 @@ func (b *Bench) Run(cfg Config) Result {
 	}
 	if res.LogFlushes > 0 {
 		res.CommitsPerFlush = float64(flushAfter.CommitsFlushed-flushBefore.CommitsFlushed) / float64(res.LogFlushes)
+	}
+	res.BoundaryMoves = col.BoundaryMoves()
+	res.Imbalance = col.Imbalance()
+	res.PartitionVersion = col.PartitionVersion()
+	if elapsed > 0 {
+		res.MovesPerSec = float64(res.BoundaryMoves) / elapsed.Seconds()
+	}
+	if b.DORA != nil && b.DORA.Balancer() != nil {
+		res.Rebalances = b.DORA.Balancer().EventsSince(eventsBefore)
 	}
 	// Every worker has returned and DORA commits complete before Run()
 	// returns to the worker, so the engine is quiescent: run the workload's

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"dora/internal/dora"
 	"dora/internal/engine"
 	"dora/internal/metrics"
 	"dora/internal/workload"
@@ -124,6 +125,51 @@ func TestBaselineVsDORALockCensusOnTPCB(t *testing.T) {
 	if dra.LocksPer100Txns[metrics.RowLock] < 90 {
 		t.Fatalf("DORA row locks per 100 txns = %v, want about 100 (History insert)",
 			dra.LocksPer100Txns[metrics.RowLock])
+	}
+}
+
+// TestRunRecordsRebalanceEvents runs a skewed TPC-C load under the online
+// balancer and asserts the harness surfaces the rebalancing telemetry: the
+// per-run boundary-move count, the move events, and the partition version.
+func TestRunRecordsRebalanceEvents(t *testing.T) {
+	d := tpcc.New(8)
+	d.CustomersPerDistrict = 20
+	d.Items = 50
+	d.WarehouseHotspot = workload.NewHotspot(8, 0.25, 0.9)
+	b, err := Setup(d, 4, 1)
+	if err != nil {
+		t.Fatalf("Setup: %v", err)
+	}
+	t.Cleanup(b.Close)
+	if err := b.RebindDORA(dora.Config{Balancer: &dora.BalancerConfig{
+		Interval: 2 * time.Millisecond, Threshold: 1.2, MinActions: 4, Cooldown: 1,
+	}}, 4); err != nil {
+		t.Fatalf("RebindDORA: %v", err)
+	}
+	res := b.Run(Config{System: DORA, Workers: 2, Duration: 400 * time.Millisecond, Seed: 3})
+	if !res.Valid() {
+		t.Fatalf("invariants violated under rebalancing: %v", res.InvariantErr)
+	}
+	if res.BoundaryMoves == 0 {
+		t.Fatal("no boundary moves recorded despite the 90/25 hotspot")
+	}
+	if len(res.Rebalances) == 0 {
+		t.Fatal("no rebalance events in Result")
+	}
+	if res.MovesPerSec <= 0 {
+		t.Fatalf("MovesPerSec = %v, want > 0", res.MovesPerSec)
+	}
+	if res.PartitionVersion == 0 {
+		t.Fatal("partition version not recorded")
+	}
+	if !strings.Contains(res.String(), "moves=") {
+		t.Fatalf("summary does not mention moves: %s", res.String())
+	}
+	// A second run starts a fresh event watermark: its Rebalances must not
+	// replay the first run's moves.
+	res2 := b.Run(Config{System: DORA, Workers: 1, TxnsPerWorker: 5, Seed: 4, SkipCheck: true})
+	if len(res2.Rebalances) > 0 && res2.Rebalances[0].When.Before(res.Rebalances[len(res.Rebalances)-1].When) {
+		t.Fatal("second run replayed the first run's rebalance events")
 	}
 }
 

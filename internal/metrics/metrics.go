@@ -12,6 +12,7 @@ package metrics
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -192,6 +193,14 @@ type Collector struct {
 	critPath  Histogram
 	rvpThread Histogram
 
+	// Partition-manager instrumentation: the number of routing-boundary
+	// moves applied during the run, the latest partition-table version, and
+	// the balancer's latest imbalance score (max/mean per-executor load,
+	// stored as float64 bits).
+	boundaryMoves    atomic.Uint64
+	partitionVersion atomic.Uint64
+	imbalanceBits    atomic.Uint64
+
 	mu        sync.Mutex
 	latencies []time.Duration
 }
@@ -270,6 +279,42 @@ func (m *Collector) ObserveRVPThread(d time.Duration) {
 		return
 	}
 	m.rvpThread.Observe(int(d.Microseconds()))
+}
+
+// AddBoundaryMove records one applied routing-boundary move.
+func (m *Collector) AddBoundaryMove() {
+	if m == nil {
+		return
+	}
+	m.boundaryMoves.Add(1)
+}
+
+// BoundaryMoves returns the number of boundary moves recorded.
+func (m *Collector) BoundaryMoves() uint64 { return m.boundaryMoves.Load() }
+
+// SetPartitionVersion records the latest partition-table version.
+func (m *Collector) SetPartitionVersion(v uint64) {
+	if m == nil {
+		return
+	}
+	m.partitionVersion.Store(v)
+}
+
+// PartitionVersion returns the latest recorded partition-table version.
+func (m *Collector) PartitionVersion() uint64 { return m.partitionVersion.Load() }
+
+// SetImbalance records the balancer's latest imbalance score (max/mean
+// per-executor load across the most loaded table; 1.0 is perfectly even).
+func (m *Collector) SetImbalance(score float64) {
+	if m == nil {
+		return
+	}
+	m.imbalanceBits.Store(math.Float64bits(score))
+}
+
+// Imbalance returns the latest recorded imbalance score.
+func (m *Collector) Imbalance() float64 {
+	return math.Float64frombits(m.imbalanceBits.Load())
 }
 
 // CriticalPath returns the per-transaction critical-path histogram (µs).
@@ -460,6 +505,9 @@ func (m *Collector) Reset() {
 	m.flushCoalesce.reset()
 	m.critPath.reset()
 	m.rvpThread.reset()
+	m.boundaryMoves.Store(0)
+	m.partitionVersion.Store(0)
+	m.imbalanceBits.Store(0)
 	m.mu.Lock()
 	m.latencies = m.latencies[:0]
 	m.mu.Unlock()
@@ -491,6 +539,10 @@ func (m *Collector) String() string {
 	}
 	if rt := m.RVPThreadTime(); rt.Count > 0 {
 		fmt.Fprintf(&sb, " rvpthread-us[%s]", rt)
+	}
+	if mv := m.BoundaryMoves(); mv > 0 {
+		fmt.Fprintf(&sb, " boundary-moves=%d pversion=%d imbalance=%.2f",
+			mv, m.PartitionVersion(), m.Imbalance())
 	}
 	return sb.String()
 }

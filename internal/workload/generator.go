@@ -3,6 +3,9 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Zipfian generates zipf-distributed values in [0, items): value 0 is the
@@ -61,17 +64,36 @@ func (z *Zipfian) Next(rng *rand.Rand) int64 {
 	return v
 }
 
-// Hotspot generates values in [0, items) where a hot fraction of the key
-// space receives a (typically much larger) fraction of the draws — the
-// simplest model of a skewed working set (a hot warehouse, a viral account).
+// Hotspot generates values in [0, items) where a hot window of the key space
+// receives a (typically much larger) fraction of the draws — the simplest
+// model of a skewed working set (a hot warehouse, a viral account). Unlike
+// Zipfian, the hot window can move while concurrent workers keep drawing:
+// Shift relocates it immediately and ShiftAt schedules relocations against a
+// run's progress, which is how the skew benchmark moves the hot warehouses
+// mid-run.
 type Hotspot struct {
 	items         int64
 	hotItems      int64
 	hotOpFraction float64
+
+	// hotStart is the first value of the hot window [hotStart,
+	// hotStart+hotItems). Atomic: benchmark drivers move it mid-run while
+	// worker goroutines draw.
+	hotStart atomic.Int64
+
+	mu       sync.Mutex
+	schedule []hotShift // sorted by fraction, applied by Advance
+}
+
+// hotShift is one scheduled hot-window relocation.
+type hotShift struct {
+	fraction float64
+	start    int64
 }
 
 // NewHotspot builds a hotspot generator: hotSetFraction of [0, items) is hot
-// and receives hotOpFraction of the draws, uniformly within each region.
+// (initially the lowest values) and receives hotOpFraction of the draws,
+// uniformly within each region.
 func NewHotspot(items int64, hotSetFraction, hotOpFraction float64) *Hotspot {
 	hot := int64(float64(items) * hotSetFraction)
 	if hot < 1 {
@@ -85,8 +107,56 @@ func NewHotspot(items int64, hotSetFraction, hotOpFraction float64) *Hotspot {
 
 // Next draws the next value in [0, items).
 func (h *Hotspot) Next(rng *rand.Rand) int64 {
+	start := h.hotStart.Load()
 	if rng.Float64() < h.hotOpFraction || h.hotItems == h.items {
-		return rng.Int63n(h.hotItems)
+		return start + rng.Int63n(h.hotItems)
 	}
-	return h.hotItems + rng.Int63n(h.items-h.hotItems)
+	// Cold draw: uniform over [0, items) minus the hot window.
+	v := rng.Int63n(h.items - h.hotItems)
+	if v >= start {
+		v += h.hotItems
+	}
+	return v
+}
+
+// HotRange returns the current hot window [start, start+n).
+func (h *Hotspot) HotRange() (start, n int64) {
+	return h.hotStart.Load(), h.hotItems
+}
+
+// Shift moves the hot window so it starts at newStart (clamped to keep the
+// window inside [0, items)). Safe against concurrent Next calls.
+func (h *Hotspot) Shift(newStart int64) {
+	if newStart < 0 {
+		newStart = 0
+	}
+	if newStart > h.items-h.hotItems {
+		newStart = h.items - h.hotItems
+	}
+	h.hotStart.Store(newStart)
+}
+
+// ShiftAt schedules a Shift to newStart once the run's progress reaches the
+// given fraction in [0, 1]. The driver reports progress with Advance.
+func (h *Hotspot) ShiftAt(fraction float64, newStart int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.schedule = append(h.schedule, hotShift{fraction: fraction, start: newStart})
+	sort.SliceStable(h.schedule, func(i, j int) bool {
+		return h.schedule[i].fraction < h.schedule[j].fraction
+	})
+}
+
+// Advance reports the run's progress as a fraction in [0, 1] and applies every
+// scheduled shift that has come due, returning true if the hot window moved.
+func (h *Hotspot) Advance(progress float64) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	moved := false
+	for len(h.schedule) > 0 && h.schedule[0].fraction <= progress {
+		h.Shift(h.schedule[0].start)
+		h.schedule = h.schedule[1:]
+		moved = true
+	}
+	return moved
 }

@@ -369,9 +369,9 @@ func (d *Driver) RunDORA(sys *dora.System, kind string, rng *rand.Rand, workerID
 	case UpdateLocation:
 		err = d.doraUpdateLocation(sys, sid, rng.Int63())
 	case UpdateSubscriberData:
-		plan := sys.ResourceManager().PlanFor(UpdateSubscriberData)
+		plan := sys.PartitionManager().PlanFor(UpdateSubscriberData)
 		err = d.doraUpdateSubscriberData(sys, sid, 1+rng.Int63n(4), rng.Int63n(2), rng.Int63n(256), plan)
-		sys.ResourceManager().RecordOutcome(UpdateSubscriberData, err != nil)
+		sys.PartitionManager().RecordOutcome(UpdateSubscriberData, err != nil)
 	case UpdateSubscriberDataParallel:
 		err = d.doraUpdateSubscriberData(sys, sid, 1+rng.Int63n(4), rng.Int63n(2), rng.Int63n(256), dora.PlanParallel)
 	case UpdateSubscriberDataSerial:

@@ -1,0 +1,103 @@
+package tpcc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/workload"
+)
+
+// TestBalancerFiveTxnMixStress runs the live rebalancing control loop against
+// the full five-transaction TPC-C mix (run under -race in CI): every warehouse
+// draw comes from a hotspot that relocates mid-run, an aggressive balancer
+// moves routing boundaries under the running transactions, and afterwards the
+// PR 2 consistency-invariant checker must reconcile every balance. Boundary
+// moves may abort racing transactions (lock-wait victims of re-homing), but
+// no transaction may be lost and no invariant may break.
+func TestBalancerFiveTxnMixStress(t *testing.T) {
+	d := New(8)
+	d.CustomersPerDistrict = 30
+	d.Items = 100
+	hotspot := workload.NewHotspot(8, 0.25, 0.9) // warehouses 1-2 hot
+	d.WarehouseHotspot = hotspot
+	e := engine.New(engine.Config{BufferPoolFrames: 4096})
+	defer e.Close()
+	if err := d.CreateTables(e); err != nil {
+		t.Fatalf("CreateTables: %v", err)
+	}
+	if err := d.Load(e, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	sys := dora.NewSystem(e, dora.Config{
+		TxnTimeout: 30 * time.Second,
+		Balancer: &dora.BalancerConfig{
+			Interval:   2 * time.Millisecond,
+			Threshold:  1.2,
+			Cooldown:   1,
+			MinActions: 4,
+		},
+	})
+	defer sys.Stop()
+	if err := d.BindDORA(sys, 4); err != nil {
+		t.Fatalf("BindDORA: %v", err)
+	}
+
+	const (
+		workers   = 4
+		perWorker = 150
+	)
+	var committed, aborted atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id) + 101))
+			for i := 0; i < perWorker; i++ {
+				if id == 0 && i == perWorker/2 {
+					hotspot.Shift(6) // relocate the hot warehouses mid-run
+				}
+				kind := d.Mix().Pick(rng)
+				switch err := d.RunDORA(sys, kind, rng, id); {
+				case err == nil:
+					committed.Add(1)
+				case errors.Is(err, workload.ErrAborted):
+					aborted.Add(1)
+				default:
+					t.Errorf("%s: hard error %v", kind, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if total := committed.Load() + aborted.Load(); total != workers*perWorker {
+		t.Fatalf("transactions lost: committed=%d aborted=%d, want %d total",
+			committed.Load(), aborted.Load(), workers*perWorker)
+	}
+	if committed.Load() == 0 {
+		t.Fatal("nothing committed under the control loop")
+	}
+	// Quiesce the control loop before reconciling its counters: a tick could
+	// otherwise be mid-move between the two reads.
+	sys.Balancer().Stop()
+	st := sys.Stats()
+	if st.BoundaryMoves == 0 {
+		t.Fatal("balancer made no boundary moves despite the 90/25 hotspot")
+	}
+	if got := len(sys.Balancer().Events()); uint64(got) != st.BoundaryMoves {
+		t.Fatalf("event log (%d) disagrees with Stats.BoundaryMoves (%d)", got, st.BoundaryMoves)
+	}
+	// The §3.3.2 invariant checker is the arbiter: every W_YTD, order count,
+	// and NEW_ORDER chain must reconcile after the dust settles.
+	if err := d.Check(e); err != nil {
+		t.Fatalf("invariants violated after balanced five-txn mix: %v", err)
+	}
+}

@@ -56,14 +56,25 @@ type Driver struct {
 	// hot-warehouse scenario. Set it before the first transaction runs.
 	WarehouseZipfTheta float64
 
+	// WarehouseHotspot, when set, draws warehouse ids from the hotspot
+	// generator (value v maps to warehouse v+1) and takes precedence over
+	// WarehouseZipfTheta. Unlike the zipfian, the hot window can be moved
+	// mid-run (Hotspot.Shift / ShiftAt), which is what the skew benchmark
+	// uses to relocate the hot warehouses at t/2.
+	WarehouseHotspot *workload.Hotspot
+
 	zipfOnce sync.Once
 	zipf     *workload.Zipfian
 
 	historyID atomic.Int64
 }
 
-// pickWarehouse draws a warehouse id, zipf-skewed when configured.
+// pickWarehouse draws a warehouse id: hotspot-skewed, zipf-skewed, or
+// uniform, in that order of precedence.
 func (d *Driver) pickWarehouse(rng *rand.Rand) int64 {
+	if d.WarehouseHotspot != nil {
+		return 1 + d.WarehouseHotspot.Next(rng)
+	}
 	if d.WarehouseZipfTheta > 0 && d.Warehouses > 1 {
 		d.zipfOnce.Do(func() {
 			d.zipf = workload.NewZipfian(d.Warehouses, d.WarehouseZipfTheta)
