@@ -3,10 +3,12 @@
 # so successive PRs accumulate a performance trajectory: BENCH_tm1.json for
 # the TM1 mix and pipeline microbenchmarks, BENCH_tpcc.json for the TPC-C
 # secondary-phase A/B (serial vs parallel secondaries) and allocation counts,
-# and BENCH_skew.json for the hot-warehouse-shift rebalancing benchmark
-# (before/during/after-shift throughput and imbalance, balancer on vs off).
+# BENCH_skew.json for the hot-warehouse-shift rebalancing benchmark
+# (before/during/after-shift throughput and imbalance, balancer on vs off),
+# and BENCH_durability.json for the log-device benchmark (throughput and
+# commits-per-flush across sync policies, mem vs file device).
 #
-# Usage: ./bench.sh [tm1-output.json] [tpcc-output.json] [skew-output.json]
+# Usage: ./bench.sh [tm1.json] [tpcc.json] [skew.json] [durability.json]
 #   BENCHTIME=2s ./bench.sh        # longer measurement interval
 #   SKEW_FLAGS="-skew-windows 6 -skew-window 150ms" ./bench.sh   # faster skew run
 set -euo pipefail
@@ -14,6 +16,7 @@ set -euo pipefail
 out_tm1=${1:-BENCH_tm1.json}
 out_tpcc=${2:-BENCH_tpcc.json}
 out_skew=${3:-BENCH_skew.json}
+out_durability=${4:-BENCH_durability.json}
 benchtime=${BENCHTIME:-1s}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -58,3 +61,10 @@ echo "wrote $out_tpcc"
 # shellcheck disable=SC2086
 go run ./cmd/dorabench -fig skew -skew-json "$out_skew" ${SKEW_FLAGS:-}
 echo "wrote $out_skew"
+
+# Durable-log benchmark: the TPC-C mix across log devices and sync policies.
+# Gates on invariants and the group-commit guarantees (commits/flush > 1 and
+# exactly one fsync per device write under SyncOnFlush) — not on throughput.
+go run ./cmd/dorabench -fig durability -durability-json "$out_durability" \
+  ${DURABILITY_FLAGS:-}
+echo "wrote $out_durability"

@@ -450,7 +450,10 @@ func BenchmarkGroupCommit(b *testing.B) {
 			b.RunParallel(func(pb *testing.PB) {
 				for pb.Next() {
 					id := txn.Add(1)
-					lsn := m.Append(&wal.Record{Txn: wal.TxnID(id), Type: wal.RecCommit})
+					lsn, err := m.Append(&wal.Record{Txn: wal.TxnID(id), Type: wal.RecCommit})
+					if err != nil {
+						b.Fatal(err)
+					}
 					m.Flush(lsn)
 				}
 			})

@@ -50,11 +50,17 @@ type options struct {
 	skewWindow     time.Duration
 	skewWorkers    int
 	skewJSON       string
+
+	durabilityJSON string
+	logdir         string
+	crashChild     bool
+	crashCommits   uint64
+	crashTimeout   time.Duration
 }
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.fig, "fig", "all", "figure to regenerate: 1a,1b,1c,2,3,4,5,6,7,8,10,11,secondary,skew,check or 'all'")
+	flag.StringVar(&opt.fig, "fig", "all", "figure to regenerate: 1a,1b,1c,2,3,4,5,6,7,8,10,11,secondary,skew,durability,crash,check or 'all'")
 	flag.IntVar(&opt.contexts, "contexts", 64, "simulated hardware contexts")
 	flag.DurationVar(&opt.quantum, "quantum", 10*time.Millisecond, "simulated OS scheduling quantum")
 	flag.DurationVar(&opt.simDuration, "sim-duration", 300*time.Millisecond, "simulated time per load point")
@@ -69,16 +75,29 @@ func main() {
 	flag.DurationVar(&opt.skewWindow, "skew-window", 400*time.Millisecond, "duration of one skew-benchmark window")
 	flag.IntVar(&opt.skewWorkers, "skew-workers", 8, "closed-loop clients for the skew benchmark")
 	flag.StringVar(&opt.skewJSON, "skew-json", "", "write the skew-benchmark summary to this JSON file")
+	flag.StringVar(&opt.durabilityJSON, "durability-json", "", "write the durability-benchmark summary to this JSON file")
+	flag.StringVar(&opt.logdir, "logdir", "", "WAL directory for the crash-restart child process")
+	flag.BoolVar(&opt.crashChild, "crash-child", false, "internal: run as the crash-restart child (load a durable TPC-C engine in -logdir and run the mix until killed)")
+	flag.Uint64Var(&opt.crashCommits, "crash-commits", 300, "commits the crash-restart child must report before the parent SIGKILLs it")
+	flag.DurationVar(&opt.crashTimeout, "crash-timeout", 120*time.Second, "how long the crash-restart parent waits for the child to reach -crash-commits")
 	flag.Parse()
+
+	if opt.crashChild {
+		if err := runCrashChild(opt); err != nil {
+			fmt.Fprintf(os.Stderr, "crash child: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	figs := map[string]func(options) error{
 		"1a": fig1a, "1b": fig1bc, "1c": fig1bc, "2": fig2, "3": fig3,
 		"4": fig4, "5": fig5, "6": fig6, "7": fig7, "8": fig8,
 		"10": fig10, "11": fig11, "secondary": figSecondary, "check": figCheck,
-		"skew": figSkew,
+		"skew": figSkew, "durability": figDurability, "crash": figCrash,
 	}
 	if opt.fig == "all" {
-		order := []string{"1a", "1b", "2", "3", "4", "5", "6", "7", "8", "10", "11", "secondary", "skew", "check"}
+		order := []string{"1a", "1b", "2", "3", "4", "5", "6", "7", "8", "10", "11", "secondary", "skew", "durability", "check"}
 		for _, f := range order {
 			if err := figs[f](opt); err != nil {
 				fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)

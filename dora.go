@@ -36,6 +36,7 @@ import (
 	"dora/internal/harness"
 	"dora/internal/metrics"
 	"dora/internal/storage"
+	"dora/internal/wal"
 	"dora/internal/workload"
 )
 
@@ -47,8 +48,34 @@ type Engine = engine.Engine
 // EngineConfig configures a new Engine.
 type EngineConfig = engine.Config
 
-// NewEngine creates an empty storage engine.
+// NewEngine creates an empty storage engine over the in-memory log device.
 func NewEngine(cfg EngineConfig) *Engine { return engine.New(cfg) }
+
+// RecoveryStats summarizes a restart recovery run.
+type RecoveryStats = wal.RecoveryStats
+
+// SyncPolicy selects when WAL device writes are forced to stable storage.
+type SyncPolicy = wal.SyncPolicy
+
+// WAL sync policies for file-backed engines.
+const (
+	// SyncNone never fsyncs (OS-page-cache durability).
+	SyncNone = wal.SyncNone
+	// SyncOnFlush fsyncs once per coalesced group-commit flush: a commit is
+	// acknowledged only when it is on stable storage.
+	SyncOnFlush = wal.SyncOnFlush
+	// SyncInterval fsyncs on a background cadence (bounded loss window).
+	SyncInterval = wal.SyncInterval
+)
+
+// OpenEngine opens (or creates) a file-backed engine whose WAL lives in
+// checksummed segment files under dir, running restart recovery first:
+// the catalog is rebuilt from the log's schema records, committed work is
+// replayed, and in-flight transactions are rolled back. Configure durability
+// with EngineConfig.LogSync (and LogSyncEvery / LogSegmentSize).
+func OpenEngine(dir string, cfg EngineConfig) (*Engine, RecoveryStats, error) {
+	return engine.Open(dir, cfg)
+}
 
 // TableDef, SecondaryDef, and Schema describe tables.
 type (

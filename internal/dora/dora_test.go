@@ -61,7 +61,7 @@ func newBankEngine(t testing.TB) *engine.Engine {
 	if err != nil {
 		t.Fatalf("CreateTable history: %v", err)
 	}
-	t.Cleanup(e.Close)
+	t.Cleanup(func() { e.Close() })
 	return e
 }
 

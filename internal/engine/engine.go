@@ -71,6 +71,16 @@ type Config struct {
 	BufferPoolFrames int
 	// LockTimeout bounds lock waits in the centralized manager.
 	LockTimeout int // milliseconds; 0 means the lock manager default
+
+	// LogSync selects when WAL device writes are forced to stable storage
+	// (meaningful for file-backed engines opened with Open; the in-memory
+	// device of New treats fsync as a no-op).
+	LogSync wal.SyncPolicy
+	// LogSyncEvery is the background fsync cadence under wal.SyncInterval.
+	LogSyncEvery time.Duration
+	// LogSegmentSize caps one WAL segment file (wal.DefaultSegmentSize when
+	// zero).
+	LogSegmentSize int64
 }
 
 // DefaultBufferPoolFrames is the default pool capacity (64 MiB of 8 KiB
@@ -99,10 +109,20 @@ type Engine struct {
 	traceStart time.Time
 }
 
-// New creates an empty engine. The engine owns a background WAL flusher
-// goroutine; long-lived processes that create engines repeatedly should call
-// Close when done with each one.
+// New creates an empty engine over the in-memory log device. The engine owns
+// a background WAL flusher goroutine; long-lived processes that create
+// engines repeatedly should call Close when done with each one.
 func New(cfg Config) *Engine {
+	log, err := wal.Open(wal.Options{Sync: cfg.LogSync, SyncEvery: cfg.LogSyncEvery})
+	if err != nil {
+		// The in-memory device cannot fail to open.
+		panic(err)
+	}
+	return newEngine(cfg, log)
+}
+
+// newEngine assembles an engine around an already-open log manager.
+func newEngine(cfg Config, log *wal.Manager) *Engine {
 	frames := cfg.BufferPoolFrames
 	if frames <= 0 {
 		frames = DefaultBufferPoolFrames
@@ -115,7 +135,7 @@ func New(cfg Config) *Engine {
 	e := &Engine{
 		disk:     disk,
 		pool:     buffer.NewPool(disk, frames),
-		log:      wal.NewManager(),
+		log:      log,
 		lm:       lockmgr.New(lmOpts...),
 		tables:   make(map[string]*Table),
 		tablesID: make(map[TableID]*Table),
@@ -128,8 +148,9 @@ func New(cfg Config) *Engine {
 func (e *Engine) Log() *wal.Manager { return e.log }
 
 // Close releases the engine's background resources (the WAL group-commit
-// flusher). It must be called after all in-flight transactions finish.
-func (e *Engine) Close() { e.log.Close() }
+// flusher and the log device). It must be called after all in-flight
+// transactions finish; it returns the first log-device error observed.
+func (e *Engine) Close() error { return e.log.Close() }
 
 // LockManager exposes the centralized lock manager (used by DORA for the few
 // operations that still need centralized coordination, and by tests).
@@ -155,8 +176,14 @@ func (e *Engine) Collector() *metrics.Collector {
 	return e.col
 }
 
-// CreateTable creates a table with its primary and secondary indexes.
+// CreateTable creates a table with its primary and secondary indexes. The
+// definition is logged as a schema record so a file-backed engine can rebuild
+// its catalog from the log alone on restart (Open).
 func (e *Engine) CreateTable(def TableDef) (*Table, error) {
+	return e.createTable(def, true)
+}
+
+func (e *Engine) createTable(def TableDef, logSchema bool) (*Table, error) {
 	if def.Name == "" || def.Schema == nil || len(def.PrimaryKey) == 0 {
 		return nil, fmt.Errorf("engine: table definition needs a name, schema, and primary key")
 	}
@@ -168,7 +195,19 @@ func (e *Engine) CreateTable(def TableDef) (*Table, error) {
 	e.nextTID++
 	t, err := newTable(TableID(e.nextTID), def, e.pool)
 	if err != nil {
+		e.nextTID--
 		return nil, err
+	}
+	if logSchema {
+		enc, err := encodeTableDef(def)
+		if err != nil {
+			e.nextTID--
+			return nil, fmt.Errorf("engine: encoding schema of %q: %w", def.Name, err)
+		}
+		if _, err := e.log.Append(&wal.Record{Type: wal.RecSchema, After: enc}); err != nil {
+			e.nextTID--
+			return nil, fmt.Errorf("engine: logging schema of %q: %w", def.Name, err)
+		}
 	}
 	e.tables[def.Name] = t
 	e.tablesID[t.id] = t

@@ -168,7 +168,9 @@ func (e *Engine) updateRID(t *Txn, tbl *Table, rid storage.RID, opt AccessOption
 		Before:  beforeBytes,
 		After:   afterBytes,
 	}
-	e.log.Append(rec)
+	if _, err := e.log.Append(rec); err != nil {
+		return err
+	}
 	t.recordChange(rec)
 	if err := tbl.heap.update(rid, afterBytes); err != nil {
 		return err
@@ -233,7 +235,11 @@ func (e *Engine) Insert(t *Txn, table string, tuple storage.Tuple, opt AccessOpt
 		RID:     rid,
 		After:   data,
 	}
-	e.log.Append(rec)
+	if _, err := e.log.Append(rec); err != nil {
+		tbl.removeIndexEntries(tuple, rid)
+		tbl.heap.delete(rid)
+		return storage.InvalidRID, err
+	}
 	t.recordChange(rec)
 	e.emitTrace(opt.WorkerID, tbl, tuple, rid)
 	return rid, nil
@@ -282,7 +288,9 @@ func (e *Engine) Delete(t *Txn, table string, pk storage.Key, opt AccessOptions)
 		RID:     rid,
 		Before:  beforeBytes,
 	}
-	e.log.Append(rec)
+	if _, err := e.log.Append(rec); err != nil {
+		return err
+	}
 	t.recordChange(rec)
 	if err := tbl.heap.delete(rid); err != nil {
 		return err

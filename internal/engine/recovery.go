@@ -116,6 +116,25 @@ func (a *recoveryApplier) Undo(r *wal.Record) error {
 	}
 }
 
+// replayImage runs the redo/undo passes of a scanned log over this (freshly
+// created or freshly opened) engine and rebuilds every index from the
+// recovered heaps. It is the shared tail of the two recovery entry points:
+// Recover (in-process crash, tables re-created by the caller) and Open
+// (process restart, tables re-created from the log's schema records).
+func (e *Engine) replayImage(log *wal.Manager, img *wal.LogImage) (wal.RecoveryStats, error) {
+	applier := &recoveryApplier{e: e, remap: make(map[uint64]storage.RID)}
+	stats, err := wal.Replay(log, img, applier)
+	if err != nil {
+		return stats, err
+	}
+	for _, tbl := range e.Tables() {
+		if err := tbl.rebuildIndexes(); err != nil {
+			return stats, fmt.Errorf("engine: rebuilding indexes of %q: %w", tbl.Name(), err)
+		}
+	}
+	return stats, nil
+}
+
 // Recover runs restart recovery from the given log over a freshly created
 // engine with the same table definitions: committed work is replayed,
 // in-flight transactions are rolled back, and all indexes are rebuilt. It
@@ -127,15 +146,9 @@ func (a *recoveryApplier) Undo(r *wal.Record) error {
 //	// re-create the same tables on fresh ...
 //	stats, err := fresh.Recover(crashed.Log())
 func (e *Engine) Recover(log *wal.Manager) (wal.RecoveryStats, error) {
-	applier := &recoveryApplier{e: e, remap: make(map[uint64]storage.RID)}
-	stats, err := wal.Recover(log, applier)
+	img, err := log.Scan()
 	if err != nil {
-		return stats, err
+		return wal.RecoveryStats{}, err
 	}
-	for _, tbl := range e.Tables() {
-		if err := tbl.rebuildIndexes(); err != nil {
-			return stats, fmt.Errorf("engine: rebuilding indexes of %q: %w", tbl.Name(), err)
-		}
-	}
-	return stats, nil
+	return e.replayImage(log, img)
 }

@@ -54,11 +54,15 @@ type Txn struct {
 	onCommit []func()
 }
 
-// Begin starts a new transaction.
+// Begin starts a new transaction. If the engine's log has been closed the
+// returned transaction is already aborted and every operation on it fails
+// with ErrTxnDone.
 func (e *Engine) Begin() *Txn {
 	id := e.nextTxn.Add(1)
 	t := &Txn{id: id, engine: e, state: TxnActive}
-	e.log.Append(&wal.Record{Txn: wal.TxnID(id), Type: wal.RecBegin})
+	if _, err := e.log.Append(&wal.Record{Txn: wal.TxnID(id), Type: wal.RecBegin}); err != nil {
+		t.state = TxnAborted
+	}
 	return t
 }
 
@@ -110,12 +114,37 @@ func (e *Engine) Commit(t *Txn) error {
 	if err := t.ensureActive(); err != nil {
 		return err
 	}
-	commitLSN := e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecCommit})
+	commitLSN, err := e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecCommit})
+	if err != nil {
+		return fmt.Errorf("engine: logging commit of txn %d: %w", t.id, err)
+	}
 	if wait := e.log.FlushAsync(commitLSN); wait != nil {
 		<-wait
 	}
+	// A failed device wakes waiters without making them durable; never
+	// acknowledge a commit the log cannot vouch for. Durability is judged by
+	// this commit's own LSN against the watermark (which only advances on
+	// successful write+sync), not by the global error latch — a later
+	// flush's failure must not un-acknowledge an earlier durable commit. The
+	// transaction stays active so the caller can still roll it back in
+	// memory.
+	if err := e.commitDurable(commitLSN); err != nil {
+		return fmt.Errorf("engine: commit of txn %d not durable: %w", t.id, err)
+	}
 	e.finishCommit(t)
 	return nil
+}
+
+// commitDurable reports whether the log can vouch for the commit record at
+// the given LSN after its flush wakeup.
+func (e *Engine) commitDurable(commitLSN wal.LSN) error {
+	if e.log.FlushedLSN() >= commitLSN {
+		return nil
+	}
+	if err := e.log.Err(); err != nil {
+		return err
+	}
+	return wal.ErrClosed
 }
 
 // CommitAsync initiates a commit without blocking the caller on the log
@@ -130,7 +159,11 @@ func (e *Engine) CommitAsync(t *Txn, done func(error)) {
 		done(err)
 		return
 	}
-	commitLSN := e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecCommit})
+	commitLSN, err := e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecCommit})
+	if err != nil {
+		done(fmt.Errorf("engine: logging commit of txn %d: %w", t.id, err))
+		return
+	}
 	wait := e.log.FlushAsync(commitLSN)
 	if wait == nil {
 		e.finishCommit(t)
@@ -139,6 +172,10 @@ func (e *Engine) CommitAsync(t *Txn, done func(error)) {
 	}
 	go func() {
 		<-wait
+		if err := e.commitDurable(commitLSN); err != nil {
+			done(fmt.Errorf("engine: commit of txn %d not durable: %w", t.id, err))
+			return
+		}
 		e.finishCommit(t)
 		done(nil)
 	}()
@@ -155,7 +192,9 @@ func (e *Engine) finishCommit(t *Txn) {
 		fn()
 	}
 	e.lm.ReleaseAll(t.lockID())
-	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd})
+	// Best-effort: the END record is bookkeeping; a log closed mid-shutdown
+	// just means the next recovery treats the commit record as authoritative.
+	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd}) //nolint:errcheck
 }
 
 // Abort rolls the transaction back: every change is undone youngest-first with
@@ -164,7 +203,9 @@ func (e *Engine) Abort(t *Txn) error {
 	if err := t.ensureActive(); err != nil {
 		return err
 	}
-	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecAbort})
+	// Rollback proceeds in memory even when the log is closed (the undo list
+	// is in hand); the compensation records below are then best-effort.
+	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecAbort}) //nolint:errcheck
 
 	t.mu.Lock()
 	undo := t.undo

@@ -17,6 +17,7 @@ import (
 	"dora/internal/dora"
 	"dora/internal/engine"
 	"dora/internal/metrics"
+	"dora/internal/wal"
 	"dora/internal/workload"
 )
 
@@ -101,8 +102,16 @@ type Result struct {
 	// FlushCoalescing is the histogram of commits made durable per log
 	// flush, as reported by the WAL group-commit flusher.
 	FlushCoalescing metrics.HistogramSnapshot
+	// DeviceWrite and Fsync are the log-device write and fsync latency
+	// histograms (µs) observed during the run; Fsync is empty unless the
+	// engine's log runs a syncing policy over a real device.
+	DeviceWrite metrics.HistogramSnapshot
+	Fsync       metrics.HistogramSnapshot
 	// LogFlushes is the number of log device writes during the run.
 	LogFlushes uint64
+	// LogSyncs is the number of fsyncs during the run (equal to LogFlushes
+	// under wal.SyncOnFlush: one fsync per coalesced device write).
+	LogSyncs uint64
 	// CommitsPerFlush is the average commit group size during the run
 	// (commit waiters made durable / device writes).
 	CommitsPerFlush float64
@@ -154,20 +163,69 @@ type Bench struct {
 	DORA   *dora.System
 }
 
+// Durability selects the benchmark engine's log-device configuration. The
+// zero value is the paper's setup: an in-memory device, no fsync.
+type Durability struct {
+	// LogDir roots a file-backed segmented WAL; empty keeps the in-memory
+	// device.
+	LogDir string
+	// Sync selects when device writes are forced to stable storage.
+	Sync wal.SyncPolicy
+	// SyncEvery is the background fsync cadence under wal.SyncInterval.
+	SyncEvery time.Duration
+	// SegmentSize caps one WAL segment file (wal.DefaultSegmentSize if zero).
+	SegmentSize int64
+}
+
 // Setup creates an engine, loads the workload, and (when executors > 0)
 // builds a DORA system bound to it.
 func Setup(driver workload.Driver, executorsPerTable int, seed int64) (*Bench, error) {
-	e := engine.New(engine.Config{BufferPoolFrames: 1 << 15})
-	if err := driver.CreateTables(e); err != nil {
-		return nil, err
+	return SetupDurable(driver, executorsPerTable, seed, Durability{})
+}
+
+// SetupDurable is Setup with an explicit log-device configuration: with a
+// LogDir the engine journals the load and every run into a segmented WAL that
+// a later engine.Open can recover after a process crash. Reopening a
+// directory whose previous process died mid-Load yields that partial state
+// (the schema records make the catalog non-empty, so the load is not rerun);
+// the post-run invariant checker flags it — callers that crash-test should
+// only reuse directories whose load completed (as dorabench's crash child
+// guarantees by reporting READY after Setup returns).
+func SetupDurable(driver workload.Driver, executorsPerTable int, seed int64, dur Durability) (*Bench, error) {
+	cfg := engine.Config{
+		BufferPoolFrames: 1 << 15,
+		LogSync:          dur.Sync,
+		LogSyncEvery:     dur.SyncEvery,
+		LogSegmentSize:   dur.SegmentSize,
 	}
-	if err := driver.Load(e, rand.New(rand.NewSource(seed))); err != nil {
-		return nil, err
+	var e *engine.Engine
+	if dur.LogDir != "" {
+		var err error
+		e, _, err = engine.Open(dur.LogDir, cfg)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		e = engine.New(cfg)
+	}
+	// A reopened log directory already carries the catalog and the data
+	// (restart recovery replayed them); only a fresh engine gets loaded.
+	if len(e.Tables()) == 0 {
+		if err := driver.CreateTables(e); err != nil {
+			e.Close()
+			return nil, err
+		}
+		if err := driver.Load(e, rand.New(rand.NewSource(seed))); err != nil {
+			e.Close()
+			return nil, err
+		}
 	}
 	b := &Bench{Driver: driver, Engine: e}
 	if executorsPerTable > 0 {
 		sys := dora.NewSystem(e, dora.Config{})
 		if err := driver.BindDORA(sys, executorsPerTable); err != nil {
+			sys.Stop()
+			e.Close()
 			return nil, err
 		}
 		b.DORA = sys
@@ -304,7 +362,10 @@ func (b *Bench) Run(cfg Config) Result {
 		CriticalPath:    col.CriticalPath(),
 		RVPThreadTime:   col.RVPThreadTime(),
 		FlushCoalescing: col.FlushCoalescing(),
+		DeviceWrite:     col.DeviceWriteLatency(),
+		Fsync:           col.FsyncLatency(),
 		LogFlushes:      flushAfter.Flushes - flushBefore.Flushes,
+		LogSyncs:        flushAfter.Syncs - flushBefore.Syncs,
 	}
 	if res.LogFlushes > 0 {
 		res.CommitsPerFlush = float64(flushAfter.CommitsFlushed-flushBefore.CommitsFlushed) / float64(res.LogFlushes)

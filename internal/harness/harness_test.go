@@ -10,6 +10,7 @@ import (
 	"dora/internal/dora"
 	"dora/internal/engine"
 	"dora/internal/metrics"
+	"dora/internal/wal"
 	"dora/internal/workload"
 	"dora/internal/workload/tm1"
 	"dora/internal/workload/tpcb"
@@ -327,5 +328,45 @@ func TestDefaultsApplied(t *testing.T) {
 	}
 	if res.Committed == 0 {
 		t.Fatal("default run committed nothing")
+	}
+}
+
+func TestSetupDurableFileBackedRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	dur := Durability{LogDir: dir, Sync: wal.SyncOnFlush}
+	b, err := SetupDurable(tm1.New(300), 2, 1, dur)
+	if err != nil {
+		t.Fatalf("SetupDurable: %v", err)
+	}
+	res := b.Run(Config{System: DORA, Workers: 4, TxnsPerWorker: 40, Seed: 1})
+	if res.Committed == 0 || !res.Valid() {
+		t.Fatalf("durable run failed: %+v", res.InvariantErr)
+	}
+	if res.LogFlushes == 0 || res.LogSyncs != res.LogFlushes {
+		t.Fatalf("SyncOnFlush accounting: syncs=%d flushes=%d, want equal and > 0",
+			res.LogSyncs, res.LogFlushes)
+	}
+	if res.Fsync.Count != res.LogSyncs {
+		t.Fatalf("fsync histogram has %d entries, want %d", res.Fsync.Count, res.LogSyncs)
+	}
+	if res.DeviceWrite.Count != res.LogFlushes {
+		t.Fatalf("device-write histogram has %d entries, want %d",
+			res.DeviceWrite.Count, res.LogFlushes)
+	}
+	b.Close()
+
+	// Reopening the same directory must recover the loaded data and the
+	// run's commits without reloading, and keep serving valid traffic.
+	b2, err := SetupDurable(tm1.New(300), 2, 1, dur)
+	if err != nil {
+		t.Fatalf("SetupDurable reopen: %v", err)
+	}
+	defer b2.Close()
+	if err := b2.Driver.Check(b2.Engine); err != nil {
+		t.Fatalf("invariants after restart recovery: %v", err)
+	}
+	res2 := b2.Run(Config{System: Baseline, Workers: 2, TxnsPerWorker: 20, Seed: 2})
+	if res2.Committed == 0 || !res2.Valid() {
+		t.Fatalf("post-restart run failed: %+v", res2.InvariantErr)
 	}
 }

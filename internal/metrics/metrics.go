@@ -185,6 +185,13 @@ type Collector struct {
 	execBatches   Histogram
 	flushCoalesce Histogram
 
+	// Durability-path latency histograms, in microseconds: devWrite is the
+	// time one log-device write took (the quantity group commit amortizes),
+	// fsync the time one fsync took (one per flush under SyncOnFlush, one per
+	// cadence tick under SyncInterval).
+	devWrite  Histogram
+	fsyncHist Histogram
+
 	// Intra-transaction parallelism histograms, in microseconds per
 	// transaction: critPath is the dispatch-to-terminal-RVP wall time (the
 	// span that parallel secondary actions can shorten), rvpThread is the
@@ -262,6 +269,32 @@ func (m *Collector) ObserveFlushCoalesce(n int) {
 		return
 	}
 	m.flushCoalesce.Observe(n)
+}
+
+// ObserveDeviceWrite records the latency of one log-device write.
+func (m *Collector) ObserveDeviceWrite(d time.Duration) {
+	if m == nil || d < 0 {
+		return
+	}
+	m.devWrite.Observe(int(d.Microseconds()))
+}
+
+// ObserveFsync records the latency of one log-device fsync.
+func (m *Collector) ObserveFsync(d time.Duration) {
+	if m == nil || d < 0 {
+		return
+	}
+	m.fsyncHist.Observe(int(d.Microseconds()))
+}
+
+// DeviceWriteLatency returns the log-device write-latency histogram (µs).
+func (m *Collector) DeviceWriteLatency() HistogramSnapshot {
+	return m.devWrite.Snapshot()
+}
+
+// FsyncLatency returns the log-device fsync-latency histogram (µs).
+func (m *Collector) FsyncLatency() HistogramSnapshot {
+	return m.fsyncHist.Snapshot()
 }
 
 // ObserveCriticalPath records one transaction's dispatch-to-terminal-RVP
@@ -503,6 +536,8 @@ func (m *Collector) Reset() {
 	m.aborted.Store(0)
 	m.execBatches.reset()
 	m.flushCoalesce.reset()
+	m.devWrite.reset()
+	m.fsyncHist.reset()
 	m.critPath.reset()
 	m.rvpThread.reset()
 	m.boundaryMoves.Store(0)
@@ -533,6 +568,12 @@ func (m *Collector) String() string {
 	}
 	if fc := m.FlushCoalescing(); fc.Count > 0 {
 		fmt.Fprintf(&sb, " flush-coalesce[%s]", fc)
+	}
+	if dw := m.DeviceWriteLatency(); dw.Count > 0 {
+		fmt.Fprintf(&sb, " devwrite-us[%s]", dw)
+	}
+	if fs := m.FsyncLatency(); fs.Count > 0 {
+		fmt.Fprintf(&sb, " fsync-us[%s]", fs)
 	}
 	if cp := m.CriticalPath(); cp.Count > 0 {
 		fmt.Fprintf(&sb, " critpath-us[%s]", cp)

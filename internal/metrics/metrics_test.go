@@ -180,3 +180,31 @@ func TestCollectorString(t *testing.T) {
 		t.Fatalf("String() = %q", s)
 	}
 }
+
+func TestDurabilityLatencyHistograms(t *testing.T) {
+	c := NewCollector()
+	c.ObserveDeviceWrite(150 * time.Microsecond)
+	c.ObserveDeviceWrite(3 * time.Microsecond)
+	c.ObserveFsync(2 * time.Millisecond)
+	c.ObserveFsync(-time.Second) // negative durations are dropped
+
+	dw := c.DeviceWriteLatency()
+	if dw.Count != 2 || dw.Sum != 153 {
+		t.Fatalf("device-write histogram = %+v, want 2 observations summing 153us", dw)
+	}
+	fs := c.FsyncLatency()
+	if fs.Count != 1 || fs.Sum != 2000 {
+		t.Fatalf("fsync histogram = %+v, want 1 observation of 2000us", fs)
+	}
+	if s := c.String(); !strings.Contains(s, "devwrite-us") || !strings.Contains(s, "fsync-us") {
+		t.Fatalf("String() misses durability histograms: %s", s)
+	}
+	c.Reset()
+	if c.DeviceWriteLatency().Count != 0 || c.FsyncLatency().Count != 0 {
+		t.Fatal("Reset left durability histograms populated")
+	}
+	// Nil collectors swallow observations like the other instruments.
+	var nilC *Collector
+	nilC.ObserveDeviceWrite(time.Second)
+	nilC.ObserveFsync(time.Second)
+}

@@ -1,0 +1,472 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+)
+
+// Device is the durable medium under the log manager. The manager owns LSN
+// assignment and group-commit coalescing; the device owns bytes: how a flush
+// chunk is framed, where it lands, and what survives a crash. Append is called
+// only by the manager's flusher (never concurrently with itself), but Sync may
+// arrive concurrently from the interval-sync loop, so implementations
+// serialize internally.
+type Device interface {
+	// Append stores one flush chunk — a batch of whole encoded records whose
+	// first byte carries the given LSN — at the device's logical end. The
+	// write may be buffered by the OS until Sync.
+	Append(chunk []byte, firstLSN LSN) error
+	// Sync forces previously appended chunks to stable storage (fsync).
+	Sync() error
+	// Unappend rolls back the most recent Append (best-effort): after a
+	// failed write or fsync the manager reports the covered commits as not
+	// durable, so the bytes must not resurrect as winners on the next open.
+	Unappend() error
+	// ReadAll returns the device's whole logical record stream from LSN 1.
+	// It must remain callable after Close (recovery reads crashed devices).
+	ReadAll() ([]byte, error)
+	// Close releases the device's resources after a final flush of its own
+	// buffers. It does not imply Sync.
+	Close() error
+}
+
+// errDeviceClosed is returned by writes against a closed device.
+var errDeviceClosed = errors.New("wal: device closed")
+
+// memDevice is the paper's configuration: the log "device" is a byte slice on
+// an in-memory file system. Sync is a no-op; durability is nominal.
+type memDevice struct {
+	mu      sync.Mutex
+	buf     []byte
+	lastLen int // bytes of the most recent Append, for Unappend
+	closed  bool
+}
+
+// NewMemDevice returns an in-memory log device (the default, matching the
+// paper's in-memory-file-system setup).
+func NewMemDevice() Device { return &memDevice{} }
+
+func (d *memDevice) Append(chunk []byte, _ LSN) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errDeviceClosed
+	}
+	d.buf = append(d.buf, chunk...)
+	d.lastLen = len(chunk)
+	return nil
+}
+
+func (d *memDevice) Sync() error { return nil }
+
+func (d *memDevice) Unappend() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.buf = d.buf[:len(d.buf)-d.lastLen]
+	d.lastLen = 0
+	return nil
+}
+
+func (d *memDevice) ReadAll() ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return append([]byte(nil), d.buf...), nil
+}
+
+func (d *memDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	return nil
+}
+
+// DefaultSegmentSize is the default size cap of one log segment file.
+const DefaultSegmentSize = 4 << 20
+
+// Frame layout of the file device: every flush chunk is stored as
+//
+//	[payload length: u32][crc32c(payload): u32][payload]
+//
+// so a reopening process can walk segment files frame by frame, verify each
+// checksum, and stop at the first torn or corrupt frame. Frames never split a
+// log record: the manager hands the device whole encoded records.
+const frameHeaderSize = 8
+
+// maxFramePayload bounds a frame's declared length during recovery scans so a
+// corrupt length field cannot provoke a giant allocation.
+const maxFramePayload = 1 << 30
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// segPrefix/segSuffix build segment file names: wal-<firstLSN, hex>.seg.
+const (
+	segPrefix = "wal-"
+	segSuffix = ".seg"
+)
+
+func segmentName(firstLSN LSN) string {
+	return fmt.Sprintf("%s%016x%s", segPrefix, uint64(firstLSN), segSuffix)
+}
+
+func parseSegmentName(name string) (LSN, bool) {
+	if !strings.HasPrefix(name, segPrefix) || !strings.HasSuffix(name, segSuffix) {
+		return 0, false
+	}
+	hex := strings.TrimSuffix(strings.TrimPrefix(name, segPrefix), segSuffix)
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return LSN(v), true
+}
+
+// fileSegment is one on-disk segment of the log.
+type fileSegment struct {
+	path     string
+	firstLSN LSN // LSN of the first payload byte stored in the segment
+}
+
+// FileDevice is a durable log device backed by checksummed, length-framed
+// records in size-capped segment files under a log directory. Rotation syncs
+// and closes the old segment before opening the next, and new segment files
+// are followed by a directory fsync so the rename survives a crash.
+type FileDevice struct {
+	mu      sync.Mutex
+	dir     string
+	segSize int64
+	lock    *os.File // flock'd wal.lock; one live writer per directory
+
+	segs    []fileSegment
+	cur     *os.File // append handle of the last segment; nil until first write
+	curSize int64    // on-disk size of the current segment
+	size    int64    // logical record-stream bytes accepted
+	scratch []byte   // reusable frame buffer
+	closed  bool
+
+	// lastAppend remembers the current segment's size before the most recent
+	// Append so Unappend can truncate a failed (or fsync-failed) frame away.
+	lastAppend struct {
+		priorSize int64
+		chunkLen  int64
+	}
+}
+
+// OpenFileDevice opens (or creates) the log directory, scans the existing
+// segments in LSN order verifying every frame checksum, truncates a torn tail,
+// discards unreachable trailing segments, and returns the device positioned to
+// append after the last valid frame, together with the recovered record
+// stream.
+func OpenFileDevice(dir string, segmentSize int64) (*FileDevice, []byte, error) {
+	if segmentSize <= 0 {
+		segmentSize = DefaultSegmentSize
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("wal: creating log dir: %w", err)
+	}
+	// One live writer per directory: a concurrent open would read a mid-write
+	// frame as a torn tail and truncate the live writer's segment. The flock
+	// is advisory but both corrupting paths go through here; the kernel
+	// releases it if the process dies (SIGKILL included).
+	lock, err := lockDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		lock.Close()
+		return nil, nil, fmt.Errorf("wal: reading log dir: %w", err)
+	}
+	var found []fileSegment
+	for _, en := range entries {
+		if en.IsDir() {
+			continue
+		}
+		if first, ok := parseSegmentName(en.Name()); ok {
+			found = append(found, fileSegment{path: filepath.Join(dir, en.Name()), firstLSN: first})
+		}
+	}
+	sort.Slice(found, func(i, j int) bool { return found[i].firstLSN < found[j].firstLSN })
+
+	d := &FileDevice{dir: dir, segSize: segmentSize, lock: lock}
+	cleanup := func() { lock.Close() }
+	var stream []byte
+	expected := LSN(1)
+	kept := 0
+	for i, seg := range found {
+		if i == 0 && seg.firstLSN != expected {
+			// The log does not start at LSN 1: the first segment is missing
+			// (partial restore, wrong directory). Unlike a trailing gap this
+			// is not crash debris — fail loudly and leave the files for
+			// manual recovery instead of deleting committed history.
+			cleanup()
+			return nil, nil, fmt.Errorf("wal: log dir %s starts at LSN %d, want 1 (first segment missing?)",
+				dir, seg.firstLSN)
+		}
+		if seg.firstLSN != expected {
+			// A gap after a valid prefix: an earlier segment lost its tail,
+			// so nothing after it is reachable. Drop the orphans.
+			removeSegments(found[i:])
+			break
+		}
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("wal: reading segment %s: %w", seg.path, err)
+		}
+		valid, payload := scanFrames(data)
+		stream = append(stream, payload...)
+		expected += LSN(len(payload))
+		if valid < len(data) {
+			// Torn or corrupt tail: cut the file back to its last valid frame
+			// and drop every later segment — the log ends here.
+			if err := os.Truncate(seg.path, int64(valid)); err != nil {
+				cleanup()
+				return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+			}
+			d.segs = append(d.segs, seg)
+			kept++
+			removeSegments(found[i+1:])
+			break
+		}
+		d.segs = append(d.segs, seg)
+		kept++
+	}
+	d.size = int64(len(stream))
+	if kept > 0 {
+		last := d.segs[kept-1]
+		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			cleanup()
+			return nil, nil, fmt.Errorf("wal: reopening segment %s: %w", last.path, err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			cleanup()
+			return nil, nil, err
+		}
+		d.cur = f
+		d.curSize = st.Size()
+		d.lastAppend.priorSize = d.curSize
+	}
+	return d, stream, nil
+}
+
+// lockDir takes an exclusive advisory flock on <dir>/wal.lock so a second
+// process (or a second open in this process) fails loudly instead of reading
+// the live writer's mid-write frame as a torn tail and truncating it. The
+// kernel releases the lock when the holder exits, SIGKILL included.
+func lockDir(dir string) (*os.File, error) {
+	path := filepath.Join(dir, "wal.lock")
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: opening lock file: %w", err)
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("wal: log dir %s is already open in a live process: %w", dir, err)
+	}
+	return f, nil
+}
+
+func removeSegments(segs []fileSegment) {
+	for _, s := range segs {
+		os.Remove(s.path)
+	}
+}
+
+// scanFrames walks data frame by frame, returning the byte offset just past
+// the last valid frame and the concatenated payloads of the valid prefix.
+func scanFrames(data []byte) (validLen int, payload []byte) {
+	off := 0
+	for {
+		if off+frameHeaderSize > len(data) {
+			break
+		}
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		crc := binary.LittleEndian.Uint32(data[off+4:])
+		if n <= 0 || n > maxFramePayload || off+frameHeaderSize+n > len(data) {
+			break
+		}
+		p := data[off+frameHeaderSize : off+frameHeaderSize+n]
+		if crc32.Checksum(p, crcTable) != crc {
+			break
+		}
+		payload = append(payload, p...)
+		off += frameHeaderSize + n
+	}
+	return off, payload
+}
+
+// Append frames the chunk and writes it to the current segment, rotating to a
+// new wal-<firstLSN>.seg first when the cap would be exceeded.
+func (d *FileDevice) Append(chunk []byte, firstLSN LSN) error {
+	if len(chunk) == 0 {
+		return nil
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return errDeviceClosed
+	}
+	// Reset the Unappend state before anything can fail: a failed rotation
+	// or write must leave Unappend pointing at the current segment's intact
+	// size, never at a stale offset inside an acknowledged frame. chunkLen is
+	// only recorded once the write succeeds (a failed write leaves size
+	// accounting alone, and Unappend's truncate cleans any partial bytes).
+	d.lastAppend.chunkLen = 0
+	d.lastAppend.priorSize = d.curSize
+	frameLen := int64(frameHeaderSize + len(chunk))
+	if d.cur == nil || (d.curSize > 0 && d.curSize+frameLen > d.segSize) {
+		if err := d.rotateLocked(firstLSN); err != nil {
+			return err
+		}
+		d.lastAppend.priorSize = d.curSize // fresh segment: 0
+	}
+	if cap(d.scratch) < int(frameLen) {
+		d.scratch = make([]byte, 0, 2*frameLen)
+	}
+	frame := d.scratch[:frameHeaderSize]
+	binary.LittleEndian.PutUint32(frame[0:], uint32(len(chunk)))
+	binary.LittleEndian.PutUint32(frame[4:], crc32.Checksum(chunk, crcTable))
+	frame = append(frame, chunk...)
+	if _, err := d.cur.Write(frame); err != nil {
+		return fmt.Errorf("wal: segment write: %w", err)
+	}
+	d.lastAppend.chunkLen = int64(len(chunk))
+	d.curSize += frameLen
+	d.size += int64(len(chunk))
+	return nil
+}
+
+// rotateLocked syncs and closes the current segment and starts a new one whose
+// name records the LSN of its first payload byte.
+func (d *FileDevice) rotateLocked(firstLSN LSN) error {
+	if d.cur != nil {
+		if err := d.cur.Sync(); err != nil {
+			return err
+		}
+		if err := d.cur.Close(); err != nil {
+			return err
+		}
+		d.cur = nil
+	}
+	seg := fileSegment{path: filepath.Join(d.dir, segmentName(firstLSN)), firstLSN: firstLSN}
+	f, err := os.OpenFile(seg.path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating segment: %w", err)
+	}
+	if err := syncDir(d.dir); err != nil {
+		f.Close()
+		os.Remove(seg.path)
+		return err
+	}
+	d.cur = f
+	d.curSize = 0
+	d.segs = append(d.segs, seg)
+	return nil
+}
+
+// syncDir fsyncs the directory so newly created segment files survive a crash.
+func syncDir(dir string) error {
+	f, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// Unappend truncates the current segment back to its size before the most
+// recent Append, removing a frame whose write or fsync failed. If the append
+// had just rotated, the new segment is simply truncated to zero — an empty
+// segment is a valid log tail on reopen.
+func (d *FileDevice) Unappend() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cur == nil {
+		return nil
+	}
+	if err := d.cur.Truncate(d.lastAppend.priorSize); err != nil {
+		return err
+	}
+	d.curSize = d.lastAppend.priorSize
+	d.size -= d.lastAppend.chunkLen // zero when the write itself failed
+	d.lastAppend.chunkLen = 0
+	return nil
+}
+
+// Sync fsyncs the current segment.
+func (d *FileDevice) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.cur == nil {
+		return nil
+	}
+	return d.cur.Sync()
+}
+
+// ReadAll re-reads every segment from disk and returns the concatenated
+// record stream. The manager only calls it while no flush is in progress, so
+// the files are frame-complete.
+func (d *FileDevice) ReadAll() ([]byte, error) {
+	d.mu.Lock()
+	segs := append([]fileSegment(nil), d.segs...)
+	d.mu.Unlock()
+	var stream []byte
+	for _, seg := range segs {
+		data, err := os.ReadFile(seg.path)
+		if err != nil {
+			return nil, fmt.Errorf("wal: reading segment %s: %w", seg.path, err)
+		}
+		valid, payload := scanFrames(data)
+		stream = append(stream, payload...)
+		if valid < len(data) {
+			return nil, fmt.Errorf("wal: segment %s has an invalid frame at offset %d", seg.path, valid)
+		}
+	}
+	return stream, nil
+}
+
+// Segments returns the on-disk segment paths in LSN order (for tests and
+// tooling).
+func (d *FileDevice) Segments() []string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]string, len(d.segs))
+	for i, s := range d.segs {
+		out[i] = s.path
+	}
+	return out
+}
+
+// Close closes the current segment handle. It does not sync; the manager
+// syncs before closing when its policy calls for it.
+func (d *FileDevice) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return nil
+	}
+	d.closed = true
+	var err error
+	if d.cur != nil {
+		err = d.cur.Close()
+		d.cur = nil
+	}
+	if d.lock != nil {
+		// Releases the directory flock so another process may open the log.
+		d.lock.Close()
+		d.lock = nil
+	}
+	return err
+}

@@ -1,11 +1,80 @@
 package wal
 
 import (
+	"errors"
+	"fmt"
 	"sync"
 	"time"
 
 	"dora/internal/metrics"
 )
+
+// ErrClosed is returned by operations against a closed log manager (appends
+// after Close, recovery over a closed manager).
+var ErrClosed = errors.New("wal: log manager closed")
+
+// ErrRecoveryInProgress is returned when a second restart recovery is started
+// while one is already replaying the same manager.
+var ErrRecoveryInProgress = errors.New("wal: recovery already in progress")
+
+// SyncPolicy selects when the log manager forces device writes to stable
+// storage.
+type SyncPolicy int
+
+const (
+	// SyncNone never fsyncs: durability is whatever the device (or the OS
+	// page cache) provides. This is the paper's in-memory-file-system setup
+	// and the default.
+	SyncNone SyncPolicy = iota
+	// SyncOnFlush fsyncs once per group-commit flush, after the device write:
+	// a commit is acknowledged only when its bytes are on stable storage.
+	// Group commit amortizes the fsync exactly as it amortizes the write —
+	// one fsync per flush, however many commits the flush coalesced.
+	SyncOnFlush
+	// SyncInterval fsyncs from a background loop every SyncInterval: commits
+	// are acknowledged after the device write and may be lost within one
+	// interval of a crash (the classic bounded-staleness tradeoff).
+	SyncInterval
+)
+
+// String returns the policy mnemonic used in figure output.
+func (p SyncPolicy) String() string {
+	switch p {
+	case SyncNone:
+		return "none"
+	case SyncOnFlush:
+		return "onflush"
+	case SyncInterval:
+		return "interval"
+	default:
+		return fmt.Sprintf("SyncPolicy(%d)", int(p))
+	}
+}
+
+// DefaultSyncInterval is the background fsync cadence when SyncInterval is
+// selected without an explicit interval.
+const DefaultSyncInterval = 5 * time.Millisecond
+
+// Options configures a log manager.
+type Options struct {
+	// Device is the log device to write. When nil, Dir selects a file-backed
+	// device and an empty Dir selects the in-memory device.
+	Device Device
+	// Dir roots a file-backed segmented log (wal-<firstLSN>.seg files). The
+	// directory is created if missing; existing segments are scanned,
+	// checksum-verified, and a torn tail is truncated, so opening a directory
+	// that a crashed process wrote resumes its log.
+	Dir string
+	// Sync selects when device writes are forced to stable storage.
+	Sync SyncPolicy
+	// SyncEvery is the background fsync cadence under SyncInterval
+	// (DefaultSyncInterval when zero).
+	SyncEvery time.Duration
+	// SegmentSize caps one segment file (DefaultSegmentSize when zero).
+	SegmentSize int64
+	// FlushDelay models extra log-device latency per flush (for experiments).
+	FlushDelay time.Duration
+}
 
 // Manager is the log manager: it assigns LSNs, buffers log records, and makes
 // them durable through a pipelined group-commit protocol. The paper notes
@@ -13,20 +82,29 @@ import (
 // next bottleneck after the lock manager; instead of serializing every commit
 // through one mutex-held device write, committers append their commit record,
 // register a wakeup channel keyed by LSN, and a dedicated flusher goroutine
-// coalesces all pending commits into one device write. While the flusher is
-// paying the (configurable) device latency, new records keep accumulating in
-// the buffer, so the next write coalesces everything that arrived meanwhile.
+// coalesces all pending commits into one device write (plus, under
+// SyncOnFlush, exactly one fsync). While the flusher is paying the device
+// latency, new records keep accumulating in the buffer, so the next write
+// coalesces everything that arrived meanwhile.
+//
+// The durability path is pluggable: the Device interface hides whether the
+// log lands in a byte slice (the paper's in-memory setup) or in checksummed,
+// length-framed segment files that a restarted process can recover.
 type Manager struct {
 	mu         sync.Mutex
 	buf        []byte // unflushed tail of the log
 	flushing   []byte // chunk the flusher is currently writing to the device
 	spare      []byte // recycled write buffer
-	device     []byte // flushed ("durable") log image
+	dev        Device // the durable ("flushed") log image
+	devSize    int64  // logical record-stream bytes accepted by the device
 	nextLSN    LSN
 	flushedLSN LSN
 	lastLSN    map[TxnID]LSN
 	waiters    []flushWaiter
 	col        *metrics.Collector
+
+	policy    SyncPolicy
+	syncEvery time.Duration
 
 	// flushDelay models the latency of a log device write (zero by default:
 	// the paper keeps the log on an in-memory file system).
@@ -36,16 +114,32 @@ type Manager struct {
 	appends        uint64
 	commitsFlushed uint64
 	maxCoalesced   uint64
+	syncs          uint64
+
+	// closed rejects appends once Close has begun; devClosed marks the device
+	// itself released (no further writes possible). devErr latches the first
+	// device failure so Close and Err can surface it.
+	closed     bool
+	devClosed  bool
+	devErr     error
+	recovering bool
+
+	// recovered holds the records decoded while opening a pre-populated
+	// device; the first Scan consumes them instead of re-reading and
+	// re-decoding the whole log from the device.
+	recovered []*Record
 
 	// flushInProgress serializes device writes so a post-Close inline flush
 	// can never interleave with the flusher goroutine.
 	flushInProgress bool
 	flushDone       *sync.Cond
 
-	flushReq  chan struct{}
-	quit      chan struct{}
-	exited    chan struct{}
-	closeOnce sync.Once
+	flushReq   chan struct{}
+	quit       chan struct{}
+	exited     chan struct{}
+	syncExited chan struct{}
+	closeOnce  sync.Once
+	closeErr   error
 }
 
 // flushWaiter is one committer waiting for its LSN to become durable.
@@ -54,27 +148,132 @@ type flushWaiter struct {
 	ch  chan struct{}
 }
 
-// NewManager returns an empty log manager with its flusher goroutine running.
-// Call Close to stop the flusher once all commits have completed.
+// NewManager returns an empty log manager over the in-memory device with its
+// flusher goroutine running. Call Close to stop the flusher once all commits
+// have completed.
 func NewManager() *Manager {
-	m := &Manager{
-		nextLSN:  1, // LSN 0 is NilLSN
-		lastLSN:  make(map[TxnID]LSN),
-		flushReq: make(chan struct{}, 1),
-		quit:     make(chan struct{}),
-		exited:   make(chan struct{}),
+	m, err := Open(Options{})
+	if err != nil {
+		// The in-memory device cannot fail to open.
+		panic(err)
 	}
-	m.flushDone = sync.NewCond(&m.mu)
-	go m.flusher()
 	return m
 }
 
-// Close stops the flusher goroutine after a final drain. It must be called
-// after all in-flight commits have completed; it is idempotent.
-func (m *Manager) Close() {
-	m.closeOnce.Do(func() { close(m.quit) })
-	<-m.exited
+// Open creates a log manager over the configured device. With Options.Dir it
+// reopens an existing segmented log: the device's valid prefix is recovered
+// (checksums verified, torn tail truncated), LSN assignment resumes after the
+// last durable byte, and per-transaction chains are rebuilt so rollback and
+// recovery appends link correctly.
+func Open(opts Options) (*Manager, error) {
+	m := &Manager{
+		nextLSN:    1, // LSN 0 is NilLSN
+		lastLSN:    make(map[TxnID]LSN),
+		flushReq:   make(chan struct{}, 1),
+		quit:       make(chan struct{}),
+		exited:     make(chan struct{}),
+		policy:     opts.Sync,
+		syncEvery:  opts.SyncEvery,
+		flushDelay: opts.FlushDelay,
+	}
+	if m.policy == SyncInterval && m.syncEvery <= 0 {
+		m.syncEvery = DefaultSyncInterval
+	}
+	var stream []byte
+	switch {
+	case opts.Device != nil:
+		// An injected device may already hold a log (e.g. a FileDevice the
+		// caller opened directly); resume from its stream like the Dir path.
+		m.dev = opts.Device
+		recovered, err := m.dev.ReadAll()
+		if err != nil {
+			return nil, fmt.Errorf("wal: reading injected device: %w", err)
+		}
+		stream = recovered
+	case opts.Dir != "":
+		dev, recovered, err := OpenFileDevice(opts.Dir, opts.SegmentSize)
+		if err != nil {
+			return nil, err
+		}
+		m.dev = dev
+		stream = recovered
+	default:
+		m.dev = NewMemDevice()
+	}
+	if len(stream) > 0 {
+		// Rebuild LSN assignment and per-transaction chains from the
+		// recovered prefix.
+		recs, err := decodeAll(stream)
+		if err != nil {
+			m.dev.Close()
+			return nil, fmt.Errorf("wal: recovered log stream is corrupt: %w", err)
+		}
+		for _, r := range recs {
+			if r.Txn != 0 {
+				m.lastLSN[r.Txn] = r.LSN
+				if r.Type == RecEnd {
+					delete(m.lastLSN, r.Txn)
+				}
+			}
+		}
+		m.recovered = recs
+		m.devSize = int64(len(stream))
+		m.nextLSN = LSN(m.devSize) + 1
+		m.flushedLSN = LSN(m.devSize)
+	}
+	m.flushDone = sync.NewCond(&m.mu)
+	go m.flusher()
+	if m.policy == SyncInterval {
+		m.syncExited = make(chan struct{})
+		go m.syncLoop()
+	}
+	return m, nil
 }
+
+// Close stops the flusher (after a final drain) and the interval-sync loop,
+// syncs the device, and releases it. It must be called after all in-flight
+// commits have completed; it is idempotent and returns the first device
+// error observed over the manager's lifetime.
+func (m *Manager) Close() error {
+	m.closeOnce.Do(func() {
+		m.mu.Lock()
+		m.closed = true
+		m.mu.Unlock()
+		close(m.quit)
+		<-m.exited
+		if m.syncExited != nil {
+			<-m.syncExited
+		}
+		m.mu.Lock()
+		// Wait out any inline flush that raced the drain, then sync and
+		// retire the device so no later path can write it.
+		for m.flushInProgress {
+			m.flushDone.Wait()
+		}
+		syncErr := m.dev.Sync()
+		m.devClosed = true
+		if syncErr != nil && m.devErr == nil {
+			m.devErr = syncErr
+		}
+		closeErr := m.dev.Close()
+		if closeErr != nil && m.devErr == nil {
+			m.devErr = closeErr
+		}
+		m.closeErr = m.devErr
+		m.mu.Unlock()
+	})
+	return m.closeErr
+}
+
+// Err returns the first device error the manager has observed, if any.
+func (m *Manager) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.devErr
+}
+
+// SyncPolicy returns the manager's sync policy.
+func (m *Manager) SyncPolicy() SyncPolicy { return m.policy }
 
 // SetFlushDelay sets a synthetic per-flush latency used to model log-device
 // pressure in experiments.
@@ -85,7 +284,8 @@ func (m *Manager) SetFlushDelay(d time.Duration) {
 }
 
 // SetCollector attaches a metrics collector that receives the
-// commits-coalesced-per-flush histogram; nil detaches.
+// commits-coalesced-per-flush and device-write/fsync latency histograms; nil
+// detaches.
 func (m *Manager) SetCollector(c *metrics.Collector) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -93,10 +293,19 @@ func (m *Manager) SetCollector(c *metrics.Collector) {
 }
 
 // Append assigns the record an LSN, links it into its transaction's chain, and
-// buffers it. It returns the assigned LSN.
-func (m *Manager) Append(r *Record) LSN {
+// buffers it. It returns the assigned LSN, or ErrClosed after Close (a closed
+// manager's log image is final and must not be mutated), or the latched
+// device error after a device failure (a failed manager accepts no new work:
+// its on-disk stream ends at the last successful write).
+func (m *Manager) Append(r *Record) (LSN, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.closed {
+		return NilLSN, ErrClosed
+	}
+	if m.devErr != nil {
+		return NilLSN, fmt.Errorf("wal: log device failed: %w", m.devErr)
+	}
 	r.LSN = m.nextLSN
 	if r.Txn != 0 {
 		r.PrevLSN = m.lastLSN[r.Txn]
@@ -106,9 +315,9 @@ func (m *Manager) Append(r *Record) LSN {
 		}
 	}
 	m.buf = r.encode(m.buf)
-	m.nextLSN = LSN(1 + len(m.device) + len(m.flushing) + len(m.buf))
+	m.nextLSN = LSN(1 + m.devSize + int64(len(m.flushing)) + int64(len(m.buf)))
 	m.appends++
-	return r.LSN
+	return r.LSN, nil
 }
 
 // LastLSN returns the most recent LSN written by the transaction, or NilLSN.
@@ -137,7 +346,7 @@ func (m *Manager) FlushAsync(lsn LSN) <-chan struct{} {
 	m.mu.Unlock()
 	select {
 	case <-m.quit:
-		// The flusher has been asked to exit (post-Close commit); write the
+		// The flusher has been asked to exit (commit racing Close); write the
 		// log ourselves so the waiter is not stranded.
 		<-m.exited
 		m.flushOnce()
@@ -178,14 +387,51 @@ func (m *Manager) flusher() {
 	}
 }
 
-// flushOnce coalesces the entire buffered tail into one device write, then
-// wakes every waiter the write covered. The modeled device latency is paid
-// without holding the manager mutex, so appends (and therefore the next
-// commit group) proceed while the write is in flight.
+// syncLoop is the SyncInterval background fsync goroutine.
+func (m *Manager) syncLoop() {
+	defer close(m.syncExited)
+	t := time.NewTicker(m.syncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-m.quit:
+			return
+		case <-t.C:
+			t0 := time.Now()
+			err := m.dev.Sync()
+			d := time.Since(t0)
+			m.mu.Lock()
+			if err != nil && m.devErr == nil {
+				m.devErr = err
+			}
+			if err == nil {
+				m.syncs++
+			}
+			col := m.col
+			m.mu.Unlock()
+			if col != nil && err == nil {
+				col.ObserveFsync(d)
+			}
+		}
+	}
+}
+
+// flushOnce coalesces the entire buffered tail into one device write (and,
+// under SyncOnFlush, exactly one fsync), then wakes every waiter the write
+// covered. The device latency is paid without holding the manager mutex, so
+// appends (and therefore the next commit group) proceed while the write is in
+// flight.
 func (m *Manager) flushOnce() {
 	m.mu.Lock()
 	for m.flushInProgress {
 		m.flushDone.Wait()
+	}
+	if m.devClosed || m.devErr != nil {
+		// The device is gone or failed: wake everyone so no committer hangs
+		// (after a failure they observe Err, not durability).
+		m.wakeAllLocked()
+		m.mu.Unlock()
+		return
 	}
 	if len(m.buf) == 0 {
 		m.wakeLocked()
@@ -194,6 +440,8 @@ func (m *Manager) flushOnce() {
 	}
 	m.flushInProgress = true
 	delay := m.flushDelay
+	policy := m.policy
+	firstLSN := LSN(m.devSize) + 1
 	m.flushing = m.buf
 	if m.spare != nil {
 		m.buf = m.spare[:0]
@@ -201,18 +449,52 @@ func (m *Manager) flushOnce() {
 	} else {
 		m.buf = nil
 	}
+	chunk := m.flushing
 	m.mu.Unlock()
 
 	if delay > 0 {
-		time.Sleep(delay) // the modeled device write
+		time.Sleep(delay) // the modeled extra device latency
+	}
+	t0 := time.Now()
+	err := m.dev.Append(chunk, firstLSN)
+	writeDur := time.Since(t0)
+	var syncDur time.Duration
+	synced := false
+	if err == nil && policy == SyncOnFlush {
+		t1 := time.Now()
+		err = m.dev.Sync()
+		syncDur = time.Since(t1)
+		synced = err == nil
 	}
 
 	m.mu.Lock()
-	m.device = append(m.device, m.flushing...)
+	if err != nil {
+		// The write (or its fsync) failed: the manager is now failed. Roll
+		// the chunk back off the device (best-effort) so commits reported as
+		// not-durable cannot resurrect as winners on the next open, keep the
+		// durable watermark where it was, and wake every waiter so no
+		// committer hangs; they observe the failure through Err (the engine's
+		// commit paths check it after the wakeup) and every further
+		// Append/flush is refused.
+		m.dev.Unappend() //nolint:errcheck // best-effort on an already-failed device
+		if m.devErr == nil {
+			m.devErr = err
+		}
+		m.flushing = nil
+		m.wakeAllLocked()
+		m.flushInProgress = false
+		m.flushDone.Broadcast()
+		m.mu.Unlock()
+		return
+	}
+	m.devSize += int64(len(chunk))
 	m.spare = m.flushing[:0]
 	m.flushing = nil
-	m.flushedLSN = LSN(len(m.device))
+	m.flushedLSN = LSN(m.devSize)
 	m.flushes++
+	if synced {
+		m.syncs++
+	}
 	woken := m.wakeLocked()
 	m.commitsFlushed += uint64(woken)
 	if uint64(woken) > m.maxCoalesced {
@@ -224,7 +506,23 @@ func (m *Manager) flushOnce() {
 	m.mu.Unlock()
 	if col != nil {
 		col.ObserveFlushCoalesce(woken)
+		col.ObserveDeviceWrite(writeDur)
+		if synced {
+			col.ObserveFsync(syncDur)
+		}
 	}
+}
+
+// wakeAllLocked closes every waiter's channel regardless of durability; used
+// when the device is failed or closed so no committer hangs. The caller holds
+// mu. It returns the number woken.
+func (m *Manager) wakeAllLocked() int {
+	woken := len(m.waiters)
+	for _, w := range m.waiters {
+		close(w.ch)
+	}
+	m.waiters = m.waiters[:0]
+	return woken
 }
 
 // wakeLocked closes the channel of every waiter whose LSN is durable and
@@ -278,6 +576,9 @@ type FlushStats struct {
 	Appends uint64
 	// Flushes is the number of log device writes performed.
 	Flushes uint64
+	// Syncs is the number of fsyncs issued (once per flush under SyncOnFlush,
+	// on the background cadence under SyncInterval, zero under SyncNone).
+	Syncs uint64
 	// CommitsFlushed is the number of registered commit waiters made durable
 	// across all flushes; CommitsFlushed/Flushes is the average group size.
 	CommitsFlushed uint64
@@ -292,49 +593,67 @@ func (m *Manager) FlushStats() FlushStats {
 	return FlushStats{
 		Appends:        m.appends,
 		Flushes:        m.flushes,
+		Syncs:          m.syncs,
 		CommitsFlushed: m.commitsFlushed,
 		MaxCoalesced:   m.maxCoalesced,
 	}
+}
+
+// image returns the full logical log image (durable, in-flight, and buffered
+// bytes). It waits out any in-progress flush so the device read is
+// frame-consistent.
+func (m *Manager) image(durableOnly bool) ([]byte, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for m.flushInProgress {
+		m.flushDone.Wait()
+	}
+	stream, err := m.dev.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if durableOnly {
+		if int64(len(stream)) > int64(m.flushedLSN) {
+			stream = stream[:m.flushedLSN]
+		}
+		return stream, nil
+	}
+	stream = append(stream, m.buf...)
+	return stream, nil
+}
+
+func decodeAll(image []byte) ([]*Record, error) {
+	var out []*Record
+	for len(image) > 0 {
+		r, n, err := decodeRecord(image)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+		image = image[n:]
+	}
+	return out, nil
 }
 
 // Records decodes and returns every record currently in the log (durable,
 // in-flight, and buffered), in append order. It is used by rollback,
 // recovery, and tests.
 func (m *Manager) Records() ([]*Record, error) {
-	m.mu.Lock()
-	image := make([]byte, 0, len(m.device)+len(m.flushing)+len(m.buf))
-	image = append(image, m.device...)
-	image = append(image, m.flushing...)
-	image = append(image, m.buf...)
-	m.mu.Unlock()
-	var out []*Record
-	for len(image) > 0 {
-		r, n, err := decodeRecord(image)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-		image = image[n:]
+	image, err := m.image(false)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return decodeAll(image)
 }
 
 // DurableRecords decodes only the flushed portion of the log, which is what a
 // restart after a crash would see.
 func (m *Manager) DurableRecords() ([]*Record, error) {
-	m.mu.Lock()
-	image := append([]byte(nil), m.device...)
-	m.mu.Unlock()
-	var out []*Record
-	for len(image) > 0 {
-		r, n, err := decodeRecord(image)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
-		image = image[n:]
+	image, err := m.image(true)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	return decodeAll(image)
 }
 
 // Record looks up the record with the given LSN. It returns nil if the LSN

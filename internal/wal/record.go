@@ -48,6 +48,10 @@ const (
 	// RecCheckpoint is a fuzzy checkpoint holding the active transaction
 	// table, used by analysis to bound the log scan.
 	RecCheckpoint
+	// RecSchema logs a table creation (After carries the serialized table
+	// definition) so a restarted process can rebuild its catalog from the
+	// log alone before replaying any change record.
+	RecSchema
 )
 
 // String returns the log record type mnemonic.
@@ -71,6 +75,8 @@ func (t RecordType) String() string {
 		return "CLR"
 	case RecCheckpoint:
 		return "CHECKPOINT"
+	case RecSchema:
+		return "SCHEMA"
 	default:
 		return fmt.Sprintf("RecordType(%d)", uint8(t))
 	}

@@ -25,42 +25,68 @@ type RecoveryStats struct {
 	Losers  int
 }
 
-// Recover runs restart recovery over the durable portion of the log:
-//
-//	analysis — rebuild the active-transaction table and classify winners
-//	           (committed) and losers (in-flight at the crash),
-//	redo     — repeat history by re-applying every change record in order,
-//	redo     — (the engine starts from an empty, freshly formatted store, so
-//	           redo-from-start is equivalent to ARIES' dirty-page-table redo),
-//	undo     — roll back losers youngest-record-first, writing CLRs so that a
-//	           crash during recovery remains recoverable.
-//
-// New CLR and End records are appended to mgr for the losers.
-func Recover(mgr *Manager, applier Applier) (RecoveryStats, error) {
-	var stats RecoveryStats
-	records, err := mgr.DurableRecords()
-	if err != nil {
-		return stats, fmt.Errorf("wal: reading log for recovery: %w", err)
-	}
+// txnState is one active-transaction-table entry built by analysis.
+type txnState struct {
+	lastLSN   LSN
+	committed bool
+	ended     bool
+}
 
-	// Analysis.
-	type txnState struct {
-		lastLSN   LSN
-		committed bool
-		ended     bool
+// LogImage is the outcome of scanning the durable log: the decoded records in
+// append order plus the analysis state (the rebuilt active-transaction table
+// and the winner/loser classification). Splitting the scan from the replay
+// lets the engine read schema records and rebuild its catalog before any
+// change record is applied.
+type LogImage struct {
+	// Records are the durable records in append order.
+	Records []*Record
+	// MaxTxn is the highest transaction id that appears in the log; a
+	// restarted engine resumes id assignment above it.
+	MaxTxn TxnID
+	// Winners and Losers count committed and in-flight-at-crash transactions.
+	Winners int
+	Losers  int
+
+	att   map[TxnID]*txnState
+	byLSN map[LSN]*Record
+}
+
+// Scan reads the durable portion of the log and runs the analysis pass:
+// rebuild the active-transaction table and classify winners (committed) and
+// losers (in-flight at the crash).
+func (m *Manager) Scan() (*LogImage, error) {
+	// Opening a pre-populated device already read and decoded the whole log;
+	// the first Scan consumes that instead of a second full device read. The
+	// cache is only valid while nothing has been appended since.
+	m.mu.Lock()
+	records := m.recovered
+	m.recovered = nil
+	usable := records != nil && m.appends == 0
+	m.mu.Unlock()
+	if !usable {
+		var err error
+		records, err = m.DurableRecords()
+		if err != nil {
+			return nil, fmt.Errorf("wal: reading log for recovery: %w", err)
+		}
 	}
-	att := make(map[TxnID]*txnState)
-	byLSN := make(map[LSN]*Record, len(records))
+	img := &LogImage{
+		Records: records,
+		att:     make(map[TxnID]*txnState),
+		byLSN:   make(map[LSN]*Record, len(records)),
+	}
 	for _, r := range records {
-		stats.Analyzed++
-		byLSN[r.LSN] = r
+		img.byLSN[r.LSN] = r
 		if r.Txn == 0 {
 			continue
 		}
-		st := att[r.Txn]
+		if r.Txn > img.MaxTxn {
+			img.MaxTxn = r.Txn
+		}
+		st := img.att[r.Txn]
 		if st == nil {
 			st = &txnState{}
-			att[r.Txn] = st
+			img.att[r.Txn] = st
 		}
 		st.lastLSN = r.LSN
 		switch r.Type {
@@ -70,16 +96,62 @@ func Recover(mgr *Manager, applier Applier) (RecoveryStats, error) {
 			st.ended = true
 		}
 	}
-	for _, st := range att {
+	for _, st := range img.att {
 		if st.committed {
-			stats.Winners++
+			img.Winners++
 		} else if !st.ended {
-			stats.Losers++
+			img.Losers++
 		}
 	}
+	return img, nil
+}
+
+// beginRecovery guards the mutating half of restart recovery: a closed
+// manager's log image is final (its device is released), and two replays
+// interleaving their compensation records would corrupt the undo chains.
+func (m *Manager) beginRecovery() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return fmt.Errorf("wal: recover: %w", ErrClosed)
+	}
+	if m.recovering {
+		return ErrRecoveryInProgress
+	}
+	m.recovering = true
+	return nil
+}
+
+func (m *Manager) endRecovery() {
+	m.mu.Lock()
+	m.recovering = false
+	m.mu.Unlock()
+}
+
+// Replay runs the redo and undo passes over a scanned log image:
+//
+//	redo — repeat history by re-applying every change record in order
+//	       (the engine starts from an empty, freshly formatted store, so
+//	       redo-from-start is equivalent to ARIES' dirty-page-table redo),
+//	undo — roll back losers youngest-record-first, writing CLRs so that a
+//	       crash during recovery remains recoverable.
+//
+// New CLR and End records are appended to mgr for the losers. Replay returns
+// ErrClosed when the manager has been closed and ErrRecoveryInProgress when
+// another replay of the same manager is still running.
+func Replay(mgr *Manager, img *LogImage, applier Applier) (RecoveryStats, error) {
+	stats := RecoveryStats{
+		Analyzed: len(img.Records),
+		Winners:  img.Winners,
+		Losers:   img.Losers,
+	}
+	if err := mgr.beginRecovery(); err != nil {
+		return stats, err
+	}
+	defer mgr.endRecovery()
 
 	// Redo: repeat history for every change record, winners and losers alike.
-	for _, r := range records {
+	for _, r := range img.Records {
 		switch r.Type {
 		case RecInsert, RecDelete, RecUpdate, RecCLR:
 			if err := applier.Redo(r); err != nil {
@@ -90,13 +162,13 @@ func Recover(mgr *Manager, applier Applier) (RecoveryStats, error) {
 	}
 
 	// Undo losers.
-	for txn, st := range att {
+	for txn, st := range img.att {
 		if st.committed || st.ended {
 			continue
 		}
 		cur := st.lastLSN
 		for cur != NilLSN {
-			r := byLSN[cur]
+			r := img.byLSN[cur]
 			if r == nil {
 				break
 			}
@@ -106,14 +178,16 @@ func Recover(mgr *Manager, applier Applier) (RecoveryStats, error) {
 					return stats, fmt.Errorf("wal: undo of %s: %w", r, err)
 				}
 				stats.Undone++
-				mgr.Append(&Record{
+				if _, err := mgr.Append(&Record{
 					Txn:      txn,
 					Type:     RecCLR,
 					TableID:  r.TableID,
 					RID:      r.RID,
 					After:    r.Before,
 					UndoNext: r.PrevLSN,
-				})
+				}); err != nil {
+					return stats, fmt.Errorf("wal: logging CLR during recovery: %w", err)
+				}
 				cur = r.PrevLSN
 			case RecCLR:
 				cur = r.UndoNext
@@ -121,8 +195,20 @@ func Recover(mgr *Manager, applier Applier) (RecoveryStats, error) {
 				cur = r.PrevLSN
 			}
 		}
-		mgr.Append(&Record{Txn: txn, Type: RecEnd})
+		if _, err := mgr.Append(&Record{Txn: txn, Type: RecEnd}); err != nil {
+			return stats, fmt.Errorf("wal: logging END during recovery: %w", err)
+		}
 	}
 	mgr.FlushAll()
 	return stats, nil
+}
+
+// Recover runs restart recovery over the durable portion of the log:
+// analysis (Scan) followed by redo and undo (Replay).
+func Recover(mgr *Manager, applier Applier) (RecoveryStats, error) {
+	img, err := mgr.Scan()
+	if err != nil {
+		return RecoveryStats{}, err
+	}
+	return Replay(mgr, img, applier)
 }

@@ -1,6 +1,7 @@
 package wal
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"testing"
@@ -88,11 +89,20 @@ func TestRecordEncodeProperty(t *testing.T) {
 	}
 }
 
+func mustAppend(t testing.TB, m *Manager, r *Record) LSN {
+	t.Helper()
+	lsn, err := m.Append(r)
+	if err != nil {
+		t.Fatalf("Append: %v", err)
+	}
+	return lsn
+}
+
 func TestManagerAppendAssignsMonotonicLSNs(t *testing.T) {
 	m := NewManager()
 	var prev LSN
 	for i := 0; i < 100; i++ {
-		lsn := m.Append(&Record{Txn: TxnID(i%5 + 1), Type: RecUpdate, After: []byte("x")})
+		lsn := mustAppend(t, m, &Record{Txn: TxnID(i%5 + 1), Type: RecUpdate, After: []byte("x")})
 		if lsn <= prev {
 			t.Fatalf("LSN %d not greater than previous %d", lsn, prev)
 		}
@@ -105,10 +115,10 @@ func TestManagerAppendAssignsMonotonicLSNs(t *testing.T) {
 
 func TestManagerPrevLSNChain(t *testing.T) {
 	m := NewManager()
-	l1 := m.Append(&Record{Txn: 1, Type: RecBegin})
-	l2 := m.Append(&Record{Txn: 1, Type: RecInsert, After: []byte("a")})
-	m.Append(&Record{Txn: 2, Type: RecBegin})
-	l4 := m.Append(&Record{Txn: 1, Type: RecUpdate, After: []byte("b")})
+	l1 := mustAppend(t, m, &Record{Txn: 1, Type: RecBegin})
+	l2 := mustAppend(t, m, &Record{Txn: 1, Type: RecInsert, After: []byte("a")})
+	mustAppend(t, m, &Record{Txn: 2, Type: RecBegin})
+	l4 := mustAppend(t, m, &Record{Txn: 1, Type: RecUpdate, After: []byte("b")})
 
 	recs, err := m.Records()
 	if err != nil {
@@ -133,7 +143,7 @@ func TestManagerPrevLSNChain(t *testing.T) {
 func TestManagerFlushMakesRecordsDurable(t *testing.T) {
 	m := NewManager()
 	m.Append(&Record{Txn: 1, Type: RecBegin})
-	commitLSN := m.Append(&Record{Txn: 1, Type: RecCommit})
+	commitLSN := mustAppend(t, m, &Record{Txn: 1, Type: RecCommit})
 
 	durable, _ := m.DurableRecords()
 	if len(durable) != 0 {
@@ -158,7 +168,7 @@ func TestManagerGroupCommit(t *testing.T) {
 	m := NewManager()
 	var lsns []LSN
 	for i := 1; i <= 10; i++ {
-		lsns = append(lsns, m.Append(&Record{Txn: TxnID(i), Type: RecCommit}))
+		lsns = append(lsns, mustAppend(t, m, &Record{Txn: TxnID(i), Type: RecCommit}))
 	}
 	// One flush of the latest LSN makes all ten commits durable.
 	m.Flush(lsns[9])
@@ -173,7 +183,7 @@ func TestManagerGroupCommit(t *testing.T) {
 
 func TestManagerRecordLookup(t *testing.T) {
 	m := NewManager()
-	lsn := m.Append(&Record{Txn: 4, Type: RecInsert, After: []byte("z")})
+	lsn := mustAppend(t, m, &Record{Txn: 4, Type: RecInsert, After: []byte("z")})
 	r, err := m.Record(lsn)
 	if err != nil || r == nil || r.Txn != 4 {
 		t.Fatalf("Record(%d) = %v, %v", lsn, r, err)
@@ -229,7 +239,11 @@ func TestGroupCommitCoalescesConcurrentCommits(t *testing.T) {
 		go func(id int) {
 			defer wg.Done()
 			for i := 0; i < perG; i++ {
-				lsn := m.Append(&Record{Txn: TxnID(id*perG + i + 1), Type: RecCommit})
+				lsn, err := m.Append(&Record{Txn: TxnID(id*perG + i + 1), Type: RecCommit})
+				if err != nil {
+					t.Error(err)
+					return
+				}
 				m.Flush(lsn)
 			}
 		}(g)
@@ -260,7 +274,7 @@ func TestGroupCommitCoalescesConcurrentCommits(t *testing.T) {
 func TestFlushAsyncWakesAtDurability(t *testing.T) {
 	m := NewManager()
 	defer m.Close()
-	lsn := m.Append(&Record{Txn: 1, Type: RecCommit})
+	lsn := mustAppend(t, m, &Record{Txn: 1, Type: RecCommit})
 	ch := m.FlushAsync(lsn)
 	if ch == nil {
 		t.Fatal("FlushAsync of an unflushed LSN returned nil")
@@ -278,18 +292,34 @@ func TestFlushAsyncWakesAtDurability(t *testing.T) {
 	}
 }
 
-func TestManagerCloseDrainsAndAllowsLateFlush(t *testing.T) {
+func TestManagerCloseDrainsAndRejectsLateAppends(t *testing.T) {
 	m := NewManager()
-	m.Append(&Record{Txn: 1, Type: RecCommit})
-	m.Close()
-	m.Close() // idempotent
+	mustAppend(t, m, &Record{Txn: 1, Type: RecCommit})
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := m.Close(); err != nil { // idempotent
+		t.Fatalf("second Close: %v", err)
+	}
 
-	// A commit that races past Close must not strand: the committer flushes
-	// inline once the flusher has exited.
-	lsn := m.Append(&Record{Txn: 2, Type: RecCommit})
+	// Close's final drain makes the pre-Close commit durable.
+	durable, err := m.DurableRecords()
+	if err != nil {
+		t.Fatalf("DurableRecords: %v", err)
+	}
+	if len(durable) != 1 {
+		t.Fatalf("durable records = %d, want 1", len(durable))
+	}
+
+	// A closed manager's log image is final: appends report ErrClosed
+	// instead of silently mutating it, and flushing what is already durable
+	// returns immediately.
+	if _, err := m.Append(&Record{Txn: 2, Type: RecCommit}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-Close Append error = %v, want ErrClosed", err)
+	}
 	done := make(chan struct{})
 	go func() {
-		m.Flush(lsn)
+		m.FlushAll()
 		close(done)
 	}()
 	select {
@@ -297,12 +327,40 @@ func TestManagerCloseDrainsAndAllowsLateFlush(t *testing.T) {
 	case <-time.After(5 * time.Second):
 		t.Fatal("post-Close Flush hung")
 	}
-	durable, err := m.DurableRecords()
-	if err != nil {
-		t.Fatalf("DurableRecords: %v", err)
+	if got, _ := m.DurableRecords(); len(got) != 1 {
+		t.Fatalf("durable records after rejected append = %d, want 1", len(got))
 	}
-	if len(durable) != 2 {
-		t.Fatalf("durable records = %d, want 2", len(durable))
+}
+
+func TestRecoverGuards(t *testing.T) {
+	// Recovery over a closed manager must fail loudly: its undo pass appends
+	// compensation records, which a final log image cannot accept.
+	m := NewManager()
+	mustAppend(t, m, &Record{Txn: 1, Type: RecBegin})
+	mustAppend(t, m, &Record{Txn: 1, Type: RecInsert, TableID: 1,
+		RID: storage.RID{Page: 1, Slot: 0}, After: []byte("x")})
+	m.FlushAll()
+	if err := m.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := Recover(m, newMemApplier()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Recover on closed manager error = %v, want ErrClosed", err)
+	}
+
+	// Two overlapping replays of one manager would interleave their CLRs;
+	// the second must be rejected.
+	m2 := NewManager()
+	defer m2.Close()
+	if err := m2.beginRecovery(); err != nil {
+		t.Fatalf("beginRecovery: %v", err)
+	}
+	if _, err := Recover(m2, newMemApplier()); !errors.Is(err, ErrRecoveryInProgress) {
+		t.Fatalf("overlapping Recover error = %v, want ErrRecoveryInProgress", err)
+	}
+	m2.endRecovery()
+	// Sequential re-recovery (crash during recovery) stays legal.
+	if _, err := Recover(m2, newMemApplier()); err != nil {
+		t.Fatalf("sequential re-Recover: %v", err)
 	}
 }
 
