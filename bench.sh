@@ -5,18 +5,23 @@
 # secondary-phase A/B (serial vs parallel secondaries) and allocation counts,
 # BENCH_skew.json for the hot-warehouse-shift rebalancing benchmark
 # (before/during/after-shift throughput and imbalance, balancer on vs off),
-# and BENCH_durability.json for the log-device benchmark (throughput and
-# commits-per-flush across sync policies, mem vs file device).
+# BENCH_durability.json for the log-device benchmark (throughput and
+# commits-per-flush across sync policies, mem vs file device), and
+# BENCH_htap.json for the snapshot-read benchmark (OLTP throughput under
+# continuous analytical scans: epoch-pinned snapshot scanners vs the locked
+# claim-holding alternative vs a no-scanner baseline).
 #
-# Usage: ./bench.sh [tm1.json] [tpcc.json] [skew.json] [durability.json]
+# Usage: ./bench.sh [tm1.json] [tpcc.json] [skew.json] [durability.json] [htap.json]
 #   BENCHTIME=2s ./bench.sh        # longer measurement interval
 #   SKEW_FLAGS="-skew-windows 6 -skew-window 150ms" ./bench.sh   # faster skew run
+#   HTAP_FLAGS="-htap-tps-gate=false" ./bench.sh                 # noisy-host htap run
 set -euo pipefail
 
 out_tm1=${1:-BENCH_tm1.json}
 out_tpcc=${2:-BENCH_tpcc.json}
 out_skew=${3:-BENCH_skew.json}
 out_durability=${4:-BENCH_durability.json}
+out_htap=${5:-BENCH_htap.json}
 benchtime=${BENCHTIME:-1s}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -68,3 +73,12 @@ echo "wrote $out_skew"
 go run ./cmd/dorabench -fig durability -durability-json "$out_durability" \
   ${DURABILITY_FLAGS:-}
 echo "wrote $out_durability"
+
+# HTAP snapshot-read benchmark: the five-transaction TPC-C mix against
+# continuous full-table scanners, snapshot vs locked. Always gates on
+# invariants and in-scan snapshot consistency; the throughput-degradation
+# bounds are part of the default run (disable with
+# HTAP_FLAGS="-htap-tps-gate=false" on hosts too noisy to measure).
+# shellcheck disable=SC2086
+go run ./cmd/dorabench -fig htap -htap-json "$out_htap" ${HTAP_FLAGS:-}
+echo "wrote $out_htap"

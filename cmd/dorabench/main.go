@@ -56,11 +56,19 @@ type options struct {
 	crashChild     bool
 	crashCommits   uint64
 	crashTimeout   time.Duration
+
+	htapScanners int
+	htapWorkers  int
+	htapRounds   int
+	htapWindow   time.Duration
+	htapPause    time.Duration
+	htapJSON     string
+	htapTPSGate  bool
 }
 
 func main() {
 	var opt options
-	flag.StringVar(&opt.fig, "fig", "all", "figure to regenerate: 1a,1b,1c,2,3,4,5,6,7,8,10,11,secondary,skew,durability,crash,check or 'all'")
+	flag.StringVar(&opt.fig, "fig", "all", "figure to regenerate: 1a,1b,1c,2,3,4,5,6,7,8,10,11,secondary,skew,durability,crash,htap,check or 'all'")
 	flag.IntVar(&opt.contexts, "contexts", 64, "simulated hardware contexts")
 	flag.DurationVar(&opt.quantum, "quantum", 10*time.Millisecond, "simulated OS scheduling quantum")
 	flag.DurationVar(&opt.simDuration, "sim-duration", 300*time.Millisecond, "simulated time per load point")
@@ -80,6 +88,13 @@ func main() {
 	flag.BoolVar(&opt.crashChild, "crash-child", false, "internal: run as the crash-restart child (load a durable TPC-C engine in -logdir and run the mix until killed)")
 	flag.Uint64Var(&opt.crashCommits, "crash-commits", 300, "commits the crash-restart child must report before the parent SIGKILLs it")
 	flag.DurationVar(&opt.crashTimeout, "crash-timeout", 120*time.Second, "how long the crash-restart parent waits for the child to reach -crash-commits")
+	flag.IntVar(&opt.htapScanners, "htap-scanners", 2, "concurrent analytical scanners for the HTAP benchmark")
+	flag.IntVar(&opt.htapWorkers, "htap-workers", 4, "closed-loop OLTP clients for the HTAP benchmark")
+	flag.IntVar(&opt.htapRounds, "htap-rounds", 7, "interleaved measurement windows per HTAP arm (median taken)")
+	flag.DurationVar(&opt.htapWindow, "htap-window", 500*time.Millisecond, "duration of one HTAP measurement window")
+	flag.DurationVar(&opt.htapPause, "htap-pause", 400*time.Millisecond, "interval between HTAP scan-pass starts per scanner (a dashboard-style refresh cadence)")
+	flag.StringVar(&opt.htapJSON, "htap-json", "", "write the HTAP-benchmark summary to this JSON file")
+	flag.BoolVar(&opt.htapTPSGate, "htap-tps-gate", true, "gate the HTAP benchmark on throughput degradation bounds (disable on noisy/CI hosts)")
 	flag.Parse()
 
 	if opt.crashChild {
@@ -95,9 +110,10 @@ func main() {
 		"4": fig4, "5": fig5, "6": fig6, "7": fig7, "8": fig8,
 		"10": fig10, "11": fig11, "secondary": figSecondary, "check": figCheck,
 		"skew": figSkew, "durability": figDurability, "crash": figCrash,
+		"htap": figHTAP,
 	}
 	if opt.fig == "all" {
-		order := []string{"1a", "1b", "2", "3", "4", "5", "6", "7", "8", "10", "11", "secondary", "skew", "durability", "check"}
+		order := []string{"1a", "1b", "2", "3", "4", "5", "6", "7", "8", "10", "11", "secondary", "skew", "durability", "htap", "check"}
 		for _, f := range order {
 			if err := figs[f](opt); err != nil {
 				fmt.Fprintf(os.Stderr, "figure %s: %v\n", f, err)

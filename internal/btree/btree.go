@@ -5,9 +5,11 @@
 // carries the RID *and* the routing fields of the record so that a DORA
 // secondary action can determine which executor owns the heap record, plus a
 // 'deleted' flag so that uncommitted deletes remain visible to concurrent
-// probes until the deleting transaction commits and clears them. The leaf
-// split path garbage-collects flagged entries before deciding whether a split
-// is necessary, as the paper suggests.
+// probes until the deleting transaction commits and clears them. Flagged
+// entries are removed only by their owner (rollback or the engine's version
+// pruner, once no snapshot can still need them) — never opportunistically at
+// leaf splits, because a flagged entry is the only path by which an
+// epoch-pinned snapshot reaches the old version chain of a deleted record.
 //
 // The tree keeps all nodes in memory (the paper's evaluation stores the whole
 // database on an in-memory file system) and is protected by a single
@@ -87,23 +89,27 @@ func (t *Tree) Len() int {
 }
 
 // Insert adds an entry. For unique trees it returns ErrDuplicateKey if a live
-// entry with the same key exists; a deleted entry with the same key is
-// replaced, which is how DORA safely re-inserts a record with the primary key
-// of a lazily-cleaned deleted entry.
+// entry with the same key exists; flagged entries with the same key do not
+// block the insert but are kept alongside the new entry (snapshots still
+// resolve the old record through them) until the pruner removes them with
+// DeleteFlagged.
 func (t *Tree) Insert(e Entry) error {
 	t.latch.Lock()
 	defer t.latch.Unlock()
 	if t.unique {
 		leaf := t.findLeaf(e.Key)
-		for i := range leaf.entries {
-			if bytes.Equal(leaf.entries[i].Key, e.Key) {
-				if !leaf.entries[i].Deleted {
+	scan:
+		for leaf != nil {
+			for i := range leaf.entries {
+				cmp := bytes.Compare(leaf.entries[i].Key, e.Key)
+				if cmp > 0 {
+					break scan
+				}
+				if cmp == 0 && !leaf.entries[i].Deleted {
 					return ErrDuplicateKey
 				}
-				leaf.entries[i] = e
-				t.size++
-				return nil
 			}
+			leaf = leaf.next
 		}
 	}
 	t.insert(e)
@@ -176,6 +182,101 @@ func (t *Tree) ScanPrefix(prefix storage.Key, fn func(Entry) bool) {
 	}
 }
 
+// scanChunk bounds how many entries ScanPrefixAll visits per read-latch hold.
+// The latch is a spin latch, so a scan pinning it across a whole table would
+// stall every writer for the duration of the pass — the snapshot path exists
+// precisely to avoid that. Between chunks the latch is released and re-taken,
+// letting the writer-preferring latch drain queued writers; the scan resumes
+// after the last key it emitted.
+const scanChunk = 128
+
+// ScanPrefixAll visits, in key order, every entry — flagged ones included —
+// whose key starts with the given prefix, invoking fn until it returns false.
+// A nil or empty prefix scans the whole tree. Snapshot reads use it: a flagged
+// entry is the only index path to a deleted record's version chain, and the
+// chain (not the flag) decides visibility at the snapshot's epoch.
+//
+// fn runs with the tree's read latch held, which is what guarantees that any
+// flagged entry fn observes still has its version chain installed (the pruner
+// removes entries under the write latch before freeing chains). The latch is
+// NOT held across the whole scan: every scanChunk entries it is dropped and
+// re-acquired, and the scan re-descends to just after the last visited key. A
+// chunk only ever breaks between distinct keys — duplicate entries of one key
+// (a flagged relic plus a live reinsertion) are always visited under a single
+// hold, so a caller deduplicating by key never loses the entry that resolves.
+// Entries inserted or pruned between chunks are harmless to epoch-pinned
+// readers: a new entry's versions carry commit epochs later than any
+// already-pinned snapshot, and the pruner only unlinks entries whose delete
+// is already visible to every registered snapshot.
+func (t *Tree) ScanPrefixAll(prefix storage.Key, fn func(Entry) bool) {
+	var last storage.Key // last key fully emitted; nil until the first entry
+	for {
+		t.latch.RLock()
+		start := prefix
+		if last != nil {
+			start = last
+		}
+		n := 0
+		again := false
+		leaf := t.findLeaf(start)
+	chunk:
+		for leaf != nil {
+			for _, e := range leaf.entries {
+				if last != nil && bytes.Compare(e.Key, last) <= 0 {
+					continue
+				}
+				if len(prefix) > 0 {
+					if bytes.Compare(e.Key, prefix) < 0 {
+						continue
+					}
+					if !e.Key.HasPrefix(prefix) {
+						t.latch.RUnlock()
+						return
+					}
+				}
+				if n >= scanChunk && !bytes.Equal(e.Key, last) {
+					again = true
+					break chunk
+				}
+				if !fn(e) {
+					t.latch.RUnlock()
+					return
+				}
+				last = append(last[:0], e.Key...)
+				n++
+			}
+			leaf = leaf.next
+		}
+		t.latch.RUnlock()
+		if !again {
+			return
+		}
+	}
+}
+
+// SearchEach visits every entry with exactly the given key — flagged ones
+// included — invoking fn until it returns false. Like ScanPrefixAll, fn runs
+// under the read latch; snapshot point probes use it because a key may carry
+// both a flagged entry (old record) and a live one (reinserted record) and
+// only the version chains can tell which is visible at a given epoch.
+func (t *Tree) SearchEach(key storage.Key, fn func(Entry) bool) {
+	t.latch.RLock()
+	defer t.latch.RUnlock()
+	leaf := t.findLeaf(key)
+	for leaf != nil {
+		for _, e := range leaf.entries {
+			cmp := bytes.Compare(e.Key, key)
+			if cmp > 0 {
+				return
+			}
+			if cmp == 0 && !fn(e) {
+				return
+			}
+		}
+		leaf = leaf.next
+	}
+}
+
 // ScanRange visits, in key order, every live entry with lo <= key < hi.
 // A nil hi scans to the end of the index.
 func (t *Tree) ScanRange(lo, hi storage.Key, fn func(Entry) bool) {
@@ -207,8 +308,51 @@ func (t *Tree) ScanAll(fn func(Entry) bool) {
 }
 
 // Delete physically removes the entry with the given key and RID. It reports
-// whether an entry was removed.
+// whether an entry was removed. When the key holds both a live and a flagged
+// entry with the same RID (heap slot reuse while a flagged relic awaits the
+// pruner), the live entry is removed — Delete's callers (rollback, index
+// replacement) always target the current record, never the relic.
 func (t *Tree) Delete(key storage.Key, rid storage.RID) bool {
+	t.latch.Lock()
+	defer t.latch.Unlock()
+	var flaggedLeaf *node
+	flaggedIdx := -1
+	leaf := t.findLeaf(key)
+scan:
+	for leaf != nil {
+		for i := range leaf.entries {
+			e := &leaf.entries[i]
+			cmp := bytes.Compare(e.Key, key)
+			if cmp > 0 {
+				break scan
+			}
+			if cmp == 0 && e.RID == rid {
+				if !e.Deleted {
+					t.size--
+					leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
+					return true
+				}
+				if flaggedIdx < 0 {
+					flaggedLeaf, flaggedIdx = leaf, i
+				}
+			}
+		}
+		leaf = leaf.next
+	}
+	if flaggedIdx >= 0 {
+		flaggedLeaf.entries = append(flaggedLeaf.entries[:flaggedIdx], flaggedLeaf.entries[flaggedIdx+1:]...)
+		return true
+	}
+	return false
+}
+
+// DeleteFlagged physically removes the entry with the given key and RID only
+// if its deleted flag is set, reporting whether an entry was removed. The
+// pruner uses it for deferred delete cleanup: after a heap slot is reused the
+// key may map to both a flagged entry (old record) and a live entry
+// (reinserted record) with the same RID, and a plain Delete could remove the
+// live one.
+func (t *Tree) DeleteFlagged(key storage.Key, rid storage.RID) bool {
 	t.latch.Lock()
 	defer t.latch.Unlock()
 	leaf := t.findLeaf(key)
@@ -219,10 +363,7 @@ func (t *Tree) Delete(key storage.Key, rid storage.RID) bool {
 			if cmp > 0 {
 				return false
 			}
-			if cmp == 0 && e.RID == rid {
-				if !e.Deleted {
-					t.size--
-				}
+			if cmp == 0 && e.RID == rid && e.Deleted {
 				leaf.entries = append(leaf.entries[:i], leaf.entries[i+1:]...)
 				return true
 			}
@@ -235,19 +376,24 @@ func (t *Tree) Delete(key storage.Key, rid storage.RID) bool {
 // MarkDeleted sets (or clears) the deleted flag on the entry with the given
 // key and RID, reporting whether the entry was found. Flagging instead of
 // removing is the §4.2.2 mechanism that preserves isolation for secondary
-// index probes racing with uncommitted deletes.
+// index probes racing with uncommitted deletes. When the key holds several
+// entries with the same RID (a flagged relic next to a reused-slot live
+// entry), the one not already in the target state is toggled, so flagging a
+// re-deleted record does not no-op against the relic.
 func (t *Tree) MarkDeleted(key storage.Key, rid storage.RID, deleted bool) bool {
 	t.latch.Lock()
 	defer t.latch.Unlock()
+	found := false
 	leaf := t.findLeaf(key)
 	for leaf != nil {
 		for i := range leaf.entries {
 			e := &leaf.entries[i]
 			cmp := bytes.Compare(e.Key, key)
 			if cmp > 0 {
-				return false
+				return found
 			}
 			if cmp == 0 && e.RID == rid {
+				found = true
 				if e.Deleted != deleted {
 					if deleted {
 						t.size--
@@ -255,13 +401,13 @@ func (t *Tree) MarkDeleted(key storage.Key, rid storage.RID, deleted bool) bool 
 						t.size++
 					}
 					e.Deleted = deleted
+					return true
 				}
-				return true
 			}
 		}
 		leaf = leaf.next
 	}
-	return false
+	return found
 }
 
 // findLeaf descends to the leftmost leaf that may contain key. On equality
@@ -328,16 +474,11 @@ func (t *Tree) insertInto(n *node, e Entry) (*node, storage.Key) {
 	return t.splitBranch(n)
 }
 
-// splitLeaf splits an over-full leaf, first garbage-collecting entries whose
-// deleted flag is set (the paper's suggested leaf-split modification); a split
-// only happens if the leaf is still over-full afterwards.
+// splitLeaf splits an over-full leaf. Flagged entries are NOT collected here:
+// dropping one would sever an uncommitted delete's rollback path and hide the
+// record's version chain from epoch-pinned snapshots. Physical removal is the
+// pruner's job (DeleteFlagged), once the flagged entry is provably dead.
 func (t *Tree) splitLeaf(n *node) (*node, storage.Key) {
-	if kept := compactLive(n.entries); len(kept) < len(n.entries) {
-		n.entries = kept
-		if len(n.entries) <= degree {
-			return nil, nil
-		}
-	}
 	mid := len(n.entries) / 2
 	right := &node{leaf: true}
 	right.entries = append(right.entries, n.entries[mid:]...)
@@ -345,16 +486,6 @@ func (t *Tree) splitLeaf(n *node) (*node, storage.Key) {
 	right.next = n.next
 	n.next = right
 	return right, right.entries[0].Key
-}
-
-func compactLive(entries []Entry) []Entry {
-	kept := entries[:0:0]
-	for _, e := range entries {
-		if !e.Deleted {
-			kept = append(kept, e)
-		}
-	}
-	return kept
 }
 
 func (t *Tree) splitBranch(n *node) (*node, storage.Key) {

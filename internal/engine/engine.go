@@ -101,6 +101,26 @@ type Engine struct {
 
 	nextTxn atomic.Uint64
 
+	// Multi-version read path: visibleEpoch is the commit epoch snapshots
+	// pin; epochMu serializes epoch assignment with version stamping so a
+	// transaction becomes visible atomically; snaps registers live snapshot
+	// epochs for the prune watermark; cleanups queues committed deletes'
+	// index cleanups (sorted by epoch) until the pruner may run them.
+	visibleEpoch atomic.Uint64
+	epochMu      sync.Mutex
+	snapMu       sync.Mutex
+	snaps        map[uint64]uint64
+	nextSnap     uint64
+	cleanMu      sync.Mutex
+	cleanups     []epochCleanup
+	prunerStop   chan struct{}
+	prunerDone   chan struct{}
+	prunerOnce   sync.Once
+	// prunerMu excludes pruner passes while recovery rebuilds tables (and
+	// resets their version stores) under a live engine — Recover replays into
+	// an engine whose pruner New already started.
+	prunerMu sync.Mutex
+
 	colMu sync.RWMutex
 	col   *metrics.Collector
 
@@ -118,7 +138,9 @@ func New(cfg Config) *Engine {
 		// The in-memory device cannot fail to open.
 		panic(err)
 	}
-	return newEngine(cfg, log)
+	e := newEngine(cfg, log)
+	e.startPruner()
+	return e
 }
 
 // newEngine assembles an engine around an already-open log manager.
@@ -139,7 +161,11 @@ func newEngine(cfg Config, log *wal.Manager) *Engine {
 		lm:       lockmgr.New(lmOpts...),
 		tables:   make(map[string]*Table),
 		tablesID: make(map[TableID]*Table),
+		snaps:    make(map[uint64]uint64),
 	}
+	// The pruner is started by New/Open once the engine is fully assembled:
+	// recovery rebuilds tables (and resets their version stores) before any
+	// background goroutine may walk them.
 	return e
 }
 
@@ -147,10 +173,14 @@ func newEngine(cfg Config, log *wal.Manager) *Engine {
 // pressure and by recovery tests).
 func (e *Engine) Log() *wal.Manager { return e.log }
 
-// Close releases the engine's background resources (the WAL group-commit
-// flusher and the log device). It must be called after all in-flight
-// transactions finish; it returns the first log-device error observed.
-func (e *Engine) Close() error { return e.log.Close() }
+// Close releases the engine's background resources (the version pruner, the
+// WAL group-commit flusher, and the log device). It must be called after all
+// in-flight transactions finish; it returns the first log-device error
+// observed.
+func (e *Engine) Close() error {
+	e.stopPruner()
+	return e.log.Close()
+}
 
 // LockManager exposes the centralized lock manager (used by DORA for the few
 // operations that still need centralized coordination, and by tests).

@@ -1,0 +1,457 @@
+// Multi-version tuples and epoch-stamped snapshot reads.
+//
+// The heap keeps exactly one (possibly uncommitted) image per record, as
+// before — the OLTP write path stays allocation-free when no reader needs
+// history. Every writer additionally installs a version node in a per-table
+// sharded chain store before it mutates the heap; commit stamps the
+// transaction's nodes with a fresh commit epoch (advanced at group-commit,
+// under one mutex, so a whole transaction becomes visible atomically), and a
+// background pruner collapses chains back to nothing once no live snapshot
+// can need them.
+//
+// Visibility rule: a version is visible to a snapshot pinned at epoch E iff
+// its commit epoch is <= E; chains are newest-first, so the first committed
+// node at or below E wins, and a node with nil data means "the record does
+// not exist at this version". A record with no chain is entirely committed
+// and its heap image is the (sole) version, visible at every epoch.
+//
+// The correctness of the no-chain fallback rests on two ordering rules:
+//
+//  1. Writers install the chain node (under the shard write lock) BEFORE the
+//     heap mutation, and rollback restores the heap BEFORE popping the
+//     pending node. A reader that reads the heap and then finds no chain
+//     (the shard mutex gives the happens-before edge) is therefore
+//     guaranteed the heap bytes it read were committed.
+//  2. Inserts are the one case where heap bytes exist before the chain can
+//     (the RID is unknown until heap.insert returns). The only index path to
+//     such a RID is a stale flagged entry of a deleted predecessor whose
+//     heap slot was reused. Snapshot reads therefore resolve every entry
+//     in-callback, while the B+Tree's read latch is held (per latch chunk —
+//     scans release it between bounded chunks so writers never stall long),
+//     and the pruner removes a delete-terminated chain only AFTER removing
+//     its flagged index entries (which takes the write latch). A reader that
+//     observes a stale flagged entry thus holds off phase A of the pruner
+//     pass, so the predecessor's chain is still installed and resolution
+//     goes through it — the uncommitted heap bytes are never consulted.
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dora/internal/btree"
+	"dora/internal/storage"
+)
+
+// pendingEpoch marks a version whose transaction has not committed yet. It
+// compares greater than every snapshot epoch, so pending versions are never
+// visible.
+const pendingEpoch = math.MaxUint64
+
+// version is one node of a record's version chain, newest-first.
+type version struct {
+	// epoch is the commit epoch, or pendingEpoch while the installing
+	// transaction is active. Stamped exactly once, at group-commit.
+	epoch atomic.Uint64
+	// txn is the installing transaction (meaningful while pending).
+	txn uint64
+	// data is the encoded tuple image of this version; nil means the record
+	// does not exist at this version (a delete, or the pre-insert base).
+	data []byte
+	// next points at the previous (older) version. Atomic so the pruner can
+	// truncate a chain under concurrent walkers.
+	next atomic.Pointer[version]
+}
+
+// versionShards is the number of locks the chain map is striped over.
+const versionShards = 64
+
+// versionStore holds the version chains of one table, keyed by RID.
+type versionStore struct {
+	shards [versionShards]versionShard
+}
+
+type versionShard struct {
+	mu     sync.RWMutex
+	chains map[uint64]*version
+}
+
+func newVersionStore() *versionStore {
+	vs := &versionStore{}
+	for i := range vs.shards {
+		vs.shards[i].chains = make(map[uint64]*version)
+	}
+	return vs
+}
+
+func (vs *versionStore) shard(rid storage.RID) *versionShard {
+	return &vs.shards[rid.Key()%versionShards]
+}
+
+// install adds a pending version with the given image (nil for a delete) to
+// the record's chain, synthesizing a committed base node from the pre-change
+// heap image when the record has no chain yet (base nil means the record did
+// not exist before — an insert). A repeated write by the same transaction
+// replaces its own pending head. Callers must invoke install before mutating
+// the heap (ordering rule 1 above).
+func (vs *versionStore) install(rid storage.RID, txnID uint64, data, base []byte) *version {
+	v := &version{txn: txnID, data: data}
+	v.epoch.Store(pendingEpoch)
+	sh := vs.shard(rid)
+	sh.mu.Lock()
+	head := sh.chains[rid.Key()]
+	switch {
+	case head == nil:
+		bn := &version{data: base} // epoch 0: visible below every snapshot epoch
+		v.next.Store(bn)
+	case head.epoch.Load() == pendingEpoch && head.txn == txnID:
+		v.next.Store(head.next.Load())
+	default:
+		v.next.Store(head)
+	}
+	sh.chains[rid.Key()] = v
+	sh.mu.Unlock()
+	return v
+}
+
+// popPending removes the transaction's pending head from the record's chain,
+// if present (rollback and insert-failure paths). Callers must restore the
+// heap before popping (ordering rule 1 above).
+func (vs *versionStore) popPending(rid storage.RID, txnID uint64) {
+	sh := vs.shard(rid)
+	sh.mu.Lock()
+	head := sh.chains[rid.Key()]
+	for head != nil && head.epoch.Load() == pendingEpoch && head.txn == txnID {
+		head = head.next.Load()
+	}
+	if head == nil {
+		delete(sh.chains, rid.Key())
+	} else {
+		sh.chains[rid.Key()] = head
+	}
+	sh.mu.Unlock()
+}
+
+// lookup returns the record's chain head, or nil if the record has no chain.
+func (vs *versionStore) lookup(rid storage.RID) *version {
+	sh := vs.shard(rid)
+	sh.mu.RLock()
+	head := sh.chains[rid.Key()]
+	sh.mu.RUnlock()
+	return head
+}
+
+// prune reclaims history no snapshot at or above the watermark can see: a
+// chain whose head committed at or below the watermark is dropped entirely
+// (the heap image equals the head), and otherwise everything below the first
+// committed node at or below the watermark is truncated. The per-chain
+// lengths are reported to the collector. Chains whose head is a committed
+// delete are only reached here after the caller ran the due index cleanups
+// (phase A), preserving ordering rule 2 above.
+func (vs *versionStore) prune(wm uint64, observe func(chainLen int)) {
+	for i := range vs.shards {
+		sh := &vs.shards[i]
+		sh.mu.Lock()
+		for key, head := range sh.chains {
+			n := 0
+			for v := head; v != nil; v = v.next.Load() {
+				n++
+			}
+			if observe != nil {
+				observe(n)
+			}
+			if head.epoch.Load() <= wm {
+				delete(sh.chains, key)
+				continue
+			}
+			for v := head; v != nil; v = v.next.Load() {
+				if v.epoch.Load() <= wm {
+					v.next.Store(nil)
+					break
+				}
+			}
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// resolveAtEpoch returns the record's image as of the given epoch via the
+// index entry with the given primary key, or ErrNotFound if the record is not
+// visible there. The heap is read BEFORE the chain lookup: if no chain exists
+// afterwards, the shard mutex guarantees the heap bytes were committed
+// (ordering rule 1 above).
+//
+// A chain is keyed by RID, so after heap-slot reuse it can span several
+// logical records, delimited by nil-data delete nodes; a version below the
+// boundary belongs to the slot's previous owner. Chain-resolved tuples are
+// therefore checked against the entry's key, and a mismatch means "this key's
+// record is not visible at this epoch" — the previous owner's own (flagged)
+// entry is the path that legitimately reaches its versions. The no-chain heap
+// fallback needs no check: a live entry always matches the committed record
+// at its RID, and a flagged entry outlives its chain only until the pruner's
+// phase A, which the caller's read latch holds off (ordering rule 2).
+func (t *Table) resolveAtEpoch(rid storage.RID, pk storage.Key, epoch uint64) (storage.Tuple, error) {
+	heapData, heapErr := t.heap.get(rid)
+	if head := t.versions.lookup(rid); head != nil {
+		for v := head; v != nil; v = v.next.Load() {
+			if v.epoch.Load() <= epoch {
+				if v.data == nil {
+					return nil, ErrNotFound
+				}
+				tu, err := storage.DecodeTuple(v.data)
+				if err != nil {
+					return nil, err
+				}
+				if !bytes.Equal(t.PrimaryKey(tu), pk) {
+					return nil, ErrNotFound
+				}
+				return tu, nil
+			}
+		}
+		return nil, ErrNotFound
+	}
+	if heapErr != nil {
+		return nil, heapErr
+	}
+	return storage.DecodeTuple(heapData)
+}
+
+// epochCleanup is one deferred physical index cleanup of a committed delete,
+// runnable once the prune watermark reaches its commit epoch.
+type epochCleanup struct {
+	epoch  uint64
+	tbl    *Table
+	before storage.Tuple
+	rid    storage.RID
+}
+
+// indexCleanup is a transaction-local deferred cleanup, moved onto the
+// engine's epoch-stamped queue at commit and dropped on abort.
+type indexCleanup struct {
+	tbl    *Table
+	before storage.Tuple
+	rid    storage.RID
+}
+
+// pendingVersion tracks one version a transaction installed, for commit
+// stamping and rollback popping.
+type pendingVersion struct {
+	tbl *Table
+	rid storage.RID
+	v   *version
+}
+
+// VisibleEpoch returns the engine's current commit epoch: the epoch a
+// snapshot beginning now would pin.
+func (e *Engine) VisibleEpoch() uint64 { return e.visibleEpoch.Load() }
+
+// Snapshot is a read-only view of the engine pinned at one commit epoch. Its
+// reads take no lock-manager locks and no executor-queue latching; they are
+// wait-free with respect to writers. Release it when done so the pruner can
+// reclaim the history it pins.
+type Snapshot struct {
+	eng      *Engine
+	id       uint64
+	epoch    uint64
+	released atomic.Bool
+}
+
+// BeginSnapshot pins the current commit epoch and registers the snapshot with
+// the pruner's watermark.
+func (e *Engine) BeginSnapshot() *Snapshot {
+	e.snapMu.Lock()
+	e.nextSnap++
+	id := e.nextSnap
+	epoch := e.visibleEpoch.Load()
+	e.snaps[id] = epoch
+	e.snapMu.Unlock()
+	return &Snapshot{eng: e, id: id, epoch: epoch}
+}
+
+// Epoch returns the snapshot's pinned commit epoch.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Release unpins the snapshot. Idempotent.
+func (s *Snapshot) Release() {
+	if s.released.Swap(true) {
+		return
+	}
+	s.eng.snapMu.Lock()
+	delete(s.eng.snaps, s.id)
+	s.eng.snapMu.Unlock()
+}
+
+// Probe reads the record with the given primary key as of the snapshot's
+// epoch. Flagged index entries are considered too — the version chain, not
+// the flag, decides visibility — and each candidate is resolved in-callback
+// under the index read latch (ordering rule 2 above).
+func (s *Snapshot) Probe(table string, pk storage.Key) (storage.Tuple, error) {
+	tbl, err := s.eng.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	var out storage.Tuple
+	var innerErr error
+	tbl.primary.SearchEach(pk, func(en btree.Entry) bool {
+		tu, rerr := tbl.resolveAtEpoch(en.RID, en.Key, s.epoch)
+		if rerr != nil {
+			if errors.Is(rerr, ErrNotFound) {
+				return true
+			}
+			innerErr = rerr
+			return false
+		}
+		out = tu
+		return false
+	})
+	if innerErr != nil {
+		return nil, innerErr
+	}
+	if out == nil {
+		return nil, ErrNotFound
+	}
+	s.eng.Collector().AddSnapshotReads(1)
+	return out, nil
+}
+
+// ScanTable visits every record visible at the snapshot's epoch in
+// primary-key order, invoking fn until it returns false.
+func (s *Snapshot) ScanTable(table string, fn func(storage.Tuple) bool) error {
+	return s.ScanPrefix(table, nil, fn)
+}
+
+// ScanPrefix visits, in key order, every record visible at the snapshot's
+// epoch whose primary key starts with the given prefix (nil scans the whole
+// table). fn runs with the index read latch held, as every snapshot read
+// does; it must not write through the engine.
+func (s *Snapshot) ScanPrefix(table string, prefix storage.Key, fn func(storage.Tuple) bool) error {
+	tbl, err := s.eng.Table(table)
+	if err != nil {
+		return err
+	}
+	var innerErr error
+	reads := 0
+	// A key can briefly carry several entries (flagged relics of deleted
+	// records next to a reused-slot reinsert); at most one resolves visible,
+	// but relics sharing the reused RID resolve identically, so emit each
+	// key once.
+	var lastKey storage.Key
+	tbl.primary.ScanPrefixAll(prefix, func(en btree.Entry) bool {
+		if lastKey != nil && bytes.Equal(en.Key, lastKey) {
+			return true
+		}
+		tu, rerr := tbl.resolveAtEpoch(en.RID, en.Key, s.epoch)
+		if rerr != nil {
+			if errors.Is(rerr, ErrNotFound) {
+				return true
+			}
+			innerErr = rerr
+			return false
+		}
+		lastKey = en.Key
+		reads++
+		return fn(tu)
+	})
+	if reads > 0 {
+		s.eng.Collector().AddSnapshotReads(reads)
+	}
+	return innerErr
+}
+
+// enqueueCleanups moves a committed transaction's deferred index cleanups
+// onto the pruner's queue, stamped with the commit epoch. Called under
+// epochMu, so the queue stays sorted by epoch.
+func (e *Engine) enqueueCleanups(cs []indexCleanup, epoch uint64) {
+	e.cleanMu.Lock()
+	for _, c := range cs {
+		e.cleanups = append(e.cleanups, epochCleanup{epoch: epoch, tbl: c.tbl, before: c.before, rid: c.rid})
+	}
+	e.cleanMu.Unlock()
+}
+
+// pruneWatermark returns the highest epoch whose history is reclaimable: the
+// minimum over all live snapshots, or the visible epoch when none are live.
+func (e *Engine) pruneWatermark() uint64 {
+	wm := e.visibleEpoch.Load()
+	e.snapMu.Lock()
+	for _, epoch := range e.snaps {
+		if epoch < wm {
+			wm = epoch
+		}
+	}
+	e.snapMu.Unlock()
+	return wm
+}
+
+// prunePass runs one reclamation pass: phase A removes the flagged index
+// entries of deletes committed at or below the watermark (under the index
+// write latches, so it serializes after any in-flight snapshot scan), then
+// phase B collapses version chains. The phase order is load-bearing — see
+// ordering rule 2 at the top of the file.
+func (e *Engine) prunePass() {
+	e.prunerMu.Lock()
+	defer e.prunerMu.Unlock()
+	wm := e.pruneWatermark()
+	col := e.Collector()
+	col.ObservePruneLag(int(e.visibleEpoch.Load() - wm))
+
+	e.cleanMu.Lock()
+	due := 0
+	for due < len(e.cleanups) && e.cleanups[due].epoch <= wm {
+		due++
+	}
+	batch := e.cleanups[:due]
+	e.cleanups = e.cleanups[due:]
+	e.cleanMu.Unlock()
+	for _, c := range batch {
+		c.tbl.removeIndexEntriesFlagged(c.before, c.rid)
+	}
+
+	var observe func(int)
+	if col != nil {
+		observe = col.ObserveChainLength
+	}
+	for _, tbl := range e.Tables() {
+		tbl.versions.prune(wm, observe)
+	}
+}
+
+// PruneNow runs one synchronous pruner pass (tests and benchmarks).
+func (e *Engine) PruneNow() { e.prunePass() }
+
+// prunerInterval is the background reclamation cadence. Short enough that
+// chains stay near length one under a write-heavy mix with no snapshots,
+// long enough to stay invisible in profiles.
+const prunerInterval = 2 * time.Millisecond
+
+func (e *Engine) startPruner() {
+	e.prunerStop = make(chan struct{})
+	e.prunerDone = make(chan struct{})
+	go func() {
+		defer close(e.prunerDone)
+		tick := time.NewTicker(prunerInterval)
+		defer tick.Stop()
+		for {
+			select {
+			case <-e.prunerStop:
+				return
+			case <-tick.C:
+				e.prunePass()
+			}
+		}
+	}()
+}
+
+func (e *Engine) stopPruner() {
+	e.prunerOnce.Do(func() {
+		if e.prunerStop == nil {
+			return // engine construction failed before startPruner ran
+		}
+		close(e.prunerStop)
+		<-e.prunerDone
+	})
+}

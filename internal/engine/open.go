@@ -118,5 +118,17 @@ func Open(dir string, cfg Config) (*Engine, wal.RecoveryStats, error) {
 	// Resume transaction-id assignment above everything in the log so new
 	// transactions never collide with replayed chains.
 	e.nextTxn.Store(uint64(img.MaxTxn))
+	// Resume the commit epoch above every replayed END record's epoch, so
+	// post-restart snapshots order after every pre-crash commit. Version
+	// chains rebuild empty: after replay each surviving heap image is its
+	// record's latest committed version — the no-chain base case.
+	var maxEpoch uint64
+	for _, r := range img.Records {
+		if r.Type == wal.RecEnd && r.Epoch > maxEpoch {
+			maxEpoch = r.Epoch
+		}
+	}
+	e.visibleEpoch.Store(maxEpoch)
+	e.startPruner()
 	return e, stats, nil
 }

@@ -286,3 +286,77 @@ func TestOpenRejectsRecoveryOnClosedManagerSemantics(t *testing.T) {
 		t.Fatalf("Recover over closed log = %v, want wal.ErrClosed", err)
 	}
 }
+
+// Restart-then-snapshot: the reopened engine restores the commit epoch from
+// the replayed END records, rebuilds version chains collapsed to the latest
+// committed version (the no-chain heap base), and serves consistent
+// epoch-pinned snapshots that order after every pre-crash commit.
+func TestOpenRestoresCommitEpochForSnapshots(t *testing.T) {
+	dir := t.TempDir()
+	e, _ := openAccounts(t, dir)
+	if _, err := e.CreateTable(accountsDef()); err != nil {
+		t.Fatalf("CreateTable: %v", err)
+	}
+	txn := e.Begin()
+	mustInsert(t, e, txn, 1, 10, "alice", 100)
+	if err := e.Commit(txn); err != nil {
+		t.Fatalf("Commit: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		txn := e.Begin()
+		if err := e.Update(txn, "accounts", pkOf(1), Conventional(), func(tu storage.Tuple) (storage.Tuple, error) {
+			tu[3] = storage.FloatValue(tu[3].Float + 50)
+			return tu, nil
+		}); err != nil {
+			t.Fatalf("Update %d: %v", i, err)
+		}
+		if err := e.Commit(txn); err != nil {
+			t.Fatalf("Commit %d: %v", i, err)
+		}
+	}
+	preCrashEpoch := e.VisibleEpoch()
+	if preCrashEpoch == 0 {
+		t.Fatal("commit epoch never advanced")
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	e2, _ := openAccounts(t, dir)
+	defer e2.Close()
+	if got := e2.VisibleEpoch(); got != preCrashEpoch {
+		t.Fatalf("restored epoch = %d, want %d", got, preCrashEpoch)
+	}
+
+	// A snapshot over the reopened engine sees the latest committed state.
+	snap := e2.BeginSnapshot()
+	if snap.Epoch() != preCrashEpoch {
+		t.Fatalf("snapshot epoch = %d, want %d", snap.Epoch(), preCrashEpoch)
+	}
+	tu, err := snap.Probe("accounts", pkOf(1))
+	if err != nil || tu[3].Float != 250 {
+		t.Fatalf("snapshot probe after reopen = %v, %v (want balance 250)", tu, err)
+	}
+	snap.Release()
+
+	// New commits advance past the restored epoch, and a snapshot pinned
+	// before them still reads the replayed state.
+	old := e2.BeginSnapshot()
+	defer old.Release()
+	txn2 := e2.Begin()
+	if err := e2.Update(txn2, "accounts", pkOf(1), Conventional(), func(tu storage.Tuple) (storage.Tuple, error) {
+		tu[3] = storage.FloatValue(999)
+		return tu, nil
+	}); err != nil {
+		t.Fatalf("post-reopen Update: %v", err)
+	}
+	if err := e2.Commit(txn2); err != nil {
+		t.Fatalf("post-reopen Commit: %v", err)
+	}
+	if e2.VisibleEpoch() <= preCrashEpoch {
+		t.Fatalf("epoch did not advance past restored value: %d", e2.VisibleEpoch())
+	}
+	if tu, err := old.Probe("accounts", pkOf(1)); err != nil || tu[3].Float != 250 {
+		t.Fatalf("pinned snapshot after post-reopen commit = %v, %v (want 250)", tu, err)
+	}
+}

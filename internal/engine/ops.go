@@ -23,6 +23,10 @@ type AccessOptions struct {
 	RowLockOnly bool
 	// WorkerID attributes the access in record-access traces (Figure 10).
 	WorkerID int
+	// Snapshot routes reads (Probe, ScanPrefix, ScanTable) through the given
+	// epoch-pinned snapshot instead of the locked heap path; writes ignore
+	// it. Snapshot reads take no lock-manager locks at all.
+	Snapshot *Snapshot
 }
 
 // Conventional returns the options of a conventionally executed access: full
@@ -56,6 +60,9 @@ func lockErr(err error) error {
 
 // Probe reads the record with the given primary key.
 func (e *Engine) Probe(t *Txn, table string, pk storage.Key, opt AccessOptions) (storage.Tuple, error) {
+	if opt.Snapshot != nil {
+		return opt.Snapshot.Probe(table, pk)
+	}
 	if err := t.ensureActive(); err != nil {
 		return nil, err
 	}
@@ -172,6 +179,10 @@ func (e *Engine) updateRID(t *Txn, tbl *Table, rid storage.RID, opt AccessOption
 		return err
 	}
 	t.recordChange(rec)
+	// Install the new version before touching the heap (mvcc.go ordering
+	// rule 1): a snapshot reader that sees the uncommitted heap bytes is
+	// guaranteed to also see the chain and resolve through it.
+	t.addPending(tbl, rid, tbl.versions.install(rid, t.id, afterBytes, beforeBytes))
 	if err := tbl.heap.update(rid, afterBytes); err != nil {
 		return err
 	}
@@ -224,8 +235,15 @@ func (e *Engine) Insert(t *Txn, table string, tuple storage.Tuple, opt AccessOpt
 			return storage.InvalidRID, lockErr(lerr)
 		}
 	}
+	// Install the pending version before the index entries exist (mvcc.go
+	// ordering rule 2): once an entry can lead a snapshot reader here, the
+	// chain must already hide the uncommitted heap bytes. If the slot reuses
+	// a deleted record whose flagged entries still stand, the new node
+	// stacks on the old chain, so those relics keep resolving correctly too.
+	t.addPending(tbl, rid, tbl.versions.install(rid, t.id, data, nil))
 	if err := tbl.insertIndexEntries(tuple, rid); err != nil {
 		tbl.heap.delete(rid)
+		tbl.versions.popPending(rid, t.id)
 		return storage.InvalidRID, err
 	}
 	rec := &wal.Record{
@@ -238,6 +256,7 @@ func (e *Engine) Insert(t *Txn, table string, tuple storage.Tuple, opt AccessOpt
 	if _, err := e.log.Append(rec); err != nil {
 		tbl.removeIndexEntries(tuple, rid)
 		tbl.heap.delete(rid)
+		tbl.versions.popPending(rid, t.id)
 		return storage.InvalidRID, err
 	}
 	t.recordChange(rec)
@@ -292,11 +311,19 @@ func (e *Engine) Delete(t *Txn, table string, pk storage.Key, opt AccessOptions)
 		return err
 	}
 	t.recordChange(rec)
+	// Install the delete version (nil data) before removing the heap image
+	// (mvcc.go ordering rule 1); snapshots pinned before the commit keep
+	// resolving the before-image through the chain's base node.
+	t.addPending(tbl, rid, tbl.versions.install(rid, t.id, nil, beforeBytes))
 	if err := tbl.heap.delete(rid); err != nil {
 		return err
 	}
 	tbl.markIndexEntriesDeleted(before, rid, true)
-	t.deferOnCommit(func() { tbl.removeIndexEntries(before, rid) })
+	// Physical removal of the flagged entries is deferred past commit, onto
+	// the pruner's epoch queue: the flagged entry is the only index path by
+	// which an old snapshot reaches the record's version chain, so it must
+	// outlive every snapshot pinned below the delete's commit epoch.
+	t.addCleanup(tbl, before, rid)
 	e.emitTrace(opt.WorkerID, tbl, before, rid)
 	return nil
 }
@@ -330,6 +357,9 @@ func (e *Engine) SecondaryLookup(t *Txn, table, index string, key storage.Key, o
 // shared mode; under DORA the caller's local lock on the routing prefix covers
 // the range.
 func (e *Engine) ScanPrefix(t *Txn, table string, prefix storage.Key, opt AccessOptions, fn func(storage.Tuple) bool) error {
+	if opt.Snapshot != nil {
+		return opt.Snapshot.ScanPrefix(table, prefix, fn)
+	}
 	if err := t.ensureActive(); err != nil {
 		return err
 	}
@@ -362,6 +392,9 @@ func (e *Engine) ScanPrefix(t *Txn, table string, prefix storage.Key, opt Access
 // lock; a DORA "multi-partition" scan instead enqueues actions on every
 // executor, so it passes NoLock.
 func (e *Engine) ScanTable(t *Txn, table string, opt AccessOptions, fn func(storage.Tuple) bool) error {
+	if opt.Snapshot != nil {
+		return opt.Snapshot.ScanTable(table, fn)
+	}
 	if err := t.ensureActive(); err != nil {
 		return err
 	}

@@ -122,6 +122,11 @@ func (a *recoveryApplier) Undo(r *wal.Record) error {
 // Recover (in-process crash, tables re-created by the caller) and Open
 // (process restart, tables re-created from the log's schema records).
 func (e *Engine) replayImage(log *wal.Manager, img *wal.LogImage) (wal.RecoveryStats, error) {
+	// Recover replays into an engine whose background pruner is already
+	// running (New starts it); hold it off while the heaps are rewritten and
+	// rebuildIndexes resets each table's version store.
+	e.prunerMu.Lock()
+	defer e.prunerMu.Unlock()
 	applier := &recoveryApplier{e: e, remap: make(map[uint64]storage.RID)}
 	stats, err := wal.Replay(log, img, applier)
 	if err != nil {
@@ -150,5 +155,20 @@ func (e *Engine) Recover(log *wal.Manager) (wal.RecoveryStats, error) {
 	if err != nil {
 		return wal.RecoveryStats{}, err
 	}
-	return e.replayImage(log, img)
+	stats, err := e.replayImage(log, img)
+	if err != nil {
+		return stats, err
+	}
+	// Resume the commit epoch above every replayed END record, as Open does,
+	// so snapshots taken after recovery order after every pre-crash commit.
+	var maxEpoch uint64
+	for _, r := range img.Records {
+		if r.Type == wal.RecEnd && r.Epoch > maxEpoch {
+			maxEpoch = r.Epoch
+		}
+	}
+	if maxEpoch > e.visibleEpoch.Load() {
+		e.visibleEpoch.Store(maxEpoch)
+	}
+	return stats, nil
 }

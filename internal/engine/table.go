@@ -27,6 +27,10 @@ type Table struct {
 	pkCols    []int
 	routeCols []int
 
+	// versions holds the table's record version chains for epoch-pinned
+	// snapshot reads (see mvcc.go).
+	versions *versionStore
+
 	secondaries map[string]*secondaryIndex
 }
 
@@ -36,6 +40,7 @@ func newTable(id TableID, def TableDef, pool *buffer.Pool) (*Table, error) {
 		def:         def,
 		heap:        newHeapFile(pool),
 		primary:     btree.New(def.Name+".pk", true),
+		versions:    newVersionStore(),
 		secondaries: make(map[string]*secondaryIndex),
 	}
 	var err error
@@ -168,6 +173,18 @@ func (t *Table) removeIndexEntries(tuple storage.Tuple, rid storage.RID) {
 	}
 }
 
+// removeIndexEntriesFlagged physically removes the tuple's flagged index
+// entries only, leaving any reused-slot live entries with the same key and
+// RID untouched. The pruner runs it for committed deletes once no snapshot
+// can still resolve through the flagged entries.
+func (t *Table) removeIndexEntriesFlagged(tuple storage.Tuple, rid storage.RID) {
+	t.primary.DeleteFlagged(t.PrimaryKey(tuple), rid)
+	for _, si := range t.secondaries {
+		key := storage.EncodeKey(tuple.Project(si.keyCols)...)
+		si.tree.DeleteFlagged(key, rid)
+	}
+}
+
 // replaceIndexEntries fixes index entries after an update changed key or
 // routing columns.
 func (t *Table) replaceIndexEntries(before, after storage.Tuple, rid storage.RID) error {
@@ -183,8 +200,11 @@ func (t *Table) primaryScan(fn func(rid storage.RID) bool) {
 }
 
 // rebuildIndexes reconstructs every index from the heap file's live records.
-// Recovery uses it after redo/undo.
+// Recovery uses it after redo/undo. The version store resets to empty: after
+// replay every surviving heap image is its record's latest committed version,
+// which is exactly the no-chain base case of the snapshot read path.
 func (t *Table) rebuildIndexes() error {
+	t.versions = newVersionStore()
 	t.primary = btree.New(t.def.Name+".pk", true)
 	for name, si := range t.secondaries {
 		t.secondaries[name] = &secondaryIndex{

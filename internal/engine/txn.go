@@ -49,9 +49,17 @@ type Txn struct {
 	// walks it backwards. It mirrors the transaction's log chain without
 	// re-reading the log device.
 	undo []*wal.Record
-	// onCommit holds deferred physical cleanups (removing flagged index
-	// entries of deleted records) that run only if the transaction commits.
+	// onCommit holds deferred physical cleanups that run only if the
+	// transaction commits.
 	onCommit []func()
+	// pending tracks the version-chain nodes this transaction installed, for
+	// commit-epoch stamping and rollback popping (mvcc.go).
+	pending []pendingVersion
+	// cleanups holds the flagged-index-entry removals of this transaction's
+	// deletes; commit moves them onto the engine's epoch-stamped queue (the
+	// pruner runs them once no snapshot can still need the flagged entries),
+	// abort drops them.
+	cleanups []indexCleanup
 }
 
 // Begin starts a new transaction. If the engine's log has been closed the
@@ -93,6 +101,20 @@ func (t *Txn) recordChange(r *wal.Record) {
 func (t *Txn) deferOnCommit(fn func()) {
 	t.mu.Lock()
 	t.onCommit = append(t.onCommit, fn)
+	t.mu.Unlock()
+}
+
+// addPending remembers a version-chain node the transaction installed.
+func (t *Txn) addPending(tbl *Table, rid storage.RID, v *version) {
+	t.mu.Lock()
+	t.pending = append(t.pending, pendingVersion{tbl: tbl, rid: rid, v: v})
+	t.mu.Unlock()
+}
+
+// addCleanup remembers a delete's deferred flagged-index-entry removal.
+func (t *Txn) addCleanup(tbl *Table, before storage.Tuple, rid storage.RID) {
+	t.mu.Lock()
+	t.cleanups = append(t.cleanups, indexCleanup{tbl: tbl, before: before, rid: rid})
 	t.mu.Unlock()
 }
 
@@ -185,16 +207,39 @@ func (e *Engine) CommitAsync(t *Txn, done func(error)) {
 func (e *Engine) finishCommit(t *Txn) {
 	t.mu.Lock()
 	cleanups := t.onCommit
-	t.onCommit = nil
+	pending := t.pending
+	icleanups := t.cleanups
+	t.onCommit, t.pending, t.cleanups = nil, nil, nil
 	t.state = TxnCommitted
 	t.mu.Unlock()
 	for _, fn := range cleanups {
 		fn()
 	}
+	// Group-commit epoch advance: assign the next epoch, stamp every version
+	// the transaction installed, then publish the epoch — all under one
+	// mutex, so a snapshot pinning the epoch either sees none of the
+	// transaction's versions (pinned below) or all of them (pinned at or
+	// above). Read-only transactions skip this entirely and do not advance
+	// the epoch.
+	var epoch uint64
+	if len(pending) > 0 || len(icleanups) > 0 {
+		e.epochMu.Lock()
+		epoch = e.visibleEpoch.Load() + 1
+		for _, p := range pending {
+			p.v.epoch.Store(epoch)
+		}
+		if len(icleanups) > 0 {
+			e.enqueueCleanups(icleanups, epoch)
+		}
+		e.visibleEpoch.Store(epoch)
+		e.epochMu.Unlock()
+	}
 	e.lm.ReleaseAll(t.lockID())
-	// Best-effort: the END record is bookkeeping; a log closed mid-shutdown
-	// just means the next recovery treats the commit record as authoritative.
-	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd}) //nolint:errcheck
+	// Best-effort: the END record is bookkeeping (recovery treats the commit
+	// record as authoritative, and restores the visible epoch as the maximum
+	// over replayed END epochs); a log closed mid-shutdown just loses the
+	// epoch hint.
+	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd, Epoch: epoch}) //nolint:errcheck
 }
 
 // Abort rolls the transaction back: every change is undone youngest-first with
@@ -209,8 +254,11 @@ func (e *Engine) Abort(t *Txn) error {
 
 	t.mu.Lock()
 	undo := t.undo
+	pending := t.pending
 	t.undo = nil
 	t.onCommit = nil
+	t.pending = nil
+	t.cleanups = nil
 	t.state = TxnAborted
 	t.mu.Unlock()
 
@@ -228,6 +276,12 @@ func (e *Engine) Abort(t *Txn) error {
 			After:    r.Before,
 			UndoNext: r.PrevLSN,
 		})
+	}
+	// Pop the transaction's pending versions only after the undo loop has
+	// restored the heap: a snapshot reader that finds no chain trusts the
+	// heap image as committed (mvcc.go ordering rule 1).
+	for _, p := range pending {
+		p.tbl.versions.popPending(p.rid, t.id)
 	}
 	e.lm.ReleaseAll(t.lockID())
 	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd})

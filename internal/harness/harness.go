@@ -132,6 +132,18 @@ type Result struct {
 	// run, in order.
 	Rebalances []dora.RebalanceEvent
 
+	// SnapshotReads is the number of record reads served from epoch-pinned
+	// snapshots during the run (zero when nothing used the snapshot path).
+	SnapshotReads uint64
+	// ChainLength is the version-chain-length histogram the pruner observed
+	// during the run: how much multi-version history writers accumulated
+	// between reclamation passes.
+	ChainLength metrics.HistogramSnapshot
+	// PruneLag is the histogram of visible-epoch-to-watermark distance at
+	// each pruner pass (epochs): how far reclamation trailed commits,
+	// widened by long-lived snapshots.
+	PruneLag metrics.HistogramSnapshot
+
 	// InvariantErr is the post-run verdict of the workload's consistency
 	// checker (workload.Driver.Check): nil when every invariant holds. A
 	// non-nil value marks the run as failed regardless of its throughput.
@@ -366,6 +378,9 @@ func (b *Bench) Run(cfg Config) Result {
 		Fsync:           col.FsyncLatency(),
 		LogFlushes:      flushAfter.Flushes - flushBefore.Flushes,
 		LogSyncs:        flushAfter.Syncs - flushBefore.Syncs,
+		SnapshotReads:   col.SnapshotReads(),
+		ChainLength:     col.ChainLength(),
+		PruneLag:        col.PruneLag(),
 	}
 	if res.LogFlushes > 0 {
 		res.CommitsPerFlush = float64(flushAfter.CommitsFlushed-flushBefore.CommitsFlushed) / float64(res.LogFlushes)

@@ -200,6 +200,17 @@ type Collector struct {
 	critPath  Histogram
 	rvpThread Histogram
 
+	// Multi-version read-path instrumentation: chainLen is the version-chain
+	// length of each record the pruner visited (how much history writers have
+	// piled up), pruneLag the epoch distance between the visible epoch and the
+	// prune watermark at each pruner pass (how far reclamation trails behind
+	// commits, widened by long-lived snapshots), and snapshotReads the number
+	// of record reads served from epoch-pinned snapshots without any lock- or
+	// queue-manager involvement.
+	chainLen      Histogram
+	pruneLag      Histogram
+	snapshotReads atomic.Uint64
+
 	// Partition-manager instrumentation: the number of routing-boundary
 	// moves applied during the run, the latest partition-table version, and
 	// the balancer's latest imbalance score (max/mean per-executor load,
@@ -313,6 +324,46 @@ func (m *Collector) ObserveRVPThread(d time.Duration) {
 	}
 	m.rvpThread.Observe(int(d.Microseconds()))
 }
+
+// ObserveChainLength records the version-chain length of one record visited
+// by the pruner.
+func (m *Collector) ObserveChainLength(n int) {
+	if m == nil {
+		return
+	}
+	m.chainLen.Observe(n)
+}
+
+// ObservePruneLag records the visible-epoch-to-watermark distance of one
+// pruner pass.
+func (m *Collector) ObservePruneLag(n int) {
+	if m == nil || n < 0 {
+		return
+	}
+	m.pruneLag.Observe(n)
+}
+
+// AddSnapshotReads records n record reads served from an epoch-pinned
+// snapshot.
+func (m *Collector) AddSnapshotReads(n int) {
+	if m == nil {
+		return
+	}
+	m.snapshotReads.Add(uint64(n))
+}
+
+// ChainLength returns the version-chain-length histogram.
+func (m *Collector) ChainLength() HistogramSnapshot {
+	return m.chainLen.Snapshot()
+}
+
+// PruneLag returns the prune-lag histogram (epochs).
+func (m *Collector) PruneLag() HistogramSnapshot {
+	return m.pruneLag.Snapshot()
+}
+
+// SnapshotReads returns the number of snapshot record reads recorded.
+func (m *Collector) SnapshotReads() uint64 { return m.snapshotReads.Load() }
 
 // AddBoundaryMove records one applied routing-boundary move.
 func (m *Collector) AddBoundaryMove() {
@@ -540,6 +591,9 @@ func (m *Collector) Reset() {
 	m.fsyncHist.reset()
 	m.critPath.reset()
 	m.rvpThread.reset()
+	m.chainLen.reset()
+	m.pruneLag.reset()
+	m.snapshotReads.Store(0)
 	m.boundaryMoves.Store(0)
 	m.partitionVersion.Store(0)
 	m.imbalanceBits.Store(0)
@@ -580,6 +634,15 @@ func (m *Collector) String() string {
 	}
 	if rt := m.RVPThreadTime(); rt.Count > 0 {
 		fmt.Fprintf(&sb, " rvpthread-us[%s]", rt)
+	}
+	if sr := m.SnapshotReads(); sr > 0 {
+		fmt.Fprintf(&sb, " snapshot-reads=%d", sr)
+	}
+	if cl := m.ChainLength(); cl.Count > 0 {
+		fmt.Fprintf(&sb, " chainlen[%s]", cl)
+	}
+	if pl := m.PruneLag(); pl.Count > 0 {
+		fmt.Fprintf(&sb, " prunelag[%s]", pl)
 	}
 	if mv := m.BoundaryMoves(); mv > 0 {
 		fmt.Fprintf(&sb, " boundary-moves=%d pversion=%d imbalance=%.2f",

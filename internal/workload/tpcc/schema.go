@@ -63,6 +63,12 @@ type Driver struct {
 	// uses to relocate the hot warehouses at t/2.
 	WarehouseHotspot *workload.Hotspot
 
+	// LockedStockLevel runs DORA StockLevel through the flow-graph path with
+	// warehouse-wide shared claims on ORDER_LINE and STOCK (the pre-snapshot
+	// behavior) instead of the epoch-pinned snapshot scan. Kept for the A/B
+	// arm of the HTAP benchmark; the default (false) never blocks writers.
+	LockedStockLevel bool
+
 	zipfOnce sync.Once
 	zipf     *workload.Zipfian
 
