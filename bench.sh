@@ -9,12 +9,15 @@
 # commits-per-flush across sync policies, mem vs file device), and
 # BENCH_htap.json for the snapshot-read benchmark (OLTP throughput under
 # continuous analytical scans: epoch-pinned snapshot scanners vs the locked
-# claim-holding alternative vs a no-scanner baseline).
+# claim-holding alternative vs a no-scanner baseline), and BENCH_crash.json
+# for the crash-restart benchmark (recovery time and replayed work vs run
+# length, with and without fuzzy checkpointing).
 #
-# Usage: ./bench.sh [tm1.json] [tpcc.json] [skew.json] [durability.json] [htap.json]
+# Usage: ./bench.sh [tm1.json] [tpcc.json] [skew.json] [durability.json] [htap.json] [crash.json]
 #   BENCHTIME=2s ./bench.sh        # longer measurement interval
 #   SKEW_FLAGS="-skew-windows 6 -skew-window 150ms" ./bench.sh   # faster skew run
 #   HTAP_FLAGS="-htap-tps-gate=false" ./bench.sh                 # noisy-host htap run
+#   CRASH_FLAGS="-crash-commits 200" ./bench.sh                  # faster crash run
 set -euo pipefail
 
 out_tm1=${1:-BENCH_tm1.json}
@@ -22,6 +25,7 @@ out_tpcc=${2:-BENCH_tpcc.json}
 out_skew=${3:-BENCH_skew.json}
 out_durability=${4:-BENCH_durability.json}
 out_htap=${5:-BENCH_htap.json}
+out_crash=${6:-BENCH_crash.json}
 benchtime=${BENCHTIME:-1s}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -82,3 +86,13 @@ echo "wrote $out_durability"
 # shellcheck disable=SC2086
 go run ./cmd/dorabench -fig htap -htap-json "$out_htap" ${HTAP_FLAGS:-}
 echo "wrote $out_htap"
+
+# Crash-restart benchmark: SIGKILL a durable TPC-C child running with
+# background fuzzy checkpointing, recover from the newest image + log tail,
+# then sweep recovery work vs run length with checkpoints on and off. Gates
+# on invariants and the deterministic counters (analyzed records, retained
+# segments shrink under checkpointing) — not on recovery wall-clock.
+# shellcheck disable=SC2086
+go run ./cmd/dorabench -fig crash -crash-json "$out_crash" \
+  ${CRASH_FLAGS:--crash-commits 200 -crash-checkpoint 150ms}
+echo "wrote $out_crash"

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"strconv"
 	"time"
 
@@ -148,8 +149,15 @@ func runCrashChild(o options) error {
 	if o.logdir == "" {
 		return fmt.Errorf("-crash-child requires -logdir")
 	}
-	env, err := harness.SetupDurable(crashDriver(o), o.executors, o.seed,
-		harness.Durability{LogDir: o.logdir, Sync: wal.SyncOnFlush})
+	dur := harness.Durability{LogDir: o.logdir, Sync: wal.SyncOnFlush}
+	if o.crashCheckpoint > 0 {
+		// Checkpointing arm: a background fuzzy checkpointer runs through the
+		// whole lifetime (including the load), and small segments give its
+		// truncation whole files to reclaim.
+		dur.CheckpointEvery = o.crashCheckpoint
+		dur.SegmentSize = 256 << 10
+	}
+	env, err := harness.SetupDurable(crashDriver(o), o.executors, o.seed, dur)
 	if err != nil {
 		return err
 	}
@@ -192,6 +200,7 @@ func figCrash(o options) error {
 		"-logdir", dir,
 		"-executors", strconv.Itoa(o.executors),
 		"-seed", strconv.FormatInt(o.seed, 10),
+		"-crash-checkpoint", o.crashCheckpoint.String(),
 	)
 	cmd.Stderr = os.Stderr
 	stdout, err := cmd.StdoutPipe()
@@ -246,16 +255,25 @@ func figCrash(o options) error {
 	fmt.Printf("child SIGKILLed after reporting %d commits\n", lastReported)
 
 	// True process-restart recovery: nothing survives from the child but the
-	// log directory.
+	// log directory (segments plus any checkpoint images).
 	e, stats, err := engine.Open(dir, engine.Config{
 		BufferPoolFrames: 1 << 15, LogSync: wal.SyncOnFlush})
 	if err != nil {
 		return fmt.Errorf("reopening log dir: %w", err)
 	}
 	defer e.Close()
-	fmt.Printf("recovery: analyzed=%d redone=%d undone=%d winners=%d losers=%d\n",
-		stats.Analyzed, stats.Redone, stats.Undone, stats.Winners, stats.Losers)
-	if stats.Winners == 0 || stats.Redone == 0 {
+	fmt.Printf("recovery: analyzed=%d redone=%d undone=%d winners=%d losers=%d checkpoint_lsn=%d checkpoint_records=%d\n",
+		stats.Analyzed, stats.Redone, stats.Undone, stats.Winners, stats.Losers,
+		stats.CheckpointLSN, stats.CheckpointRecords)
+	if o.crashCheckpoint > 0 {
+		// With a checkpoint cadence far below the run length, recovery must
+		// have started from an image rather than replaying the child's whole
+		// history from LSN 1.
+		if stats.CheckpointLSN == 0 {
+			return fmt.Errorf("child checkpointed every %s but recovery replayed from scratch: %+v",
+				o.crashCheckpoint, stats)
+		}
+	} else if stats.Winners == 0 || stats.Redone == 0 {
 		return fmt.Errorf("recovery replayed nothing: %+v", stats)
 	}
 	d := crashDriver(o)
@@ -276,5 +294,186 @@ func figCrash(o options) error {
 		return fmt.Errorf("invariants violated after post-restart traffic: %w", err)
 	}
 	fmt.Println("invariants: ok after post-restart traffic")
+	return figCrashSweep(o)
+}
+
+// crashSweepRow is one (arm, batch) measurement of the recovery-time sweep.
+type crashSweepRow struct {
+	Checkpoint  bool    `json:"checkpoint"`
+	Batch       int     `json:"batch"`
+	Commits     int     `json:"commits"`
+	LogBytes    int64   `json:"log_bytes"`
+	Segments    int     `json:"segments"`
+	Analyzed    int     `json:"analyzed"`
+	Redone      int     `json:"redone"`
+	CkptRecords int     `json:"checkpoint_records"`
+	RecoveryMs  float64 `json:"recovery_ms"`
+}
+
+// figCrashSweep measures recovery work versus run length, with and without
+// fuzzy checkpointing: each arm runs batches of TPC-C traffic over one
+// long-lived file-backed engine, crash-snapshots the log directory after each
+// batch, and times engine.Open on the snapshot (gated on the §3.3.2 checker).
+// Without checkpoints both the log and the records recovery must analyze grow
+// linearly with the run; with a checkpoint per batch the analyzed tail and
+// the segment count stay roughly flat — recovery time is bounded by the work
+// done since the last checkpoint, not by the length of the run. The gates are
+// on the deterministic counters (analyzed records, retained segments), not on
+// wall-clock, so they hold on noisy CI hosts; the measured times land in
+// -crash-json for plotting.
+func figCrashSweep(o options) error {
+	header("Crash-restart sweep — recovery work vs run length, with and without checkpoints")
+	fmt.Println("checkpoint,batch,commits,log_bytes,segments,analyzed,redone,checkpoint_records,recovery_ms")
+	const batches = 4
+	var rows []crashSweepRow
+	final := make(map[bool]crashSweepRow)
+	for _, withCkpt := range []bool{false, true} {
+		dir, err := os.MkdirTemp("", "dora-crash-sweep-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cfg := engine.Config{BufferPoolFrames: 1 << 15, LogSync: wal.SyncOnFlush,
+			LogSegmentSize: 128 << 10}
+		d := tpcc.New(1)
+		d.CustomersPerDistrict = 20
+		d.Items = 50
+		e, _, err := engine.Open(dir, cfg)
+		if err != nil {
+			return err
+		}
+		if err := d.CreateTables(e); err != nil {
+			e.Close()
+			return err
+		}
+		if err := d.Load(e, rand.New(rand.NewSource(o.seed))); err != nil {
+			e.Close()
+			return err
+		}
+		rng := rand.New(rand.NewSource(o.seed + 17))
+		commits := 0
+		for batch := 1; batch <= batches; batch++ {
+			for i := 0; i < 150; i++ {
+				kind := d.Mix().Pick(rng)
+				err := d.RunBaseline(e, kind, rng, 0)
+				if err != nil && !errors.Is(err, workload.ErrAborted) {
+					e.Close()
+					return fmt.Errorf("sweep traffic %s: %w", kind, err)
+				}
+				if err == nil {
+					commits++
+				}
+			}
+			if withCkpt {
+				if _, err := e.Checkpoint(); err != nil {
+					e.Close()
+					return fmt.Errorf("sweep checkpoint: %w", err)
+				}
+			}
+			e.Log().FlushAll()
+
+			// Crash now: recover a snapshot of the directory and time it.
+			snap, err := snapshotLogDir(dir)
+			if err != nil {
+				e.Close()
+				return err
+			}
+			logBytes, segments := dirLogSize(snap)
+			start := time.Now()
+			re, stats, err := engine.Open(snap, cfg)
+			elapsed := time.Since(start)
+			if err != nil {
+				e.Close()
+				return fmt.Errorf("sweep recovery (checkpoint=%v batch=%d): %w", withCkpt, batch, err)
+			}
+			if err := d.Check(re); err != nil {
+				re.Close()
+				e.Close()
+				return fmt.Errorf("sweep invariants (checkpoint=%v batch=%d): %w", withCkpt, batch, err)
+			}
+			re.Close()
+			os.RemoveAll(snap)
+			row := crashSweepRow{
+				Checkpoint: withCkpt, Batch: batch, Commits: commits,
+				LogBytes: logBytes, Segments: segments,
+				Analyzed: stats.Analyzed, Redone: stats.Redone,
+				CkptRecords: stats.CheckpointRecords,
+				RecoveryMs:  float64(elapsed.Microseconds()) / 1000,
+			}
+			rows = append(rows, row)
+			final[withCkpt] = row
+			fmt.Printf("%v,%d,%d,%d,%d,%d,%d,%d,%.1f\n",
+				row.Checkpoint, row.Batch, row.Commits, row.LogBytes, row.Segments,
+				row.Analyzed, row.Redone, row.CkptRecords, row.RecoveryMs)
+		}
+		e.Close()
+	}
+
+	// Deterministic gates: by the final batch, checkpointing must have cut
+	// the analyzed tail well below the full-history replay and reclaimed log
+	// segments the no-checkpoint arm still drags around.
+	off, on := final[false], final[true]
+	if on.Analyzed*2 >= off.Analyzed {
+		return fmt.Errorf("checkpointing did not bound recovery: analyzed %d with vs %d without",
+			on.Analyzed, off.Analyzed)
+	}
+	if on.Segments >= off.Segments {
+		return fmt.Errorf("checkpoint truncation reclaimed nothing: %d segments with vs %d without",
+			on.Segments, off.Segments)
+	}
+	fmt.Printf("# final batch: analyzed %d (with checkpoints) vs %d (without); segments %d vs %d\n",
+		on.Analyzed, off.Analyzed, on.Segments, off.Segments)
+	if o.crashJSON != "" {
+		out := struct {
+			Batches int             `json:"batches"`
+			Rows    []crashSweepRow `json:"rows"`
+		}{batches, rows}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.crashJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", o.crashJSON)
+	}
 	return nil
+}
+
+// snapshotLogDir copies the segments, checkpoint images, and .tmp debris of a
+// live log directory into a fresh temp directory — the on-disk state a crash
+// at this instant would leave (the live engine keeps its flock).
+func snapshotLogDir(src string) (string, error) {
+	dst, err := os.MkdirTemp("", "dora-crash-snap-")
+	if err != nil {
+		return "", err
+	}
+	for _, pat := range []string{"wal-*.seg", "ckpt-*.img", "*.tmp"} {
+		matches, err := filepath.Glob(filepath.Join(src, pat))
+		if err != nil {
+			return "", err
+		}
+		for _, f := range matches {
+			data, err := os.ReadFile(f)
+			if err != nil {
+				return "", err
+			}
+			if err := os.WriteFile(filepath.Join(dst, filepath.Base(f)), data, 0o644); err != nil {
+				return "", err
+			}
+		}
+	}
+	return dst, nil
+}
+
+// dirLogSize totals the WAL segment bytes and counts segments in a directory.
+func dirLogSize(dir string) (int64, int) {
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	var total int64
+	for _, s := range segs {
+		if st, err := os.Stat(s); err == nil {
+			total += st.Size()
+		}
+	}
+	return total, len(segs)
 }

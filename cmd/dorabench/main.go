@@ -51,11 +51,13 @@ type options struct {
 	skewWorkers    int
 	skewJSON       string
 
-	durabilityJSON string
-	logdir         string
-	crashChild     bool
-	crashCommits   uint64
-	crashTimeout   time.Duration
+	durabilityJSON  string
+	logdir          string
+	crashChild      bool
+	crashCommits    uint64
+	crashTimeout    time.Duration
+	crashCheckpoint time.Duration
+	crashJSON       string
 
 	htapScanners int
 	htapWorkers  int
@@ -88,6 +90,8 @@ func main() {
 	flag.BoolVar(&opt.crashChild, "crash-child", false, "internal: run as the crash-restart child (load a durable TPC-C engine in -logdir and run the mix until killed)")
 	flag.Uint64Var(&opt.crashCommits, "crash-commits", 300, "commits the crash-restart child must report before the parent SIGKILLs it")
 	flag.DurationVar(&opt.crashTimeout, "crash-timeout", 120*time.Second, "how long the crash-restart parent waits for the child to reach -crash-commits")
+	flag.DurationVar(&opt.crashCheckpoint, "crash-checkpoint", 0, "background fuzzy-checkpoint cadence for the crash-restart child (0 disables checkpointing)")
+	flag.StringVar(&opt.crashJSON, "crash-json", "", "write the recovery-time-vs-log-length sweep to this JSON file")
 	flag.IntVar(&opt.htapScanners, "htap-scanners", 2, "concurrent analytical scanners for the HTAP benchmark")
 	flag.IntVar(&opt.htapWorkers, "htap-workers", 4, "closed-loop OLTP clients for the HTAP benchmark")
 	flag.IntVar(&opt.htapRounds, "htap-rounds", 7, "interleaved measurement windows per HTAP arm (median taken)")

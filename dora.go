@@ -70,12 +70,20 @@ const (
 
 // OpenEngine opens (or creates) a file-backed engine whose WAL lives in
 // checksummed segment files under dir, running restart recovery first:
-// the catalog is rebuilt from the log's schema records, committed work is
-// replayed, and in-flight transactions are rolled back. Configure durability
-// with EngineConfig.LogSync (and LogSyncEvery / LogSegmentSize).
+// recovery starts from the newest valid fuzzy-checkpoint image when one
+// exists (replaying only the log tail since its cut) and otherwise rebuilds
+// the catalog from the log's schema records and replays it in full; committed
+// work is replayed and in-flight transactions are rolled back. Configure
+// durability with EngineConfig.LogSync (and LogSyncEvery / LogSegmentSize),
+// and checkpoint cadence with EngineConfig.CheckpointEvery (Engine.Checkpoint
+// runs one on demand).
 func OpenEngine(dir string, cfg EngineConfig) (*Engine, RecoveryStats, error) {
 	return engine.Open(dir, cfg)
 }
+
+// CheckpointStats describes one completed fuzzy checkpoint (Engine.Checkpoint
+// / Engine.LastCheckpoint).
+type CheckpointStats = engine.CheckpointStats
 
 // TableDef, SecondaryDef, and Schema describe tables.
 type (

@@ -81,6 +81,13 @@ type Config struct {
 	// LogSegmentSize caps one WAL segment file (wal.DefaultSegmentSize when
 	// zero).
 	LogSegmentSize int64
+
+	// CheckpointEvery, when positive, starts a background checkpointer in
+	// file-backed engines (Open) that writes a fuzzy checkpoint image on that
+	// cadence and truncates the WAL behind it, bounding restart-recovery work
+	// by the work done since the last checkpoint. Zero disables the loop;
+	// Checkpoint can still be called manually.
+	CheckpointEvery time.Duration
 }
 
 // DefaultBufferPoolFrames is the default pool capacity (64 MiB of 8 KiB
@@ -127,6 +134,22 @@ type Engine struct {
 	traceMu    sync.RWMutex
 	trace      TraceHook
 	traceStart time.Time
+
+	// Fuzzy checkpointing (checkpoint.go): dir roots the ckpt-<cutLSN>.img
+	// files (the log directory; empty for in-memory engines, which cannot
+	// checkpoint). ckptMu serializes whole checkpoint runs; ckptHook is the
+	// crash-matrix fault-injection hook; lastCkpt holds the most recent
+	// successful checkpoint's stats.
+	dir         string
+	ckptMu      sync.Mutex
+	ckptHookMu  sync.RWMutex
+	ckptHook    CheckpointFaultHook
+	lastCkptMu  sync.Mutex
+	lastCkpt    CheckpointStats
+	lastCkptEnd wal.LSN // log position right after the last RecCheckpoint
+	ckptStop    chan struct{}
+	ckptDone    chan struct{}
+	ckptOnce    sync.Once
 }
 
 // New creates an empty engine over the in-memory log device. The engine owns
@@ -178,6 +201,7 @@ func (e *Engine) Log() *wal.Manager { return e.log }
 // in-flight transactions finish; it returns the first log-device error
 // observed.
 func (e *Engine) Close() error {
+	e.stopCheckpointer()
 	e.stopPruner()
 	return e.log.Close()
 }

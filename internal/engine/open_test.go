@@ -45,6 +45,12 @@ func copyLogDir(t *testing.T, src string) string {
 	if err != nil || len(segs) == 0 {
 		t.Fatalf("no segments to snapshot in %s: %v", src, err)
 	}
+	// Checkpoint images (and any half-written .tmp debris) are part of the
+	// crash state too.
+	for _, pat := range []string{"ckpt-*.img", "*.tmp"} {
+		extra, _ := filepath.Glob(filepath.Join(src, pat))
+		segs = append(segs, extra...)
+	}
 	for _, s := range segs {
 		data, err := os.ReadFile(s)
 		if err != nil {

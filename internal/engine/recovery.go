@@ -121,13 +121,20 @@ func (a *recoveryApplier) Undo(r *wal.Record) error {
 // recovered heaps. It is the shared tail of the two recovery entry points:
 // Recover (in-process crash, tables re-created by the caller) and Open
 // (process restart, tables re-created from the log's schema records).
-func (e *Engine) replayImage(log *wal.Manager, img *wal.LogImage) (wal.RecoveryStats, error) {
+// The seed parameter pre-populates the RID remap table: when recovery starts
+// from a checkpoint image, the image's records already sit in the heaps at
+// fresh RIDs, and the log tail's change records reference the pre-crash RIDs —
+// the seed maps one to the other. Full replays pass nil.
+func (e *Engine) replayImage(log *wal.Manager, img *wal.LogImage, seed map[uint64]storage.RID) (wal.RecoveryStats, error) {
 	// Recover replays into an engine whose background pruner is already
 	// running (New starts it); hold it off while the heaps are rewritten and
 	// rebuildIndexes resets each table's version store.
 	e.prunerMu.Lock()
 	defer e.prunerMu.Unlock()
-	applier := &recoveryApplier{e: e, remap: make(map[uint64]storage.RID)}
+	if seed == nil {
+		seed = make(map[uint64]storage.RID)
+	}
+	applier := &recoveryApplier{e: e, remap: seed}
 	stats, err := wal.Replay(log, img, applier)
 	if err != nil {
 		return stats, err
@@ -155,7 +162,7 @@ func (e *Engine) Recover(log *wal.Manager) (wal.RecoveryStats, error) {
 	if err != nil {
 		return wal.RecoveryStats{}, err
 	}
-	stats, err := e.replayImage(log, img)
+	stats, err := e.replayImage(log, img, nil)
 	if err != nil {
 		return stats, err
 	}

@@ -221,10 +221,18 @@ func (e *Engine) finishCommit(t *Txn) {
 	// transaction's versions (pinned below) or all of them (pinned at or
 	// above). Read-only transactions skip this entirely and do not advance
 	// the epoch.
-	var epoch uint64
+	//
+	// The END record (best-effort: recovery treats the commit record as
+	// authoritative, and a log closed mid-shutdown just loses the epoch hint)
+	// is appended while still holding epochMu. A fuzzy checkpoint latches its
+	// commit epoch and the log's active-transaction set under this same mutex
+	// (Checkpoint), so a write transaction is either visible at the pinned
+	// epoch AND ended in the log (its effects live in the image, its tail
+	// records are skipped on replay) or neither — never both, which would
+	// replay its effects on top of an image that already contains them.
 	if len(pending) > 0 || len(icleanups) > 0 {
 		e.epochMu.Lock()
-		epoch = e.visibleEpoch.Load() + 1
+		epoch := e.visibleEpoch.Load() + 1
 		for _, p := range pending {
 			p.v.epoch.Store(epoch)
 		}
@@ -232,14 +240,13 @@ func (e *Engine) finishCommit(t *Txn) {
 			e.enqueueCleanups(icleanups, epoch)
 		}
 		e.visibleEpoch.Store(epoch)
+		e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd, Epoch: epoch}) //nolint:errcheck
 		e.epochMu.Unlock()
+		e.lm.ReleaseAll(t.lockID())
+		return
 	}
 	e.lm.ReleaseAll(t.lockID())
-	// Best-effort: the END record is bookkeeping (recovery treats the commit
-	// record as authoritative, and restores the visible epoch as the maximum
-	// over replayed END epochs); a log closed mid-shutdown just loses the
-	// epoch hint.
-	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd, Epoch: epoch}) //nolint:errcheck
+	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd}) //nolint:errcheck
 }
 
 // Abort rolls the transaction back: every change is undone youngest-first with

@@ -187,6 +187,11 @@ type Durability struct {
 	SyncEvery time.Duration
 	// SegmentSize caps one WAL segment file (wal.DefaultSegmentSize if zero).
 	SegmentSize int64
+	// CheckpointEvery, when positive, runs the engine's background fuzzy
+	// checkpointer on that cadence: recovery work after a crash is bounded by
+	// the log tail since the last checkpoint, and old WAL segments are
+	// reclaimed. File-backed engines only.
+	CheckpointEvery time.Duration
 }
 
 // Setup creates an engine, loads the workload, and (when executors > 0)
@@ -209,6 +214,7 @@ func SetupDurable(driver workload.Driver, executorsPerTable int, seed int64, dur
 		LogSync:          dur.Sync,
 		LogSyncEvery:     dur.SyncEvery,
 		LogSegmentSize:   dur.SegmentSize,
+		CheckpointEvery:  dur.CheckpointEvery,
 	}
 	var e *engine.Engine
 	if dur.LogDir != "" {

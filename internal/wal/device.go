@@ -31,9 +31,17 @@ type Device interface {
 	// failed write or fsync the manager reports the covered commits as not
 	// durable, so the bytes must not resurrect as winners on the next open.
 	Unappend() error
-	// ReadAll returns the device's whole logical record stream from LSN 1.
-	// It must remain callable after Close (recovery reads crashed devices).
-	ReadAll() ([]byte, error)
+	// ReadAll returns the device's logical record stream together with the
+	// LSN of its first byte (the base: 1 for a never-truncated log, higher
+	// after TruncateBefore discarded a checkpointed prefix). It must remain
+	// callable after Close (recovery reads crashed devices).
+	ReadAll() (LSN, []byte, error)
+	// TruncateBefore discards log bytes strictly below lsn that the device
+	// can drop without splitting its storage granule (whole segments for the
+	// file device), returning the new base. It never discards the most
+	// recent granule, so the device stays appendable. Callers only pass an
+	// lsn that is covered by a verified checkpoint image.
+	TruncateBefore(lsn LSN) (LSN, error)
 	// Close releases the device's resources after a final flush of its own
 	// buffers. It does not imply Sync.
 	Close() error
@@ -47,13 +55,14 @@ var errDeviceClosed = errors.New("wal: device closed")
 type memDevice struct {
 	mu      sync.Mutex
 	buf     []byte
+	base    LSN // LSN of buf[0]; advances when TruncateBefore drops a prefix
 	lastLen int // bytes of the most recent Append, for Unappend
 	closed  bool
 }
 
 // NewMemDevice returns an in-memory log device (the default, matching the
 // paper's in-memory-file-system setup).
-func NewMemDevice() Device { return &memDevice{} }
+func NewMemDevice() Device { return &memDevice{base: 1} }
 
 func (d *memDevice) Append(chunk []byte, _ LSN) error {
 	d.mu.Lock()
@@ -76,10 +85,41 @@ func (d *memDevice) Unappend() error {
 	return nil
 }
 
-func (d *memDevice) ReadAll() ([]byte, error) {
+func (d *memDevice) ReadAll() (LSN, []byte, error) {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	return append([]byte(nil), d.buf...), nil
+	return d.baseLocked(), append([]byte(nil), d.buf...), nil
+}
+
+// baseLocked normalizes the zero value (tests embed memDevice directly) to
+// the stream start, LSN 1.
+func (d *memDevice) baseLocked() LSN {
+	if d.base == 0 {
+		return 1
+	}
+	return d.base
+}
+
+// TruncateBefore drops the buffered prefix below lsn. The in-memory device has
+// no segment granularity, so it truncates exactly at the cut (the manager only
+// passes record boundaries).
+func (d *memDevice) TruncateBefore(lsn LSN) (LSN, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.base = d.baseLocked()
+	if d.closed {
+		return d.base, errDeviceClosed
+	}
+	if lsn <= d.base {
+		return d.base, nil
+	}
+	drop := int64(lsn - d.base)
+	if drop > int64(len(d.buf)) {
+		drop = int64(len(d.buf))
+	}
+	d.buf = append([]byte(nil), d.buf[drop:]...)
+	d.base += LSN(drop)
+	return d.base, nil
 }
 
 func (d *memDevice) Close() error {
@@ -148,9 +188,15 @@ type FileDevice struct {
 	segs    []fileSegment
 	cur     *os.File // append handle of the last segment; nil until first write
 	curSize int64    // on-disk size of the current segment
-	size    int64    // logical record-stream bytes accepted
+	size    int64    // logical record-stream bytes accepted, truncated prefix included
+	base    LSN      // LSN of the first stored byte (segs[0].firstLSN)
 	scratch []byte   // reusable frame buffer
 	closed  bool
+
+	// truncHook, when set, runs before each segment removal inside
+	// TruncateBefore; returning an error aborts the truncation mid-way,
+	// which tests use to model a crash between segment removals.
+	truncHook func(removed int) error
 
 	// lastAppend remembers the current segment's size before the most recent
 	// Append so Unappend can truncate a failed (or fsync-failed) frame away.
@@ -163,14 +209,17 @@ type FileDevice struct {
 // OpenFileDevice opens (or creates) the log directory, scans the existing
 // segments in LSN order verifying every frame checksum, truncates a torn tail,
 // discards unreachable trailing segments, and returns the device positioned to
-// append after the last valid frame, together with the recovered record
-// stream.
-func OpenFileDevice(dir string, segmentSize int64) (*FileDevice, []byte, error) {
+// append after the last valid frame, together with the base LSN of the first
+// stored byte and the recovered record stream. The base is 1 for a
+// never-truncated log; a first segment starting higher means TruncateBefore
+// removed the checkpointed prefix, and it is the caller's job (the engine's
+// checkpoint-aware recovery) to refuse a base no checkpoint image covers.
+func OpenFileDevice(dir string, segmentSize int64) (*FileDevice, LSN, []byte, error) {
 	if segmentSize <= 0 {
 		segmentSize = DefaultSegmentSize
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("wal: creating log dir: %w", err)
+		return nil, 0, nil, fmt.Errorf("wal: creating log dir: %w", err)
 	}
 	// One live writer per directory: a concurrent open would read a mid-write
 	// frame as a torn tail and truncate the live writer's segment. The flock
@@ -178,12 +227,12 @@ func OpenFileDevice(dir string, segmentSize int64) (*FileDevice, []byte, error) 
 	// releases it if the process dies (SIGKILL included).
 	lock, err := lockDir(dir)
 	if err != nil {
-		return nil, nil, err
+		return nil, 0, nil, err
 	}
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		lock.Close()
-		return nil, nil, fmt.Errorf("wal: reading log dir: %w", err)
+		return nil, 0, nil, fmt.Errorf("wal: reading log dir: %w", err)
 	}
 	var found []fileSegment
 	for _, en := range entries {
@@ -196,21 +245,20 @@ func OpenFileDevice(dir string, segmentSize int64) (*FileDevice, []byte, error) 
 	}
 	sort.Slice(found, func(i, j int) bool { return found[i].firstLSN < found[j].firstLSN })
 
-	d := &FileDevice{dir: dir, segSize: segmentSize, lock: lock}
+	d := &FileDevice{dir: dir, segSize: segmentSize, lock: lock, base: 1}
 	cleanup := func() { lock.Close() }
 	var stream []byte
-	expected := LSN(1)
+	base := LSN(1)
+	if len(found) > 0 {
+		// The log may legitimately start above LSN 1: TruncateBefore removes
+		// whole segments behind a verified checkpoint, always oldest-first, so
+		// the survivors are a contiguous suffix (a gap WITHIN the suffix is
+		// still crash debris, handled below).
+		base = found[0].firstLSN
+	}
+	expected := base
 	kept := 0
 	for i, seg := range found {
-		if i == 0 && seg.firstLSN != expected {
-			// The log does not start at LSN 1: the first segment is missing
-			// (partial restore, wrong directory). Unlike a trailing gap this
-			// is not crash debris — fail loudly and leave the files for
-			// manual recovery instead of deleting committed history.
-			cleanup()
-			return nil, nil, fmt.Errorf("wal: log dir %s starts at LSN %d, want 1 (first segment missing?)",
-				dir, seg.firstLSN)
-		}
 		if seg.firstLSN != expected {
 			// A gap after a valid prefix: an earlier segment lost its tail,
 			// so nothing after it is reachable. Drop the orphans.
@@ -220,7 +268,7 @@ func OpenFileDevice(dir string, segmentSize int64) (*FileDevice, []byte, error) 
 		data, err := os.ReadFile(seg.path)
 		if err != nil {
 			cleanup()
-			return nil, nil, fmt.Errorf("wal: reading segment %s: %w", seg.path, err)
+			return nil, 0, nil, fmt.Errorf("wal: reading segment %s: %w", seg.path, err)
 		}
 		valid, payload := scanFrames(data)
 		stream = append(stream, payload...)
@@ -230,7 +278,7 @@ func OpenFileDevice(dir string, segmentSize int64) (*FileDevice, []byte, error) 
 			// and drop every later segment — the log ends here.
 			if err := os.Truncate(seg.path, int64(valid)); err != nil {
 				cleanup()
-				return nil, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
+				return nil, 0, nil, fmt.Errorf("wal: truncating torn tail of %s: %w", seg.path, err)
 			}
 			d.segs = append(d.segs, seg)
 			kept++
@@ -240,25 +288,26 @@ func OpenFileDevice(dir string, segmentSize int64) (*FileDevice, []byte, error) 
 		d.segs = append(d.segs, seg)
 		kept++
 	}
-	d.size = int64(len(stream))
+	d.size = int64(base-1) + int64(len(stream))
+	d.base = base
 	if kept > 0 {
 		last := d.segs[kept-1]
 		f, err := os.OpenFile(last.path, os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			cleanup()
-			return nil, nil, fmt.Errorf("wal: reopening segment %s: %w", last.path, err)
+			return nil, 0, nil, fmt.Errorf("wal: reopening segment %s: %w", last.path, err)
 		}
 		st, err := f.Stat()
 		if err != nil {
 			f.Close()
 			cleanup()
-			return nil, nil, err
+			return nil, 0, nil, err
 		}
 		d.cur = f
 		d.curSize = st.Size()
 		d.lastAppend.priorSize = d.curSize
 	}
-	return d, stream, nil
+	return d, base, stream, nil
 }
 
 // lockDir takes an exclusive advisory flock on <dir>/wal.lock so a second
@@ -284,25 +333,48 @@ func removeSegments(segs []fileSegment) {
 	}
 }
 
+// NextFrame parses the first frame of data, returning its payload (aliasing
+// data) and the total bytes the frame occupies. ok is false when the frame is
+// torn, truncated, or fails its checksum. It is exported so the engine's
+// checkpoint images can reuse the WAL's framing (and its torn-tail detection)
+// verbatim.
+func NextFrame(data []byte) (payload []byte, size int, ok bool) {
+	if frameHeaderSize > len(data) {
+		return nil, 0, false
+	}
+	n := int(binary.LittleEndian.Uint32(data))
+	crc := binary.LittleEndian.Uint32(data[4:])
+	if n <= 0 || n > maxFramePayload || frameHeaderSize+n > len(data) {
+		return nil, 0, false
+	}
+	p := data[frameHeaderSize : frameHeaderSize+n]
+	if crc32.Checksum(p, crcTable) != crc {
+		return nil, 0, false
+	}
+	return p, frameHeaderSize + n, true
+}
+
+// AppendFrame appends one checksummed, length-framed payload to dst in the
+// same [len u32][crc32c u32][payload] layout the segment files use.
+func AppendFrame(dst, payload []byte) []byte {
+	var hdr [frameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.Checksum(payload, crcTable))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
 // scanFrames walks data frame by frame, returning the byte offset just past
 // the last valid frame and the concatenated payloads of the valid prefix.
 func scanFrames(data []byte) (validLen int, payload []byte) {
 	off := 0
 	for {
-		if off+frameHeaderSize > len(data) {
-			break
-		}
-		n := int(binary.LittleEndian.Uint32(data[off:]))
-		crc := binary.LittleEndian.Uint32(data[off+4:])
-		if n <= 0 || n > maxFramePayload || off+frameHeaderSize+n > len(data) {
-			break
-		}
-		p := data[off+frameHeaderSize : off+frameHeaderSize+n]
-		if crc32.Checksum(p, crcTable) != crc {
+		p, n, ok := NextFrame(data[off:])
+		if !ok {
 			break
 		}
 		payload = append(payload, p...)
-		off += frameHeaderSize + n
+		off += n
 	}
 	return off, payload
 }
@@ -416,25 +488,72 @@ func (d *FileDevice) Sync() error {
 }
 
 // ReadAll re-reads every segment from disk and returns the concatenated
-// record stream. The manager only calls it while no flush is in progress, so
-// the files are frame-complete.
-func (d *FileDevice) ReadAll() ([]byte, error) {
+// record stream with the LSN of its first byte. The manager only calls it
+// while no flush is in progress, so the files are frame-complete.
+func (d *FileDevice) ReadAll() (LSN, []byte, error) {
 	d.mu.Lock()
 	segs := append([]fileSegment(nil), d.segs...)
+	base := d.base
 	d.mu.Unlock()
 	var stream []byte
 	for _, seg := range segs {
 		data, err := os.ReadFile(seg.path)
 		if err != nil {
-			return nil, fmt.Errorf("wal: reading segment %s: %w", seg.path, err)
+			return 0, nil, fmt.Errorf("wal: reading segment %s: %w", seg.path, err)
 		}
 		valid, payload := scanFrames(data)
 		stream = append(stream, payload...)
 		if valid < len(data) {
-			return nil, fmt.Errorf("wal: segment %s has an invalid frame at offset %d", seg.path, valid)
+			return 0, nil, fmt.Errorf("wal: segment %s has an invalid frame at offset %d", seg.path, valid)
 		}
 	}
-	return stream, nil
+	return base, stream, nil
+}
+
+// SetTruncateHook installs a hook that runs before each segment removal inside
+// TruncateBefore (nil clears it). The hook receives the number of segments
+// already removed in this truncation; returning an error stops the removal
+// loop there, modeling a crash between segment unlinks.
+func (d *FileDevice) SetTruncateHook(fn func(removed int) error) {
+	d.mu.Lock()
+	d.truncHook = fn
+	d.mu.Unlock()
+}
+
+// TruncateBefore removes whole segments whose every byte is strictly below
+// lsn: a segment is removable only when the NEXT segment starts at or below
+// the cut, so the cut never splits a segment and the newest segment always
+// survives (the device stays appendable). Removal runs oldest-first — a crash
+// mid-way leaves a contiguous suffix that OpenFileDevice accepts — and ends
+// with a directory fsync so the unlinks are durable. It returns the new base.
+func (d *FileDevice) TruncateBefore(lsn LSN) (LSN, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.closed {
+		return d.base, errDeviceClosed
+	}
+	removed := 0
+	var err error
+	for len(d.segs) >= 2 && d.segs[1].firstLSN <= lsn {
+		if d.truncHook != nil {
+			if err = d.truncHook(removed); err != nil {
+				break
+			}
+		}
+		if rmErr := os.Remove(d.segs[0].path); rmErr != nil {
+			err = fmt.Errorf("wal: removing truncated segment %s: %w", d.segs[0].path, rmErr)
+			break
+		}
+		d.segs = d.segs[1:]
+		d.base = d.segs[0].firstLSN
+		removed++
+	}
+	if removed > 0 {
+		if syncErr := syncDir(d.dir); syncErr != nil && err == nil {
+			err = syncErr
+		}
+	}
+	return d.base, err
 }
 
 // Segments returns the on-disk segment paths in LSN order (for tests and

@@ -315,9 +315,10 @@ func (d *failingDevice) Append(chunk []byte, firstLSN LSN) error {
 	d.lastFailed = false
 	return d.mem.Append(chunk, firstLSN)
 }
-func (d *failingDevice) Sync() error              { return nil }
-func (d *failingDevice) ReadAll() ([]byte, error) { return d.mem.ReadAll() }
-func (d *failingDevice) Close() error             { return d.mem.Close() }
+func (d *failingDevice) Sync() error                         { return nil }
+func (d *failingDevice) ReadAll() (LSN, []byte, error)       { return d.mem.ReadAll() }
+func (d *failingDevice) TruncateBefore(lsn LSN) (LSN, error) { return d.mem.TruncateBefore(lsn) }
+func (d *failingDevice) Close() error                        { return d.mem.Close() }
 
 func TestDeviceFailureFailsStopWithoutFalseDurability(t *testing.T) {
 	dev := &failingDevice{}
@@ -382,7 +383,7 @@ func (d *syncFailingDevice) Sync() error {
 
 func TestFsyncFailureDoesNotResurrectFailedCommits(t *testing.T) {
 	dir := t.TempDir()
-	fdev, stream, err := OpenFileDevice(dir, 0)
+	fdev, _, stream, err := OpenFileDevice(dir, 0)
 	if err != nil {
 		t.Fatalf("OpenFileDevice: %v", err)
 	}
@@ -431,7 +432,7 @@ func TestOpenWithInjectedPopulatedDeviceResumes(t *testing.T) {
 
 	// Hand Open an already-populated device directly: LSN assignment and the
 	// durable image must resume exactly as the Dir path does.
-	dev, _, err := OpenFileDevice(dir, 0)
+	dev, _, _, err := OpenFileDevice(dir, 0)
 	if err != nil {
 		t.Fatalf("OpenFileDevice: %v", err)
 	}
@@ -475,7 +476,7 @@ func TestFileDeviceDirectoryLockedAgainstSecondOpen(t *testing.T) {
 	}
 }
 
-func TestFileDeviceMissingFirstSegmentFailsLoudly(t *testing.T) {
+func TestFileDeviceMissingFirstSegmentResumesAtBase(t *testing.T) {
 	dir := t.TempDir()
 	m := openFileManager(t, dir, Options{SegmentSize: 256, Sync: SyncOnFlush})
 	for i := 0; i < 12; i++ {
@@ -483,19 +484,41 @@ func TestFileDeviceMissingFirstSegmentFailsLoudly(t *testing.T) {
 			After: []byte("enough payload bytes that segments rotate quickly here")})
 		m.FlushAll()
 	}
+	next := m.CurrentLSN()
 	m.Close()
 	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
 	if len(segs) < 3 {
 		t.Fatalf("need >= 3 segments, got %d", len(segs))
 	}
-	// Losing the FIRST segment is not crash debris (segments are never
-	// retired): it is a partial restore or the wrong directory. Open must
-	// fail and leave the surviving files alone for manual recovery.
+	// A log whose first segment is gone is exactly what TruncateBefore leaves
+	// behind a checkpoint: the wal layer resumes from the surviving suffix and
+	// reports its base, and it is the engine's recovery that refuses a base no
+	// verified checkpoint image covers (see engine.Open).
 	if err := os.Remove(segs[0]); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Open(Options{Dir: dir}); err == nil {
-		t.Fatal("Open succeeded with the first segment missing")
+	m2 := openFileManager(t, dir, Options{SegmentSize: 256, Sync: SyncOnFlush})
+	defer m2.Close()
+	wantBase, ok := parseSegmentName(filepath.Base(segs[1]))
+	if !ok {
+		t.Fatalf("unparseable segment name %s", segs[1])
+	}
+	if m2.TailBase() != wantBase {
+		t.Fatalf("TailBase = %d, want %d (second segment's first LSN)", m2.TailBase(), wantBase)
+	}
+	if m2.CurrentLSN() != next {
+		t.Fatalf("CurrentLSN after losing the first segment = %d, want %d (LSNs are logical offsets)",
+			m2.CurrentLSN(), next)
+	}
+	recs, err := m2.DurableRecords()
+	if err != nil {
+		t.Fatalf("DurableRecords: %v", err)
+	}
+	if len(recs) == 0 || len(recs) >= 12 {
+		t.Fatalf("recovered %d records, want a non-empty strict suffix of 12", len(recs))
+	}
+	if recs[0].Txn == 1 {
+		t.Fatal("records below the missing segment resurrected")
 	}
 	if rem, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg")); len(rem) != len(segs)-1 {
 		t.Fatalf("open deleted survivors: %d segments left, want %d", len(rem), len(segs)-1)

@@ -96,12 +96,19 @@ type Manager struct {
 	flushing   []byte // chunk the flusher is currently writing to the device
 	spare      []byte // recycled write buffer
 	dev        Device // the durable ("flushed") log image
-	devSize    int64  // logical record-stream bytes accepted by the device
+	devSize    int64  // logical record-stream bytes accepted by the device, truncated prefix included
+	base       LSN    // LSN of the device's first retained byte (1 until TruncateBefore)
 	nextLSN    LSN
 	flushedLSN LSN
 	lastLSN    map[TxnID]LSN
-	waiters    []flushWaiter
-	col        *metrics.Collector
+	// firstLSN records each live transaction's first log record, deleted at
+	// its END. A fuzzy checkpoint's replay horizon (lowLSN) is the minimum
+	// over this map: every record of a not-yet-ended transaction sits at or
+	// above it, so truncating below lowLSN can never orphan a replayable
+	// transaction's records.
+	firstLSN map[TxnID]LSN
+	waiters  []flushWaiter
+	col      *metrics.Collector
 
 	policy    SyncPolicy
 	syncEvery time.Duration
@@ -168,7 +175,9 @@ func NewManager() *Manager {
 func Open(opts Options) (*Manager, error) {
 	m := &Manager{
 		nextLSN:    1, // LSN 0 is NilLSN
+		base:       1,
 		lastLSN:    make(map[TxnID]LSN),
+		firstLSN:   make(map[TxnID]LSN),
 		flushReq:   make(chan struct{}, 1),
 		quit:       make(chan struct{}),
 		exited:     make(chan struct{}),
@@ -180,29 +189,32 @@ func Open(opts Options) (*Manager, error) {
 		m.syncEvery = DefaultSyncInterval
 	}
 	var stream []byte
+	base := LSN(1)
 	switch {
 	case opts.Device != nil:
 		// An injected device may already hold a log (e.g. a FileDevice the
 		// caller opened directly); resume from its stream like the Dir path.
 		m.dev = opts.Device
-		recovered, err := m.dev.ReadAll()
+		devBase, recovered, err := m.dev.ReadAll()
 		if err != nil {
 			return nil, fmt.Errorf("wal: reading injected device: %w", err)
 		}
-		stream = recovered
+		base, stream = devBase, recovered
 	case opts.Dir != "":
-		dev, recovered, err := OpenFileDevice(opts.Dir, opts.SegmentSize)
+		dev, devBase, recovered, err := OpenFileDevice(opts.Dir, opts.SegmentSize)
 		if err != nil {
 			return nil, err
 		}
 		m.dev = dev
-		stream = recovered
+		base, stream = devBase, recovered
 	default:
 		m.dev = NewMemDevice()
 	}
-	if len(stream) > 0 {
+	if base > 1 || len(stream) > 0 {
 		// Rebuild LSN assignment and per-transaction chains from the
-		// recovered prefix.
+		// recovered tail. LSNs are logical offsets into the full stream ever
+		// written, so a truncated prefix (base > 1) shifts nothing: devSize
+		// stays the total logical size and the records carry their own LSNs.
 		recs, err := decodeAll(stream)
 		if err != nil {
 			m.dev.Close()
@@ -211,13 +223,18 @@ func Open(opts Options) (*Manager, error) {
 		for _, r := range recs {
 			if r.Txn != 0 {
 				m.lastLSN[r.Txn] = r.LSN
+				if _, ok := m.firstLSN[r.Txn]; !ok {
+					m.firstLSN[r.Txn] = r.LSN
+				}
 				if r.Type == RecEnd {
 					delete(m.lastLSN, r.Txn)
+					delete(m.firstLSN, r.Txn)
 				}
 			}
 		}
 		m.recovered = recs
-		m.devSize = int64(len(stream))
+		m.base = base
+		m.devSize = int64(base-1) + int64(len(stream))
 		m.nextLSN = LSN(m.devSize) + 1
 		m.flushedLSN = LSN(m.devSize)
 	}
@@ -310,8 +327,12 @@ func (m *Manager) Append(r *Record) (LSN, error) {
 	if r.Txn != 0 {
 		r.PrevLSN = m.lastLSN[r.Txn]
 		m.lastLSN[r.Txn] = r.LSN
+		if _, ok := m.firstLSN[r.Txn]; !ok {
+			m.firstLSN[r.Txn] = r.LSN
+		}
 		if r.Type == RecEnd {
 			delete(m.lastLSN, r.Txn)
+			delete(m.firstLSN, r.Txn)
 		}
 	}
 	m.buf = r.encode(m.buf)
@@ -549,6 +570,69 @@ func (m *Manager) CurrentLSN() LSN {
 	return m.nextLSN
 }
 
+// CheckpointCut atomically latches the state a fuzzy checkpoint needs from the
+// log: the cut LSN (every record appended before this call sits strictly below
+// it), the set of transactions without an END record together with each one's
+// first LSN, and the replay horizon lowLSN — the minimum over those first LSNs
+// and the cut itself. The engine calls this while holding its epoch mutex, so
+// the active set and the cut are consistent with the commit epoch the
+// checkpoint image is taken at.
+func (m *Manager) CheckpointCut() (cut, low LSN, active map[TxnID]LSN) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	cut = m.nextLSN
+	low = cut
+	active = make(map[TxnID]LSN, len(m.firstLSN))
+	for txn, first := range m.firstLSN {
+		active[txn] = first
+		if first < low {
+			low = first
+		}
+	}
+	return cut, low, active
+}
+
+// TailBase returns the LSN of the first byte the device still stores: 1 for a
+// never-truncated log, the post-truncation base otherwise. Recovery needs a
+// checkpoint image whose replay horizon is at or above this.
+func (m *Manager) TailBase() LSN {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.base
+}
+
+// TruncateBefore asks the device to discard log bytes strictly below lsn
+// (whole segments only for the file device). The caller must hold a verified
+// checkpoint image covering lsn; the manager additionally refuses to truncate
+// above the durable watermark. LSN assignment is unaffected — LSNs are offsets
+// into the logical stream ever written, truncated or not.
+func (m *Manager) TruncateBefore(lsn LSN) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if lsn > m.flushedLSN+1 {
+		return fmt.Errorf("wal: truncate at %d ahead of durable watermark %d", lsn, m.flushedLSN)
+	}
+	// The recovered-records cache describes the pre-truncation stream; drop
+	// it so a later Scan re-reads the device rather than resurrecting records
+	// below the new base.
+	m.recovered = nil
+	base, err := m.dev.TruncateBefore(lsn)
+	if err != nil {
+		return err
+	}
+	m.base = base
+	return nil
+}
+
+// SetTruncateHook forwards a fault-injection hook to the file device's
+// truncation loop (no-op for devices without one); nil clears it.
+func (m *Manager) SetTruncateHook(fn func(removed int) error) {
+	type hooked interface{ SetTruncateHook(func(int) error) }
+	if d, ok := m.dev.(hooked); ok {
+		d.SetTruncateHook(fn)
+	}
+}
+
 // FlushedLSN returns the highest durable LSN.
 func (m *Manager) FlushedLSN() LSN {
 	m.mu.Lock()
@@ -608,13 +692,17 @@ func (m *Manager) image(durableOnly bool) ([]byte, error) {
 	for m.flushInProgress {
 		m.flushDone.Wait()
 	}
-	stream, err := m.dev.ReadAll()
+	base, stream, err := m.dev.ReadAll()
 	if err != nil {
 		return nil, err
 	}
 	if durableOnly {
-		if int64(len(stream)) > int64(m.flushedLSN) {
-			stream = stream[:m.flushedLSN]
+		durable := int64(m.flushedLSN) - (int64(base) - 1)
+		if durable < 0 {
+			durable = 0
+		}
+		if int64(len(stream)) > durable {
+			stream = stream[:durable]
 		}
 		return stream, nil
 	}

@@ -23,6 +23,13 @@ type RecoveryStats struct {
 	// Winners and Losers are the committed and in-flight transaction counts.
 	Winners int
 	Losers  int
+
+	// CheckpointLSN and CheckpointRecords are filled by checkpoint-aware
+	// recovery drivers (engine.Open): the cut LSN of the checkpoint image
+	// recovery started from and the record count it seeded the heaps with.
+	// Both are zero on a full replay from LSN 1.
+	CheckpointLSN     LSN
+	CheckpointRecords int
 }
 
 // txnState is one active-transaction-table entry built by analysis.
@@ -104,6 +111,68 @@ func (m *Manager) Scan() (*LogImage, error) {
 		}
 	}
 	return img, nil
+}
+
+// ApplyCheckpoint narrows a scanned image to the records that must replay on
+// top of a checkpoint image taken at cut with the given active-transaction set
+// (transaction id -> first LSN, as latched by CheckpointCut and stored in the
+// image header). A transaction replays iff it was active at the cut or its
+// first record sits at or above the cut; every other transaction completed
+// before the cut with a commit epoch at or below the image's — its effects are
+// already in the image (or netted out to nothing by a finished rollback), so
+// replaying its tail records would double-apply them. Non-transactional
+// records (schema, checkpoint markers) are kept; MaxTxn keeps its value over
+// the full tail so id assignment still resumes above everything scanned.
+func (img *LogImage) ApplyCheckpoint(cut LSN, active map[TxnID]LSN) {
+	first := make(map[TxnID]LSN)
+	for _, r := range img.Records {
+		if r.Txn == 0 {
+			continue
+		}
+		if _, ok := first[r.Txn]; !ok {
+			first[r.Txn] = r.LSN
+		}
+	}
+	replayable := func(txn TxnID) bool {
+		if _, ok := active[txn]; ok {
+			return true
+		}
+		return first[txn] >= cut
+	}
+	kept := make([]*Record, 0, len(img.Records))
+	img.att = make(map[TxnID]*txnState)
+	img.byLSN = make(map[LSN]*Record)
+	img.Winners, img.Losers = 0, 0
+	for _, r := range img.Records {
+		if r.Txn != 0 && !replayable(r.Txn) {
+			continue
+		}
+		kept = append(kept, r)
+		img.byLSN[r.LSN] = r
+		if r.Txn == 0 {
+			continue
+		}
+		st := img.att[r.Txn]
+		if st == nil {
+			st = &txnState{}
+			img.att[r.Txn] = st
+		}
+		st.lastLSN = r.LSN
+		switch r.Type {
+		case RecCommit:
+			st.committed = true
+		case RecEnd:
+			st.ended = true
+		}
+	}
+	img.Records = kept
+	for _, st := range img.att {
+		if st.committed {
+			img.Winners++
+		} else if !st.ended {
+			img.Losers++
+		}
+	}
 }
 
 // beginRecovery guards the mutating half of restart recovery: a closed

@@ -1,0 +1,201 @@
+package wal
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+)
+
+// fillSegments appends flushed commit records until the directory holds at
+// least want segment files, returning the number appended.
+func fillSegments(t *testing.T, m *Manager, dir string, want int) int {
+	t.Helper()
+	n := 0
+	for i := 0; i < 10000; i++ {
+		mustAppend(t, m, &Record{Txn: TxnID(1000 + i), Type: RecCommit,
+			After: []byte("enough payload bytes that segments rotate quickly here")})
+		m.FlushAll()
+		n++
+		segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+		if len(segs) >= want {
+			return n
+		}
+	}
+	t.Fatalf("could not grow %d segments", want)
+	return 0
+}
+
+func TestTruncateBeforeRemovesOnlyWholeSegments(t *testing.T) {
+	dir := t.TempDir()
+	m := openFileManager(t, dir, Options{SegmentSize: 256, Sync: SyncOnFlush})
+	defer m.Close()
+	n := fillSegments(t, m, dir, 4)
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	before := len(segs)
+
+	// Truncate below the current tail: every segment except the newest is
+	// strictly below the cut and must go; the newest must survive even if the
+	// cut covers it entirely.
+	cut := m.CurrentLSN()
+	if err := m.TruncateBefore(cut); err != nil {
+		t.Fatalf("TruncateBefore: %v", err)
+	}
+	segs, _ = filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(segs) != 1 {
+		t.Fatalf("segments after full truncation = %d, want 1 (newest always survives)", len(segs))
+	}
+	if len(segs) >= before {
+		t.Fatalf("truncation removed nothing (%d -> %d segments)", before, len(segs))
+	}
+	base := m.TailBase()
+	if got, ok := parseSegmentName(filepath.Base(segs[0])); !ok || got != base {
+		t.Fatalf("TailBase %d does not match surviving segment %s", base, segs[0])
+	}
+
+	// The manager keeps appending and a reopen resumes from the tail: LSNs
+	// are logical offsets, unaffected by the discarded prefix.
+	next := m.CurrentLSN()
+	mustAppend(t, m, &Record{Txn: 1, Type: RecCommit, After: []byte("post-truncation append")})
+	m.FlushAll()
+	m.Close()
+	m2 := openFileManager(t, dir, Options{SegmentSize: 256, Sync: SyncOnFlush})
+	defer m2.Close()
+	if m2.TailBase() != base {
+		t.Fatalf("reopen TailBase = %d, want %d", m2.TailBase(), base)
+	}
+	recs, err := m2.DurableRecords()
+	if err != nil {
+		t.Fatalf("DurableRecords: %v", err)
+	}
+	if len(recs) == 0 || recs[len(recs)-1].Txn != 1 {
+		t.Fatalf("post-truncation append lost across reopen: %d records", len(recs))
+	}
+	if len(recs) >= n {
+		t.Fatalf("reopen decoded %d records, want only the surviving tail of %d", len(recs), n)
+	}
+	if recs[len(recs)-1].LSN != next {
+		t.Fatalf("LSN assignment drifted: tail %d, want %d", recs[len(recs)-1].LSN, next)
+	}
+}
+
+func TestTruncateBeforeNeverSplitsASegment(t *testing.T) {
+	dir := t.TempDir()
+	m := openFileManager(t, dir, Options{SegmentSize: 256, Sync: SyncOnFlush})
+	defer m.Close()
+	fillSegments(t, m, dir, 4)
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	// A cut in the middle of the second segment may only remove the first:
+	// the second still holds bytes at/above the cut.
+	second, _ := parseSegmentName(filepath.Base(segs[1]))
+	cut := second + 10
+	if err := m.TruncateBefore(cut); err != nil {
+		t.Fatalf("TruncateBefore: %v", err)
+	}
+	left, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(left) != len(segs)-1 {
+		t.Fatalf("mid-segment cut removed %d segments, want exactly 1", len(segs)-len(left))
+	}
+	if m.TailBase() != second {
+		t.Fatalf("TailBase = %d, want %d (cut never splits a segment)", m.TailBase(), second)
+	}
+}
+
+func TestTruncateBeforeRefusesCutAheadOfDurable(t *testing.T) {
+	m := NewManager()
+	defer m.Close()
+	mustAppend(t, m, &Record{Txn: 1, Type: RecCommit})
+	// Buffered but unflushed: the durable watermark is behind the appended
+	// tail, and truncation ahead of it must be refused.
+	if err := m.TruncateBefore(m.CurrentLSN()); err == nil {
+		t.Fatal("TruncateBefore accepted a cut ahead of the durable watermark")
+	}
+}
+
+func TestTruncateBeforeCrashMidwayLeavesRecoverableSuffix(t *testing.T) {
+	dir := t.TempDir()
+	m := openFileManager(t, dir, Options{SegmentSize: 256, Sync: SyncOnFlush})
+	fillSegments(t, m, dir, 5)
+	segs, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	tailTxn := func(mm *Manager) TxnID {
+		recs, err := mm.DurableRecords()
+		if err != nil || len(recs) == 0 {
+			t.Fatalf("DurableRecords: %d records, %v", len(recs), err)
+		}
+		return recs[len(recs)-1].Txn
+	}
+	want := tailTxn(m)
+
+	// Fail the truncation after one removal: the survivors must be a
+	// contiguous suffix that reopens cleanly with the whole tail intact.
+	m.SetTruncateHook(func(removed int) error {
+		if removed >= 1 {
+			return fmt.Errorf("injected crash between segment unlinks")
+		}
+		return nil
+	})
+	if err := m.TruncateBefore(m.CurrentLSN()); err == nil {
+		t.Fatal("mid-truncate fault did not surface")
+	}
+	m.SetTruncateHook(nil)
+	left, _ := filepath.Glob(filepath.Join(dir, "wal-*.seg"))
+	if len(left) != len(segs)-1 {
+		t.Fatalf("aborted truncation removed %d segments, want exactly 1", len(segs)-len(left))
+	}
+	m.Close()
+
+	m2 := openFileManager(t, dir, Options{SegmentSize: 256, Sync: SyncOnFlush})
+	defer m2.Close()
+	if got := tailTxn(m2); got != want {
+		t.Fatalf("tail after mid-truncate crash = txn %d, want %d", got, want)
+	}
+}
+
+func TestCheckpointCutTracksActiveTransactions(t *testing.T) {
+	m := NewManager()
+	defer m.Close()
+
+	// Txn 1 completes; txn 2 stays open across the cut; txn 3 begins after
+	// the records of txn 2 but also stays open.
+	mustAppend(t, m, &Record{Txn: 1, Type: RecBegin})
+	mustAppend(t, m, &Record{Txn: 1, Type: RecCommit})
+	mustAppend(t, m, &Record{Txn: 1, Type: RecEnd})
+	first2 := mustAppend(t, m, &Record{Txn: 2, Type: RecBegin})
+	mustAppend(t, m, &Record{Txn: 2, Type: RecInsert, After: []byte("x")})
+	first3 := mustAppend(t, m, &Record{Txn: 3, Type: RecBegin})
+
+	cut, low, active := m.CheckpointCut()
+	if cut != m.CurrentLSN() {
+		t.Fatalf("cut = %d, want next LSN %d", cut, m.CurrentLSN())
+	}
+	if len(active) != 2 || active[2] != first2 || active[3] != first3 {
+		t.Fatalf("active = %v, want txn2@%d txn3@%d", active, first2, first3)
+	}
+	if low != first2 {
+		t.Fatalf("low = %d, want oldest live first-LSN %d", low, first2)
+	}
+
+	// Once every transaction ends, the horizon collapses to the cut itself.
+	mustAppend(t, m, &Record{Txn: 2, Type: RecEnd})
+	mustAppend(t, m, &Record{Txn: 3, Type: RecEnd})
+	cut2, low2, active2 := m.CheckpointCut()
+	if len(active2) != 0 || low2 != cut2 {
+		t.Fatalf("after all ENDs: active=%v low=%d cut=%d, want empty and low==cut", active2, low2, cut2)
+	}
+}
+
+func TestCheckpointCutFirstLSNsSurviveReopen(t *testing.T) {
+	dir := t.TempDir()
+	m := openFileManager(t, dir, Options{Sync: SyncOnFlush})
+	mustAppend(t, m, &Record{Txn: 7, Type: RecBegin})
+	first := m.LastLSN(7)
+	mustAppend(t, m, &Record{Txn: 7, Type: RecInsert, After: []byte("y")})
+	m.FlushAll()
+	m.Close()
+
+	m2 := openFileManager(t, dir, Options{Sync: SyncOnFlush})
+	defer m2.Close()
+	_, low, active := m2.CheckpointCut()
+	if active[7] != first || low != first {
+		t.Fatalf("reopen lost the first-LSN map: active=%v low=%d, want txn7@%d", active, low, first)
+	}
+}
