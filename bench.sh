@@ -11,13 +11,17 @@
 # continuous analytical scans: epoch-pinned snapshot scanners vs the locked
 # claim-holding alternative vs a no-scanner baseline), and BENCH_crash.json
 # for the crash-restart benchmark (recovery time and replayed work vs run
-# length, with and without fuzzy checkpointing).
+# length, with and without fuzzy checkpointing), and BENCH_overload.json for
+# the overload/chaos benchmark (open-loop saturation with admission control
+# on vs off, plus transient- and permanent-fault chaos arms on an injected
+# log device).
 #
-# Usage: ./bench.sh [tm1.json] [tpcc.json] [skew.json] [durability.json] [htap.json] [crash.json]
+# Usage: ./bench.sh [tm1.json] [tpcc.json] [skew.json] [durability.json] [htap.json] [crash.json] [overload.json]
 #   BENCHTIME=2s ./bench.sh        # longer measurement interval
 #   SKEW_FLAGS="-skew-windows 6 -skew-window 150ms" ./bench.sh   # faster skew run
 #   HTAP_FLAGS="-htap-tps-gate=false" ./bench.sh                 # noisy-host htap run
 #   CRASH_FLAGS="-crash-commits 200" ./bench.sh                  # faster crash run
+#   OVERLOAD_FLAGS="-overload-duration 1s" ./bench.sh            # faster overload run
 set -euo pipefail
 
 out_tm1=${1:-BENCH_tm1.json}
@@ -26,6 +30,7 @@ out_skew=${3:-BENCH_skew.json}
 out_durability=${4:-BENCH_durability.json}
 out_htap=${5:-BENCH_htap.json}
 out_crash=${6:-BENCH_crash.json}
+out_overload=${7:-BENCH_overload.json}
 benchtime=${BENCHTIME:-1s}
 raw=$(mktemp)
 trap 'rm -f "$raw"' EXIT
@@ -96,3 +101,14 @@ echo "wrote $out_htap"
 go run ./cmd/dorabench -fig crash -crash-json "$out_crash" \
   ${CRASH_FLAGS:--crash-commits 200 -crash-checkpoint 150ms}
 echo "wrote $out_crash"
+
+# Overload & chaos benchmark: an open-loop TPC-C arrival stream at 3x the
+# measured closed-loop capacity, admission control off vs on, then transient-
+# and permanent-fault chaos arms against an injected log device. Gates on
+# behavior (shedding engages, queues stay bounded, transient faults are
+# absorbed, a dead device degrades to checked read-only service) — not on
+# throughput.
+# shellcheck disable=SC2086
+go run ./cmd/dorabench -fig overload -overload-json "$out_overload" \
+  ${OVERLOAD_FLAGS:-}
+echo "wrote $out_overload"

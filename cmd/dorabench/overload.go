@@ -1,0 +1,428 @@
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/harness"
+	"dora/internal/storage"
+	"dora/internal/wal"
+	"dora/internal/workload"
+	"dora/internal/workload/tpcc"
+)
+
+// overloadArm summarizes one open-loop saturation arm (admission off or on).
+type overloadArm struct {
+	Admission     bool    `json:"admission"`
+	Offered       uint64  `json:"offered"`
+	Committed     uint64  `json:"committed"`
+	Shed          uint64  `json:"shed"`
+	Aborted       uint64  `json:"aborted"`
+	DeadlineMiss  uint64  `json:"deadline_missed"`
+	Errors        uint64  `json:"errors"`
+	GoodputTPS    float64 `json:"goodput_tps"`
+	ShedRate      float64 `json:"shed_rate"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MaxQueueDepth int     `json:"max_queue_depth"`
+}
+
+// chaosArm summarizes one fault-injection arm.
+type chaosArm struct {
+	Mode          string  `json:"mode"` // "transient" or "permanent"
+	Committed     uint64  `json:"committed"`
+	Aborted       uint64  `json:"aborted"`
+	Errors        uint64  `json:"errors"`
+	Retries       uint64  `json:"client_retries"`
+	FlushRetries  uint64  `json:"flush_retries"`
+	AppendFaults  uint64  `json:"append_faults"`
+	SyncFaults    uint64  `json:"sync_faults"`
+	Health        string  `json:"health"`
+	SnapshotRows  int     `json:"snapshot_rows_after_failure,omitempty"`
+	CheckerPassed bool    `json:"checker_passed"`
+	ShedRate      float64 `json:"-"`
+}
+
+// openLoopResult is the raw outcome of one open-loop window.
+type openLoopResult struct {
+	offered, committed, shed, aborted, deadline, errs uint64
+	latencies                                         []time.Duration
+	maxQueue                                          int
+}
+
+// runOpenLoop fires TPC-C transactions at a fixed arrival rate regardless of
+// completions (open loop): every arrival is dispatched on its own goroutine
+// the moment its slot comes up, which is exactly the client behavior that
+// grows queues without bound when the system saturates. A sampler records the
+// deepest executor incoming queue seen during the window.
+func runOpenLoop(env *harness.Bench, rate int, dur time.Duration, seed int64) openLoopResult {
+	mix := env.Driver.Mix()
+	var res openLoopResult
+	var committed, shed, aborted, deadline, errs atomic.Uint64
+	var latMu sync.Mutex
+	var latencies []time.Duration
+
+	stopSample := make(chan struct{})
+	var sampleWG sync.WaitGroup
+	sampleWG.Add(1)
+	go func() {
+		defer sampleWG.Done()
+		for {
+			select {
+			case <-stopSample:
+				return
+			case <-time.After(2 * time.Millisecond):
+				if d := env.DORA.MaxQueueDepth(); d > res.maxQueue {
+					res.maxQueue = d
+				}
+			}
+		}
+	}()
+
+	interval := time.Second / time.Duration(rate)
+	end := time.Now().Add(dur)
+	next := time.Now()
+	var wg sync.WaitGroup
+	n := 0
+	for time.Now().Before(end) {
+		if wait := time.Until(next); wait > 0 {
+			time.Sleep(wait)
+		}
+		next = next.Add(interval)
+		n++
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(i)*7919 + 13))
+			kind := mix.Pick(rng)
+			t0 := time.Now()
+			err := env.Driver.RunDORA(env.DORA, kind, rng, i&1023)
+			switch cause := workload.AbortCause(err); {
+			case err == nil:
+				committed.Add(1)
+				latMu.Lock()
+				latencies = append(latencies, time.Since(t0))
+				latMu.Unlock()
+			case cause == workload.CauseShed:
+				shed.Add(1)
+			case cause == workload.CauseDeadline:
+				deadline.Add(1)
+			case errors.Is(err, workload.ErrAborted):
+				aborted.Add(1)
+			default:
+				errs.Add(1)
+			}
+		}(n)
+	}
+	wg.Wait()
+	close(stopSample)
+	sampleWG.Wait()
+	res.offered = uint64(n)
+	res.committed = committed.Load()
+	res.shed = shed.Load()
+	res.aborted = aborted.Load()
+	res.deadline = deadline.Load()
+	res.errs = errs.Load()
+	res.latencies = latencies
+	return res
+}
+
+// latencyPercentile returns the pth percentile of the (unsorted) latencies.
+func latencyPercentile(lat []time.Duration, p float64) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	idx := int(float64(len(lat)-1) * p / 100)
+	return lat[idx]
+}
+
+func (r openLoopResult) toArm(admission bool, dur time.Duration) overloadArm {
+	arm := overloadArm{
+		Admission:     admission,
+		Offered:       r.offered,
+		Committed:     r.committed,
+		Shed:          r.shed,
+		Aborted:       r.aborted,
+		DeadlineMiss:  r.deadline,
+		Errors:        r.errs,
+		GoodputTPS:    float64(r.committed) / dur.Seconds(),
+		P50Ms:         float64(latencyPercentile(r.latencies, 50)) / float64(time.Millisecond),
+		P99Ms:         float64(latencyPercentile(r.latencies, 99)) / float64(time.Millisecond),
+		MaxQueueDepth: r.maxQueue,
+	}
+	if r.offered > 0 {
+		arm.ShedRate = float64(r.shed) / float64(r.offered)
+	}
+	return arm
+}
+
+// newOverloadTPCC builds the small TPC-C instance the overload and chaos arms
+// share: enough data for contention to be real, small enough to load fast.
+func newOverloadTPCC(o options) *tpcc.Driver {
+	d := tpcc.New(o.warehouses)
+	d.CustomersPerDistrict = 30
+	d.Items = 100
+	return d
+}
+
+// figOverload runs the overload & fault-resilience benchmark: a saturating
+// open-loop TPC-C arrival stream with admission control off vs on, then the
+// storage-fault chaos arms (transient faults absorbed by flusher retries;
+// a permanent fault driving the engine into degraded read-only service).
+// Gates are on behavior — shedding engages, goodput stays nonzero, queues
+// stay bounded, the §3.3.2 checker passes, degraded mode serves snapshot
+// reads and refuses writes with the typed error — never on throughput.
+func figOverload(o options) error {
+	header("Overload & I/O faults — open-loop shedding on vs off, then chaos arms")
+
+	env, err := harness.Setup(newOverloadTPCC(o), o.executors, o.seed)
+	if err != nil {
+		return err
+	}
+	defer env.Close()
+
+	// Calibrate the offered load: measure closed-loop capacity, then offer a
+	// multiple of it so the open-loop arms genuinely saturate the executors
+	// on any host. -overload-rate overrides the calibration.
+	rate := o.overloadRate
+	if rate <= 0 {
+		cal := env.Run(harness.Config{System: harness.DORA,
+			Workers: 2 * runtime.GOMAXPROCS(0), Duration: 400 * time.Millisecond,
+			Seed: o.seed, SkipCheck: true})
+		if cal.Errors > 0 {
+			return fmt.Errorf("overload calibration: %d hard errors", cal.Errors)
+		}
+		rate = int(3 * cal.Throughput)
+		if rate < 200 {
+			rate = 200
+		}
+		fmt.Printf("# calibration: closed-loop capacity %.0f tps -> offering %d/s\n", cal.Throughput, rate)
+	}
+
+	fmt.Println("arm,offered,committed,shed,deadline,p50_ms,p99_ms,max_queue,goodput_tps")
+	arms := make(map[string]overloadArm, 2)
+	for _, admission := range []bool{false, true} {
+		cfg := dora.Config{}
+		name := "off"
+		if admission {
+			name = "on"
+			cfg.Admission = &dora.AdmissionConfig{
+				MaxInflight:   o.overloadInflight,
+				MaxQueueDepth: 4 * o.overloadInflight,
+				ProbeInterval: 500 * time.Microsecond,
+			}
+			cfg.TxnDeadline = 750 * time.Millisecond
+		}
+		if err := env.RebindDORA(cfg, o.executors); err != nil {
+			return err
+		}
+		r := runOpenLoop(env, rate, o.overloadDuration, o.seed)
+		arm := r.toArm(admission, o.overloadDuration)
+		arms[name] = arm
+		fmt.Printf("%s,%d,%d,%d,%d,%.2f,%.2f,%d,%.0f\n", name, arm.Offered, arm.Committed,
+			arm.Shed, arm.DeadlineMiss, arm.P50Ms, arm.P99Ms, arm.MaxQueueDepth, arm.GoodputTPS)
+		if arm.Errors > 0 {
+			return fmt.Errorf("overload (%s): %d hard errors", name, arm.Errors)
+		}
+	}
+	if err := env.Driver.Check(env.Engine); err != nil {
+		return fmt.Errorf("overload: invariants violated after saturation arms: %w", err)
+	}
+
+	off, on := arms["off"], arms["on"]
+	// Behavior gates: with admission on the system sheds instead of queueing
+	// (nonzero shed rate, bounded queues) while still committing work; with
+	// it off the same offered load piles up in the executor queues.
+	if on.Shed == 0 {
+		return fmt.Errorf("overload: admission control never shed at %d/s offered", rate)
+	}
+	if on.Committed == 0 {
+		return fmt.Errorf("overload: no goodput with admission control on")
+	}
+	if off.MaxQueueDepth <= on.MaxQueueDepth {
+		return fmt.Errorf("overload: expected unbounded queue growth with admission off (off max=%d, on max=%d)",
+			off.MaxQueueDepth, on.MaxQueueDepth)
+	}
+	fmt.Printf("# shedding engaged (%.0f%% of arrivals), goodput %.0f tps, queue bound %d vs %d unshed\n",
+		100*on.ShedRate, on.GoodputTPS, on.MaxQueueDepth, off.MaxQueueDepth)
+
+	// Chaos arm 1 — transient write and fsync faults: the flusher's capped
+	// exponential backoff retries absorb every scheduled fault; the run must
+	// finish with a clean log (no latched devErr) and pass the §3.3.2
+	// consistency checker.
+	transient, err := runTransientChaos(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# chaos/transient: %d commits, %d injected faults (%d write, %d fsync), %d flush retries, checker ok\n",
+		transient.Committed, transient.AppendFaults+transient.SyncFaults,
+		transient.AppendFaults, transient.SyncFaults, transient.FlushRetries)
+
+	// Chaos arm 2 — permanent device failure mid-run: the engine must settle
+	// in DegradedReadOnly, keep serving MVCC snapshot scans, refuse writes
+	// with the typed error, and still pass the checker on its frozen state.
+	permanent, err := runPermanentChaos(o)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("# chaos/permanent: health=%s, %d snapshot rows served after failure, writes refused typed, checker ok\n",
+		permanent.Health, permanent.SnapshotRows)
+
+	if o.overloadJSON != "" {
+		out := struct {
+			Warehouses int64                  `json:"warehouses"`
+			Executors  int                    `json:"executors"`
+			RatePerSec int                    `json:"offered_rate_per_sec"`
+			Duration   string                 `json:"duration"`
+			Admission  map[string]overloadArm `json:"admission"`
+			Chaos      []chaosArm             `json:"chaos"`
+		}{o.warehouses, o.executors, rate, o.overloadDuration.String(), arms,
+			[]chaosArm{transient, permanent}}
+		data, err := json.MarshalIndent(out, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.overloadJSON, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("# wrote %s\n", o.overloadJSON)
+	}
+	return nil
+}
+
+// runTransientChaos drives the closed-loop TPC-C mix over a fault device that
+// fails every Nth device write and fsync with transient errors.
+func runTransientChaos(o options) (chaosArm, error) {
+	fdev := wal.NewFaultDevice(wal.NewMemDevice())
+	eng, err := engine.NewWithDevice(engine.Config{
+		BufferPoolFrames: 1 << 15, LogSync: wal.SyncOnFlush,
+	}, fdev)
+	if err != nil {
+		return chaosArm{}, err
+	}
+	env, err := harness.SetupOn(eng, newOverloadTPCC(o), o.executors, o.seed)
+	if err != nil {
+		eng.Close()
+		return chaosArm{}, err
+	}
+	defer env.Close()
+
+	// Faults start after the load so the schedule spends itself on the run.
+	fdev.FailEveryNthAppend(7)
+	fdev.FailEveryNthSync(5)
+	res := env.Run(harness.Config{System: harness.DORA, Workers: 4,
+		Duration: o.overloadDuration, Seed: o.seed,
+		Retry: &harness.RetryPolicy{}})
+	fdev.FailEveryNthAppend(0)
+	fdev.FailEveryNthSync(0)
+
+	fstats := fdev.Stats()
+	arm := chaosArm{
+		Mode:          "transient",
+		Committed:     res.Committed,
+		Aborted:       res.Aborted,
+		Errors:        res.Errors,
+		Retries:       res.Retries,
+		FlushRetries:  eng.Log().FlushStats().Retries,
+		AppendFaults:  fstats.AppendFaults,
+		SyncFaults:    fstats.SyncFaults,
+		Health:        eng.Health().String(),
+		CheckerPassed: res.InvariantErr == nil,
+	}
+	if res.InvariantErr != nil {
+		return arm, fmt.Errorf("chaos/transient: §3.3.2 checker failed: %w", res.InvariantErr)
+	}
+	if res.Errors > 0 {
+		return arm, fmt.Errorf("chaos/transient: %d hard errors leaked through the retry budget", res.Errors)
+	}
+	if err := eng.Log().Err(); err != nil {
+		return arm, fmt.Errorf("chaos/transient: devErr latched despite transient faults: %w", err)
+	}
+	if arm.AppendFaults+arm.SyncFaults == 0 || arm.FlushRetries == 0 {
+		return arm, fmt.Errorf("chaos/transient: no faults exercised (injected=%d retries=%d)",
+			arm.AppendFaults+arm.SyncFaults, arm.FlushRetries)
+	}
+	if eng.Health() != engine.HealthHealthy {
+		return arm, fmt.Errorf("chaos/transient: engine degraded to %s on transient faults", eng.Health())
+	}
+	return arm, nil
+}
+
+// runPermanentChaos kills the log device mid-run and verifies the degraded
+// read-only contract: health transitions, snapshot scans keep working, writes
+// are refused with the typed error, and the frozen state passes the checker.
+func runPermanentChaos(o options) (chaosArm, error) {
+	fdev := wal.NewFaultDevice(wal.NewMemDevice())
+	eng, err := engine.NewWithDevice(engine.Config{
+		BufferPoolFrames: 1 << 15, LogSync: wal.SyncOnFlush,
+	}, fdev)
+	if err != nil {
+		return chaosArm{}, err
+	}
+	env, err := harness.SetupOn(eng, newOverloadTPCC(o), o.executors, o.seed)
+	if err != nil {
+		eng.Close()
+		return chaosArm{}, err
+	}
+	defer env.Close()
+
+	// A healthy window first, then the device dies and a second window runs
+	// against the failing log — every write path must fail typed, no panic.
+	healthy := env.Run(harness.Config{System: harness.DORA, Workers: 4,
+		Duration: o.overloadDuration / 2, Seed: o.seed, SkipCheck: true})
+	if healthy.Errors > 0 {
+		return chaosArm{}, fmt.Errorf("chaos/permanent: %d errors before the fault", healthy.Errors)
+	}
+	fdev.FailPermanently(nil) // ENOSPC
+	wounded := env.Run(harness.Config{System: harness.DORA, Workers: 4,
+		Duration: o.overloadDuration / 2, Seed: o.seed + 1, SkipCheck: true})
+
+	arm := chaosArm{
+		Mode:      "permanent",
+		Committed: healthy.Committed + wounded.Committed,
+		Aborted:   healthy.Aborted + wounded.Aborted,
+		Errors:    wounded.Errors,
+		Health:    eng.Health().String(),
+	}
+	if eng.Health() != engine.HealthDegradedReadOnly {
+		return arm, fmt.Errorf("chaos/permanent: expected DegradedReadOnly, engine is %s", eng.Health())
+	}
+	// Snapshot reads keep being served from the degraded engine.
+	rows := 0
+	if err := env.DORA.WithSnapshot(func(s *engine.Snapshot) error {
+		return s.ScanTable("WAREHOUSE", func(storage.Tuple) bool { rows++; return true })
+	}); err != nil {
+		return arm, fmt.Errorf("chaos/permanent: snapshot scan refused in degraded mode: %w", err)
+	}
+	arm.SnapshotRows = rows
+	if rows == 0 {
+		return arm, fmt.Errorf("chaos/permanent: snapshot scan served no rows")
+	}
+	// Writes get the typed refusal, not a panic or a generic failure.
+	txn := eng.Begin()
+	werr := eng.Update(txn, "WAREHOUSE", storage.EncodeKey(storage.IntValue(1)),
+		engine.Conventional(), func(tu storage.Tuple) (storage.Tuple, error) { return tu, nil })
+	eng.Abort(txn) //nolint:errcheck
+	if !errors.Is(werr, engine.ErrReadOnly) {
+		return arm, fmt.Errorf("chaos/permanent: write not refused with the typed error: %v", werr)
+	}
+	// The frozen state is still consistent: in-flight transactions rolled
+	// back in memory, so the §3.3.2 checker (conventional reads) passes.
+	if err := env.Driver.Check(eng); err != nil {
+		arm.CheckerPassed = false
+		return arm, fmt.Errorf("chaos/permanent: checker failed on the degraded engine: %w", err)
+	}
+	arm.CheckerPassed = true
+	return arm, nil
+}

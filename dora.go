@@ -85,6 +85,29 @@ func OpenEngine(dir string, cfg EngineConfig) (*Engine, RecoveryStats, error) {
 // / Engine.LastCheckpoint).
 type CheckpointStats = engine.CheckpointStats
 
+// Health is the engine's availability state (Engine.Health): Healthy until a
+// permanent log-device failure degrades it to read-only, Failed once
+// in-memory state is unrecoverable.
+type Health = engine.Health
+
+// Engine availability states.
+const (
+	HealthHealthy          = engine.HealthHealthy
+	HealthDegradedReadOnly = engine.HealthDegradedReadOnly
+	HealthFailed           = engine.HealthFailed
+)
+
+// Robustness sentinels: ErrDeviceFailed marks a permanently failed WAL
+// device; ErrReadOnly is the engine's typed write refusal while degraded;
+// ErrOverloaded and ErrDeadlineExceeded are the DORA runtime's admission
+// refusal and deadline abort. All are errors.Is-able through wrapped chains.
+var (
+	ErrDeviceFailed     = wal.ErrDeviceFailed
+	ErrReadOnly         = engine.ErrReadOnly
+	ErrOverloaded       = dora.ErrOverloaded
+	ErrDeadlineExceeded = dora.ErrDeadlineExceeded
+)
+
 // TableDef, SecondaryDef, and Schema describe tables.
 type (
 	// TableDef describes a table to create.
@@ -163,6 +186,12 @@ type (
 	Mode = dora.Mode
 	// Plan selects serial or parallel intra-transaction execution.
 	Plan = dora.Plan
+	// AdmissionConfig enables and tunes the load-shedding admission
+	// controller (SystemConfig.Admission).
+	AdmissionConfig = dora.AdmissionConfig
+	// OverloadError is the typed admission refusal, carrying the tripped
+	// signal and a retry-after hint.
+	OverloadError = dora.OverloadError
 )
 
 // Local lock modes and execution plans.

@@ -1,0 +1,225 @@
+package dora
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// AdmissionConfig configures the load-shedding admission controller — the
+// back half of the ROADMAP's "network front-end + admission control" item
+// (the future dorad front-end terminates connections; this gate decides which
+// transactions get in). Entry is refused on two signals:
+//
+//   - a credit pool bounding concurrently admitted transactions (MaxInflight),
+//     checked on every admit with one atomic add, and
+//   - sampled watermarks over the executors' incoming-queue depths and the
+//     WAL flusher's backlog, refreshed at most once per ProbeInterval so the
+//     admit path never walks the partition table per transaction.
+//
+// A refused transaction gets a typed *OverloadError (errors.Is-able against
+// ErrOverloaded) carrying a retry-after hint, instead of joining a queue that
+// has already lost the race with the arrival rate.
+type AdmissionConfig struct {
+	// MaxInflight caps concurrently admitted transactions (the credit pool).
+	// Zero uses DefaultMaxInflight; negative disables the credit check.
+	MaxInflight int
+	// MaxQueueDepth sheds arrivals while any executor's incoming queue is
+	// deeper than this. Zero uses DefaultMaxQueueDepth; negative disables.
+	MaxQueueDepth int
+	// MaxLogBacklog sheds arrivals while more than this many appended log
+	// records await the group-commit flusher. Zero uses DefaultMaxLogBacklog;
+	// negative disables.
+	MaxLogBacklog int64
+	// ProbeInterval bounds how often the queue and log watermarks are
+	// re-sampled. Zero uses DefaultProbeInterval; negative probes on every
+	// admit (deterministic, for tests).
+	ProbeInterval time.Duration
+	// RetryAfter is the hint embedded in OverloadError. Zero uses
+	// DefaultRetryAfter.
+	RetryAfter time.Duration
+}
+
+// Admission-control defaults.
+const (
+	// DefaultMaxInflight is sized for a few admitted transactions per
+	// executor across a typical bench topology.
+	DefaultMaxInflight = 256
+	// DefaultMaxQueueDepth tolerates healthy bursts on one incoming queue.
+	DefaultMaxQueueDepth = 512
+	// DefaultMaxLogBacklog is the unflushed-record watermark.
+	DefaultMaxLogBacklog = 4096
+	// DefaultProbeInterval is the watermark re-sampling bound.
+	DefaultProbeInterval = time.Millisecond
+	// DefaultRetryAfter is the backoff hint handed to shed clients.
+	DefaultRetryAfter = time.Millisecond
+)
+
+// ErrOverloaded is the sentinel matched by errors.Is for admission refusals;
+// the concrete error is an *OverloadError carrying the reason and hint.
+var ErrOverloaded = fmt.Errorf("dora: system overloaded, transaction shed")
+
+// OverloadError is the typed admission refusal.
+type OverloadError struct {
+	// Reason names the tripped signal (credits, queue depth, log backlog).
+	Reason string
+	// RetryAfter is the suggested client backoff before retrying.
+	RetryAfter time.Duration
+}
+
+// Error implements error.
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("%v (%s; retry after %v)", ErrOverloaded, e.Reason, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) match.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// AdmissionStats counts the controller's decisions.
+type AdmissionStats struct {
+	// Admitted is the number of transactions let in.
+	Admitted uint64
+	// Shed is the number refused with ErrOverloaded.
+	Shed uint64
+	// Inflight is the number currently holding a credit.
+	Inflight int64
+}
+
+// admissionController implements the gate. admit runs on the client's
+// dispatching goroutine before the engine transaction begins, so a shed
+// transaction costs one atomic add and (at most once per ProbeInterval) a
+// watermark probe — it never touches an executor queue or the log.
+type admissionController struct {
+	sys *System
+	cfg AdmissionConfig
+
+	inflight atomic.Int64
+	admitted atomic.Uint64
+	shed     atomic.Uint64
+
+	// Sampled-watermark cache: reason is non-empty while the last probe saw a
+	// tripped watermark. probeMu serializes probes; between probes, admits
+	// read the cached verdict with one atomic load.
+	probeMu   sync.Mutex
+	lastProbe time.Time
+	reason    atomic.Value // string; "" when clear
+}
+
+func newAdmissionController(sys *System, cfg AdmissionConfig) *admissionController {
+	if cfg.MaxInflight == 0 {
+		cfg.MaxInflight = DefaultMaxInflight
+	}
+	if cfg.MaxQueueDepth == 0 {
+		cfg.MaxQueueDepth = DefaultMaxQueueDepth
+	}
+	if cfg.MaxLogBacklog == 0 {
+		cfg.MaxLogBacklog = DefaultMaxLogBacklog
+	}
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	if cfg.RetryAfter == 0 {
+		cfg.RetryAfter = DefaultRetryAfter
+	}
+	c := &admissionController{sys: sys, cfg: cfg}
+	c.reason.Store("")
+	return c
+}
+
+// admit takes one credit or refuses with *OverloadError. Every successful
+// admit must be paired with exactly one release.
+func (c *admissionController) admit() error {
+	if c.cfg.MaxInflight > 0 {
+		if n := c.inflight.Add(1); n > int64(c.cfg.MaxInflight) {
+			c.inflight.Add(-1)
+			return c.refuse(fmt.Sprintf("inflight credits exhausted (%d)", c.cfg.MaxInflight))
+		}
+	} else {
+		c.inflight.Add(1)
+	}
+	if reason := c.watermarkReason(); reason != "" {
+		c.inflight.Add(-1)
+		return c.refuse(reason)
+	}
+	c.admitted.Add(1)
+	return nil
+}
+
+// release returns an admitted transaction's credit.
+func (c *admissionController) release() { c.inflight.Add(-1) }
+
+func (c *admissionController) refuse(reason string) error {
+	c.shed.Add(1)
+	if col := c.sys.collector(); col != nil {
+		col.TxnShed()
+	}
+	return &OverloadError{Reason: reason, RetryAfter: c.cfg.RetryAfter}
+}
+
+// watermarkReason returns the cached overload reason, re-probing the live
+// queue depths and log backlog when the cache is older than ProbeInterval.
+func (c *admissionController) watermarkReason() string {
+	c.probeMu.Lock()
+	defer c.probeMu.Unlock()
+	if c.cfg.ProbeInterval > 0 && !c.lastProbe.IsZero() &&
+		time.Since(c.lastProbe) < c.cfg.ProbeInterval {
+		return c.reason.Load().(string)
+	}
+	c.lastProbe = time.Now()
+	reason := c.probe()
+	c.reason.Store(reason)
+	return reason
+}
+
+// probe samples the live watermarks: every bound executor's incoming-queue
+// depth, then the WAL flush backlog.
+func (c *admissionController) probe() string {
+	if c.cfg.MaxQueueDepth > 0 {
+		for _, p := range c.sys.pm.snapshot() {
+			for _, ex := range p.cur.Load().executors {
+				if depth := ex.QueueDepth(); depth > c.cfg.MaxQueueDepth {
+					return fmt.Sprintf("executor queue depth %d > %d", depth, c.cfg.MaxQueueDepth)
+				}
+			}
+		}
+	}
+	if c.cfg.MaxLogBacklog > 0 {
+		if backlog := c.sys.eng.Log().Backlog(); backlog > c.cfg.MaxLogBacklog {
+			return fmt.Sprintf("log flush backlog %d > %d", backlog, c.cfg.MaxLogBacklog)
+		}
+	}
+	return ""
+}
+
+// stats snapshots the controller's counters.
+func (c *admissionController) stats() AdmissionStats {
+	return AdmissionStats{
+		Admitted: c.admitted.Load(),
+		Shed:     c.shed.Load(),
+		Inflight: c.inflight.Load(),
+	}
+}
+
+// AdmissionStats returns the admission controller's counters; the zero value
+// when the system runs without admission control.
+func (s *System) AdmissionStats() AdmissionStats {
+	if s.admission == nil {
+		return AdmissionStats{}
+	}
+	return s.admission.stats()
+}
+
+// MaxQueueDepth returns the deepest incoming queue across all executors right
+// now — the signal overload experiments sample to show queue growth.
+func (s *System) MaxQueueDepth() int {
+	maxDepth := 0
+	for _, p := range s.pm.snapshot() {
+		for _, ex := range p.cur.Load().executors {
+			if d := ex.QueueDepth(); d > maxDepth {
+				maxDepth = d
+			}
+		}
+	}
+	return maxDepth
+}

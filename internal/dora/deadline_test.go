@@ -1,0 +1,126 @@
+package dora
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"dora/internal/storage"
+)
+
+// An already-expired budget aborts at the first phase boundary with the typed
+// deadline error; no action work runs.
+func TestExpiredBudgetAbortsBeforeWork(t *testing.T) {
+	sys, _ := newBankSystem(t, 2)
+	ran := false
+	err := sys.NewTransaction().WithBudget(time.Nanosecond).Add(0, &Action{
+		Table: "accounts", Key: key(1), Mode: Shared,
+		Work: func(s *Scope) error { ran = true; return nil },
+	}).Run()
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Run = %v, want ErrDeadlineExceeded", err)
+	}
+	if ran {
+		t.Fatal("action work ran despite the expired budget")
+	}
+}
+
+// A generous budget changes nothing: the transaction commits normally.
+func TestGenerousBudgetCommits(t *testing.T) {
+	sys, e := newBankSystem(t, 2)
+	loadAccounts(t, e, 4, 1, 100)
+	err := sys.NewTransaction().WithBudget(5*time.Second).Add(0, &Action{
+		Table: "accounts", Key: key(1), Mode: Exclusive,
+		Work: func(s *Scope) error {
+			return s.Update("accounts", accountPK(1, 0), func(tu storage.Tuple) (storage.Tuple, error) {
+				tu[3] = storage.FloatValue(tu[3].Float + 1)
+				return tu, nil
+			})
+		},
+	}).Run()
+	if err != nil {
+		t.Fatalf("Run with generous budget: %v", err)
+	}
+}
+
+// Config.TxnDeadline gives every transaction a default budget; an expired
+// default reports the same typed error as WithBudget.
+func TestConfigDefaultDeadlineApplies(t *testing.T) {
+	e := newBankEngine(t)
+	sys := NewSystem(e, Config{TxnTimeout: 5 * time.Second, TxnDeadline: time.Nanosecond})
+	if err := sys.BindTableInts("accounts", 0, 99, 2); err != nil {
+		t.Fatalf("BindTableInts: %v", err)
+	}
+	t.Cleanup(sys.Stop)
+
+	err := sys.NewTransaction().Add(0, &Action{
+		Table: "accounts", Key: key(1), Mode: Shared,
+		Work: func(s *Scope) error { return nil },
+	}).Run()
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("Run = %v, want ErrDeadlineExceeded from the config default", err)
+	}
+	// WithBudget overrides the tight default.
+	err = sys.NewTransaction().WithBudget(5*time.Second).Add(0, &Action{
+		Table: "accounts", Key: key(2), Mode: Shared,
+		Work: func(s *Scope) error { return nil },
+	}).Run()
+	if err != nil {
+		t.Fatalf("Run with overriding budget: %v", err)
+	}
+}
+
+// A transaction parked on a local lock whose deadline expires before the
+// lock-wait timeout is out of budget, not a presumed deadlock victim: the
+// backstop must report ErrDeadlineExceeded, not ErrLockWaitTimeout.
+func TestDeadlineBeatsLockWaitBackstop(t *testing.T) {
+	e := newBankEngine(t)
+	sys := NewSystem(e, Config{TxnTimeout: 10 * time.Second, LockWaitTimeout: 5 * time.Second})
+	if err := sys.BindTableInts("accounts", 0, 99, 2); err != nil {
+		t.Fatalf("BindTableInts: %v", err)
+	}
+	if err := sys.BindTableInts("history", 0, 99, 2); err != nil {
+		t.Fatalf("BindTableInts history: %v", err)
+	}
+	t.Cleanup(sys.Stop)
+	loadAccounts(t, e, 4, 1, 100)
+
+	// The holder grabs the lock on accounts key 1 (executor for 0-49) in
+	// phase 0, then parks inside a phase-1 action routed to the OTHER
+	// executor (history key 90) — so the first executor is free to park the
+	// contender on the held lock.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	holder := sys.NewTransaction()
+	holder.Add(0, &Action{Table: "accounts", Key: key(1), Mode: Exclusive,
+		Work: func(s *Scope) error { return nil }})
+	holder.Add(1, &Action{Table: "history", Key: key(90), Mode: Exclusive,
+		Work: func(s *Scope) error {
+			close(entered)
+			<-release
+			return nil
+		}})
+	holderDone := holder.RunAsync()
+	<-entered
+
+	start := time.Now()
+	err := sys.NewTransaction().WithBudget(100*time.Millisecond).Add(0, &Action{
+		Table: "accounts", Key: key(1), Mode: Exclusive,
+		Work: func(s *Scope) error { return nil },
+	}).Run()
+	waited := time.Since(start)
+	if !errors.Is(err, ErrDeadlineExceeded) {
+		t.Fatalf("contender = %v, want ErrDeadlineExceeded (not the lock-wait backstop)", err)
+	}
+	if errors.Is(err, ErrLockWaitTimeout) {
+		t.Fatalf("contender = %v: deadline expiry misreported as a deadlock victim", err)
+	}
+	if waited >= 5*time.Second {
+		t.Fatalf("contender waited %v: the full LockWaitTimeout, not the tighter deadline", waited)
+	}
+
+	close(release)
+	if err := <-holderDone; err != nil {
+		t.Fatalf("holder Run: %v", err)
+	}
+}

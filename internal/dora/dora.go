@@ -63,6 +63,13 @@ var (
 	ErrLockWaitTimeout = errors.New("dora: local lock wait timed out (possible deadlock)")
 	// ErrSystemStopped is returned when work is submitted after Stop.
 	ErrSystemStopped = errors.New("dora: system stopped")
+	// ErrDeadlineExceeded aborts a transaction whose per-transaction deadline
+	// (Config.TxnDeadline or Transaction.WithBudget) expired. It is checked
+	// at phase boundaries, before each action executes, at RVP waits, and
+	// while parked on a local-lock wait list — a deadline-expired parked
+	// transaction reports this, not a deadlock-victim ErrLockWaitTimeout.
+	// Workloads treat it as a retryable abort distinct from deadlocks.
+	ErrDeadlineExceeded = errors.New("dora: transaction deadline exceeded")
 )
 
 // Config configures a DORA system.
@@ -93,6 +100,17 @@ type Config struct {
 	// partition manager then moves routing boundaries automatically when the
 	// executors' load reports show sustained skew.
 	Balancer *BalancerConfig
+	// Admission, when non-nil, enables the load-shedding admission controller
+	// (admission.go): transaction entry is gated on a credit pool and on
+	// sampled executor-queue and WAL-backlog watermarks, refusing arrivals
+	// with a typed ErrOverloaded instead of letting queues grow unboundedly.
+	Admission *AdmissionConfig
+	// TxnDeadline, when positive, gives every transaction a default deadline
+	// budget measured from dispatch; a transaction that exceeds it aborts
+	// with ErrDeadlineExceeded. Transaction.WithBudget overrides it per
+	// transaction. Zero means no default deadline (TxnTimeout still bounds
+	// the total wait).
+	TxnDeadline time.Duration
 }
 
 // DefaultTxnTimeout is the default transaction timeout.
@@ -121,6 +139,7 @@ type System struct {
 
 	pm        *PartitionManager
 	resolvers *resolverPool
+	admission *admissionController // nil when admission control is off
 
 	statSecondaryParallel atomic.Uint64 // secondary actions run on the resolver pool
 	statSecondaryInline   atomic.Uint64 // secondary actions run on the RVP thread
@@ -151,6 +170,9 @@ func NewSystem(eng *engine.Engine, cfg Config) *System {
 	}
 	if !cfg.SerialSecondaries {
 		s.resolvers = newResolverPool(s, cfg.SecondaryWorkers)
+	}
+	if cfg.Admission != nil {
+		s.admission = newAdmissionController(s, *cfg.Admission)
 	}
 	return s
 }

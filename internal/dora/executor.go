@@ -165,6 +165,15 @@ func (e *Executor) Stats() ExecutorStats {
 	}
 }
 
+// QueueDepth returns the current incoming-queue length — the admission
+// controller's per-executor watermark signal, cheaper than a full Stats
+// snapshot on the probe path.
+func (e *Executor) QueueDepth() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.incoming)
+}
+
 // load returns and resets the executor's load counter (actions enqueued since
 // the last call); the resource manager polls it.
 func (e *Executor) loadSince() uint64 {
@@ -409,8 +418,15 @@ func (e *Executor) armWaitBackstop(a *boundAction) {
 		return
 	}
 	flow, wait := a.flow, e.sys.cfg.LockWaitTimeout
+	// The wait bound is min(LockWaitTimeout, remaining deadline): a parked
+	// transaction whose deadline expires first is out of budget, not a
+	// presumed deadlock victim, and must report ErrDeadlineExceeded.
+	cause := ErrLockWaitTimeout
+	if rem, ok := flow.deadlineRemaining(); ok && rem < wait {
+		wait, cause = max(rem, 0), ErrDeadlineExceeded
+	}
 	a.waitTimer = time.AfterFunc(wait, func() {
-		flow.fail(fmt.Errorf("%w after %v", ErrLockWaitTimeout, wait))
+		flow.fail(fmt.Errorf("%w after %v", cause, wait))
 	})
 }
 
@@ -459,6 +475,13 @@ func (e *Executor) tryExecute(a *boundAction) bool {
 		// same phase failed); drop the action without executing it.
 		return true
 	}
+	// Out-of-budget transactions abort before taking locks: queue time counts
+	// against the deadline, so an action that waited out its budget in the
+	// incoming queue must not start more work.
+	if err := flow.checkDeadline(); err != nil {
+		flow.fail(err)
+		return true
+	}
 	start := e.doraClockStart()
 	granted := e.locks.acquireOrBlock(a)
 	e.doraClockStop(start)
@@ -497,12 +520,18 @@ func (e *Executor) tryExecute(a *boundAction) bool {
 // execute runs the action body and reports to its RVP (steps 3-5).
 func (e *Executor) execute(a *boundAction) {
 	e.statExecuted.Add(1)
-	scope := &Scope{flow: a.flow, executor: e, phase: a.phase, worker: e.global}
-	if err := a.action.Work(scope); err != nil {
-		a.flow.fail(err)
+	flow := a.flow
+	if !flow.beginExec() {
 		return
 	}
-	a.flow.actionDone(a)
+	scope := &Scope{flow: flow, executor: e, phase: a.phase, worker: e.global}
+	err := a.action.Work(scope)
+	flow.endExec()
+	if err != nil {
+		flow.fail(err)
+		return
+	}
+	flow.actionDone(a)
 }
 
 // doraClockStart / doraClockStop attribute time spent in the DORA mechanism

@@ -103,12 +103,14 @@ func (p *resolverPool) run(worker int) {
 // worker id so engine accesses are attributed to the executing thread.
 func runSecondary(a *boundAction, worker int) {
 	t := a.flow
-	if !t.running() {
+	if !t.beginExec() {
 		releaseBoundAction(a)
 		return
 	}
 	scope := &Scope{flow: t, phase: a.phase, worker: worker}
-	if err := a.action.Work(scope); err != nil {
+	err := a.action.Work(scope)
+	t.endExec()
+	if err != nil {
 		t.fail(err)
 		releaseBoundAction(a)
 		return

@@ -16,6 +16,12 @@ func (s *System) WithSnapshot(fn func(*engine.Snapshot) error) error {
 	if s.stopped.Load() {
 		return ErrSystemStopped
 	}
+	// Snapshot reads are served through DegradedReadOnly (they never touch
+	// the log — the whole point of the degraded mode), but not once the
+	// engine's in-memory state itself is untrustworthy.
+	if s.eng.Health() == engine.HealthFailed {
+		return engine.ErrEngineFailed
+	}
 	snap := s.eng.BeginSnapshot()
 	defer snap.Release()
 	return fn(snap)

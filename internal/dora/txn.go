@@ -66,11 +66,29 @@ type Transaction struct {
 	started   bool
 	dispatchN int // total actions dispatched, for stats
 
+	// Deadline budget: set before start (WithBudget, or Config.TxnDeadline),
+	// resolved to an absolute deadline at dispatch and immutable after, so
+	// executors read it without synchronization. Zero means no deadline.
+	budget   time.Duration
+	deadline time.Time
+	// admitted records that this transaction holds an admission credit; the
+	// single CAS winner of finalize/fail releases it.
+	admitted bool
+
 	// rvpNanos accumulates the time RVP threads spend on this transaction's
 	// critical path: routing and enqueueing each phase plus any inline
 	// secondary-action execution. Atomic because phase submissions happen on
 	// whichever thread zeroes the previous RVP.
 	rvpNanos atomic.Int64
+
+	// execs counts action bodies currently inside Work (executor, resolver,
+	// or inline-secondary thread). fail() must not roll the engine
+	// transaction back while one is in flight — a mutation landing after the
+	// undo would survive the abort — so the last execution to retire
+	// finishes a deferred abort (endExec/completeAbort). abortDone makes the
+	// rollback-and-release sequence run exactly once across the racers.
+	execs     atomic.Int64
+	abortDone atomic.Bool
 }
 
 // NewTransaction starts building a DORA transaction.
@@ -92,6 +110,32 @@ func (t *Transaction) Add(phase int, a *Action) *Transaction {
 	}
 	t.phases[phase] = append(t.phases[phase], a)
 	return t
+}
+
+// WithBudget gives the transaction a deadline budget measured from dispatch,
+// overriding the system's Config.TxnDeadline. The deadline is checked at
+// phase boundaries, before each action executes, and while parked on lock
+// waits; exceeding it aborts the transaction with ErrDeadlineExceeded.
+func (t *Transaction) WithBudget(budget time.Duration) *Transaction {
+	t.budget = budget
+	return t
+}
+
+// deadlineRemaining returns the time left before the transaction's deadline;
+// ok is false when the transaction has none.
+func (t *Transaction) deadlineRemaining() (rem time.Duration, ok bool) {
+	if t.deadline.IsZero() {
+		return 0, false
+	}
+	return time.Until(t.deadline), true
+}
+
+// checkDeadline returns ErrDeadlineExceeded once the deadline has passed.
+func (t *Transaction) checkDeadline() error {
+	if rem, ok := t.deadlineRemaining(); ok && rem <= 0 {
+		return fmt.Errorf("%w (budget %v)", ErrDeadlineExceeded, t.budget)
+	}
+	return nil
 }
 
 // NumPhases returns the number of phases added so far.
@@ -144,13 +188,18 @@ func (t *Transaction) Run() error {
 // would pin a timer for the full timeout per transaction, which at high
 // throughput accumulates millions of pending timers.
 func (t *Transaction) await() {
-	timeout := t.sys.cfg.TxnTimeout
+	timeout, cause := t.sys.cfg.TxnTimeout, ErrTxnTimeout
+	// A deadline tighter than the system timeout bounds the wait instead, and
+	// firing reports the deadline, not a generic timeout.
+	if rem, ok := t.deadlineRemaining(); ok && rem < timeout {
+		timeout, cause = max(rem, 0), ErrDeadlineExceeded
+	}
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case <-t.done:
 	case <-timer.C:
-		t.fail(fmt.Errorf("%w after %v", ErrTxnTimeout, timeout))
+		t.fail(fmt.Errorf("%w after %v", cause, timeout))
 		<-t.done
 	}
 }
@@ -194,7 +243,22 @@ func (t *Transaction) start_() error {
 			}
 		}
 	}
+	// Admission gate: refuse entry (before the engine transaction begins, so
+	// a shed arrival costs no log record and no executor work) while queues
+	// or the log are past their watermarks.
+	if c := t.sys.admission; c != nil {
+		if err := c.admit(); err != nil {
+			return err
+		}
+		t.admitted = true
+	}
 	t.start = time.Now()
+	if t.budget <= 0 {
+		t.budget = t.sys.cfg.TxnDeadline
+	}
+	if t.budget > 0 {
+		t.deadline = t.start.Add(t.budget)
+	}
 	t.txn = t.sys.eng.Begin()
 	t.rvpBuf = rvpSlicePool.Get().(*[]rvp)
 	if s := *t.rvpBuf; cap(s) >= len(t.phases) {
@@ -224,6 +288,12 @@ func (t *Transaction) start_() error {
 // here when the system runs with SerialSecondaries).
 func (t *Transaction) submitPhase(idx int) {
 	if !t.running() {
+		return
+	}
+	// Phase-boundary deadline check: a transaction out of budget aborts here
+	// instead of enqueueing another phase of doomed work.
+	if err := t.checkDeadline(); err != nil {
+		t.fail(err)
 		return
 	}
 	// Skip empty phases.
@@ -332,7 +402,7 @@ func (t *Transaction) submitPhase(idx int) {
 	// thread — the previous phase's RVP-executing thread, or the dispatcher
 	// for phase 0 — one after another, on the transaction's critical path.
 	for i, ba := range secondaries {
-		if !t.running() {
+		if !t.beginExec() {
 			recycleBoundActions(secondaries[i:])
 			return
 		}
@@ -341,6 +411,7 @@ func (t *Transaction) submitPhase(idx int) {
 		c := t.rvpClockStart()
 		err := ba.action.Work(scope)
 		t.rvpClockStop(c)
+		t.endExec()
 		if err != nil {
 			t.fail(err)
 			recycleBoundActions(secondaries[i:])
@@ -479,14 +550,30 @@ func (t *Transaction) finalize() {
 		} else if col := t.sys.collector(); col != nil {
 			col.TxnCommitted(time.Since(t.start))
 		}
+		t.releaseAdmission()
 		t.broadcastCompletions()
 		close(t.done)
 	})
 }
 
+// releaseAdmission returns the transaction's admission credit. It is called
+// from the finalize commit callback or from fail — never both, the state CAS
+// admits exactly one — so the credit is released exactly once.
+func (t *Transaction) releaseAdmission() {
+	if t.admitted {
+		t.admitted = false
+		t.sys.admission.release()
+	}
+}
+
 // fail aborts the transaction: the first failure wins, the engine rolls back
 // the transaction's changes, and completion messages release the local locks
-// held on its behalf.
+// held on its behalf. When an action body is mid-Work on another thread (a
+// timeout or a sibling's failure can fire at any moment), the rollback and
+// the lock-releasing broadcast are deferred to that execution's retirement
+// (endExec): undoing concurrently with a still-running mutation would let
+// the mutation survive the abort, and releasing local locks before the undo
+// lands would hand waiters a torn read.
 func (t *Transaction) fail(cause error) {
 	if !t.state.CompareAndSwap(flowRunning, flowAborted) {
 		return
@@ -494,11 +581,49 @@ func (t *Transaction) fail(cause error) {
 	t.errMu.Lock()
 	t.err = cause
 	t.errMu.Unlock()
+	// The CAS above stops new executions (beginExec re-checks the state
+	// after incrementing), so: either we observe zero in-flight executions
+	// and abort here, or whoever is in flight observes flowAborted on the
+	// way out and aborts there.
+	if t.execs.Load() == 0 {
+		t.completeAbort()
+	}
+	close(t.done)
+}
+
+// beginExec registers an action body about to execute on behalf of this
+// transaction; it returns false (after undoing the registration) when the
+// flow is no longer running and the caller must drop the action.
+func (t *Transaction) beginExec() bool {
+	t.execs.Add(1)
+	if !t.running() {
+		t.endExec()
+		return false
+	}
+	return true
+}
+
+// endExec retires an in-flight action execution; the last one out completes
+// an abort that fail() deferred while this execution was mid-Work.
+func (t *Transaction) endExec() {
+	if t.execs.Add(-1) == 0 && t.state.Load() == flowAborted {
+		t.completeAbort()
+	}
+}
+
+// completeAbort performs the abort's side effects exactly once: the engine
+// rollback, the admission-credit release, and the completion broadcast that
+// releases the transaction's local locks (strictly after the rollback, so a
+// woken waiter never reads state that is still being undone).
+func (t *Transaction) completeAbort() {
+	if !t.abortDone.CompareAndSwap(false, true) {
+		return
+	}
 	if t.txn != nil {
 		_ = t.sys.eng.Abort(t.txn)
 	}
+	t.releaseAdmission()
 	t.broadcastCompletions()
-	close(t.done)
 }
 
 // broadcastCompletions enqueues the transaction-completion message to every

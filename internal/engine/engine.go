@@ -108,6 +108,11 @@ type Engine struct {
 
 	nextTxn atomic.Uint64
 
+	// health is the availability state machine (health.go): Healthy until a
+	// permanent log-device failure degrades the engine to read-only, Failed
+	// once in-memory state is unrecoverable.
+	health atomic.Int32
+
 	// Multi-version read path: visibleEpoch is the commit epoch snapshots
 	// pin; epochMu serializes epoch assignment with version stamping so a
 	// transaction becomes visible atomically; snaps registers live snapshot
@@ -164,6 +169,23 @@ func New(cfg Config) *Engine {
 	e := newEngine(cfg, log)
 	e.startPruner()
 	return e
+}
+
+// NewWithDevice creates an empty engine over the provided log device — the
+// chaos harness uses it to interpose a wal.FaultDevice between the flusher
+// and real storage. The engine owns the device and closes it with Close.
+func NewWithDevice(cfg Config, dev wal.Device) (*Engine, error) {
+	log, err := wal.Open(wal.Options{
+		Device:    dev,
+		Sync:      cfg.LogSync,
+		SyncEvery: cfg.LogSyncEvery,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e := newEngine(cfg, log)
+	e.startPruner()
+	return e, nil
 }
 
 // newEngine assembles an engine around an already-open log manager.
@@ -258,7 +280,7 @@ func (e *Engine) createTable(def TableDef, logSchema bool) (*Table, error) {
 			e.nextTID--
 			return nil, fmt.Errorf("engine: encoding schema of %q: %w", def.Name, err)
 		}
-		if _, err := e.log.Append(&wal.Record{Type: wal.RecSchema, After: enc}); err != nil {
+		if _, err := e.logWrite(&wal.Record{Type: wal.RecSchema, After: enc}); err != nil {
 			e.nextTID--
 			return nil, fmt.Errorf("engine: logging schema of %q: %w", def.Name, err)
 		}

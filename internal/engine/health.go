@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"dora/internal/wal"
+)
+
+// Health is the engine's availability state. The log device is the only
+// component whose loss the engine survives in a degraded mode: without a
+// writable log no new work can be made durable, but the buffer pool, version
+// store, and indexes are all intact, so reads — in particular MVCC snapshot
+// scans, which never touch the log — keep being served.
+type Health int32
+
+const (
+	// HealthHealthy is full read-write service.
+	HealthHealthy Health = iota
+	// HealthDegradedReadOnly means the log device has failed permanently:
+	// state-changing operations are refused with ErrReadOnly while
+	// conventional reads and BeginSnapshot scans keep working.
+	HealthDegradedReadOnly
+	// HealthFailed means in-memory state is no longer trustworthy (a rollback
+	// could not undo a change); all service, including reads, is refused.
+	HealthFailed
+)
+
+// String returns the state name.
+func (h Health) String() string {
+	switch h {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegradedReadOnly:
+		return "degraded-read-only"
+	case HealthFailed:
+		return "failed"
+	default:
+		return fmt.Sprintf("Health(%d)", int32(h))
+	}
+}
+
+// Typed refusals for the degraded states.
+var (
+	// ErrReadOnly rejects state-changing operations while the engine is in
+	// DegradedReadOnly; it wraps the latched device error when one is known.
+	ErrReadOnly = errors.New("engine: read-only (log device failed)")
+	// ErrEngineFailed rejects all operations once the engine is Failed.
+	ErrEngineFailed = errors.New("engine: failed (in-memory state unrecoverable)")
+)
+
+// Health returns the engine's current availability state.
+func (e *Engine) Health() Health { return Health(e.health.Load()) }
+
+// noteLogError advances the health state machine on a log-append failure. A
+// latched device error degrades the engine to read-only; any other failure
+// (e.g. ErrClosed during shutdown) is not a health transition.
+func (e *Engine) noteLogError(err error) {
+	if errors.Is(err, wal.ErrDeviceFailed) {
+		e.health.CompareAndSwap(int32(HealthHealthy), int32(HealthDegradedReadOnly))
+	}
+}
+
+// markFailed records that in-memory state can no longer be trusted.
+func (e *Engine) markFailed() { e.health.Store(int32(HealthFailed)) }
+
+// readOnlyErr builds the typed refusal for a write attempted in a degraded
+// state, carrying the latched device error when the log still remembers it.
+func (e *Engine) readOnlyErr() error {
+	if Health(e.health.Load()) == HealthFailed {
+		return ErrEngineFailed
+	}
+	if devErr := e.log.Err(); devErr != nil {
+		return fmt.Errorf("%w: %w", ErrReadOnly, devErr)
+	}
+	return ErrReadOnly
+}
+
+// logWrite appends a record on behalf of a state-changing operation. In a
+// degraded state the write is refused before touching the log; a device
+// failure surfaced by the append itself degrades the engine and comes back
+// as the same typed refusal, so callers see one error shape either way.
+func (e *Engine) logWrite(rec *wal.Record) (wal.LSN, error) {
+	if Health(e.health.Load()) != HealthHealthy {
+		return wal.NilLSN, e.readOnlyErr()
+	}
+	lsn, err := e.log.Append(rec)
+	if err != nil {
+		e.noteLogError(err)
+		if errors.Is(err, wal.ErrDeviceFailed) {
+			return lsn, fmt.Errorf("%w: %w", ErrReadOnly, err)
+		}
+	}
+	return lsn, err
+}

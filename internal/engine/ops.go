@@ -175,7 +175,7 @@ func (e *Engine) updateRID(t *Txn, tbl *Table, rid storage.RID, opt AccessOption
 		Before:  beforeBytes,
 		After:   afterBytes,
 	}
-	if _, err := e.log.Append(rec); err != nil {
+	if _, err := e.logWrite(rec); err != nil {
 		return err
 	}
 	t.recordChange(rec)
@@ -253,7 +253,7 @@ func (e *Engine) Insert(t *Txn, table string, tuple storage.Tuple, opt AccessOpt
 		RID:     rid,
 		After:   data,
 	}
-	if _, err := e.log.Append(rec); err != nil {
+	if _, err := e.logWrite(rec); err != nil {
 		tbl.removeIndexEntries(tuple, rid)
 		tbl.heap.delete(rid)
 		tbl.versions.popPending(rid, t.id)
@@ -307,7 +307,7 @@ func (e *Engine) Delete(t *Txn, table string, pk storage.Key, opt AccessOptions)
 		RID:     rid,
 		Before:  beforeBytes,
 	}
-	if _, err := e.log.Append(rec); err != nil {
+	if _, err := e.logWrite(rec); err != nil {
 		return err
 	}
 	t.recordChange(rec)

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"bytes"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -64,12 +65,22 @@ type Txn struct {
 
 // Begin starts a new transaction. If the engine's log has been closed the
 // returned transaction is already aborted and every operation on it fails
-// with ErrTxnDone.
+// with ErrTxnDone. If the log device has failed permanently the transaction
+// starts active but unlogged: reads work, state-changing operations are
+// refused with ErrReadOnly, and a read-only commit succeeds without touching
+// the log — degraded read-only service instead of a dead engine.
 func (e *Engine) Begin() *Txn {
 	id := e.nextTxn.Add(1)
 	t := &Txn{id: id, engine: e, state: TxnActive}
-	if _, err := e.log.Append(&wal.Record{Txn: wal.TxnID(id), Type: wal.RecBegin}); err != nil {
+	if Health(e.health.Load()) == HealthFailed {
 		t.state = TxnAborted
+		return t
+	}
+	if _, err := e.log.Append(&wal.Record{Txn: wal.TxnID(id), Type: wal.RecBegin}); err != nil {
+		e.noteLogError(err)
+		if !errors.Is(err, wal.ErrDeviceFailed) {
+			t.state = TxnAborted
+		}
 	}
 	return t
 }
@@ -118,6 +129,16 @@ func (t *Txn) addCleanup(tbl *Table, before storage.Tuple, rid storage.RID) {
 	t.mu.Unlock()
 }
 
+// readOnly reports whether the transaction has made no changes — nothing to
+// undo, no versions installed, no deferred cleanups. A read-only transaction
+// needs no durable commit record, which is what lets it commit on a degraded
+// (read-only) engine whose log device is gone.
+func (t *Txn) readOnly() bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.undo) == 0 && len(t.pending) == 0 && len(t.cleanups) == 0
+}
+
 func (t *Txn) ensureActive() error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -138,6 +159,13 @@ func (e *Engine) Commit(t *Txn) error {
 	}
 	commitLSN, err := e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecCommit})
 	if err != nil {
+		e.noteLogError(err)
+		// A read-only transaction has nothing that needs durability; let it
+		// commit on a degraded engine so snapshot-free readers keep working.
+		if errors.Is(err, wal.ErrDeviceFailed) && t.readOnly() {
+			e.finishCommit(t)
+			return nil
+		}
 		return fmt.Errorf("engine: logging commit of txn %d: %w", t.id, err)
 	}
 	if wait := e.log.FlushAsync(commitLSN); wait != nil {
@@ -151,6 +179,7 @@ func (e *Engine) Commit(t *Txn) error {
 	// transaction stays active so the caller can still roll it back in
 	// memory.
 	if err := e.commitDurable(commitLSN); err != nil {
+		e.noteLogError(err)
 		return fmt.Errorf("engine: commit of txn %d not durable: %w", t.id, err)
 	}
 	e.finishCommit(t)
@@ -183,6 +212,12 @@ func (e *Engine) CommitAsync(t *Txn, done func(error)) {
 	}
 	commitLSN, err := e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecCommit})
 	if err != nil {
+		e.noteLogError(err)
+		if errors.Is(err, wal.ErrDeviceFailed) && t.readOnly() {
+			e.finishCommit(t)
+			done(nil)
+			return
+		}
 		done(fmt.Errorf("engine: logging commit of txn %d: %w", t.id, err))
 		return
 	}
@@ -195,6 +230,7 @@ func (e *Engine) CommitAsync(t *Txn, done func(error)) {
 	go func() {
 		<-wait
 		if err := e.commitDurable(commitLSN); err != nil {
+			e.noteLogError(err)
 			done(fmt.Errorf("engine: commit of txn %d not durable: %w", t.id, err))
 			return
 		}
@@ -294,6 +330,11 @@ func (e *Engine) Abort(t *Txn) error {
 	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd})
 	if col := e.Collector(); col != nil {
 		col.TxnAborted()
+	}
+	// A rollback that could not undo a change leaves in-memory state torn;
+	// nothing the engine serves from here on can be trusted.
+	if firstErr != nil {
+		e.markFailed()
 	}
 	return firstErr
 }

@@ -64,6 +64,38 @@ type Config struct {
 	// many back-to-back measurements on the same data and check once at the
 	// end).
 	SkipCheck bool
+	// Retry, when non-nil, makes each client retry retryable aborts (sheds,
+	// deadline misses, deadlock victims) with capped exponential backoff
+	// before giving up on the transaction — the cooperative-client half of
+	// admission control. Input aborts and device failures are never retried.
+	Retry *RetryPolicy
+}
+
+// RetryPolicy is the client-side backoff-retry loop configuration.
+type RetryPolicy struct {
+	// MaxAttempts bounds total attempts per transaction (first try included).
+	// Zero uses DefaultRetryAttempts.
+	MaxAttempts int
+	// Backoff is the first retry's sleep, doubled per retry. Zero uses
+	// DefaultRetryBackoff. An OverloadError's RetryAfter hint, when larger,
+	// takes precedence for that retry.
+	Backoff time.Duration
+	// MaxBackoff caps the doubling. Zero uses DefaultRetryMaxBackoff.
+	MaxBackoff time.Duration
+}
+
+// Client retry defaults.
+const (
+	DefaultRetryAttempts   = 3
+	DefaultRetryBackoff    = 200 * time.Microsecond
+	DefaultRetryMaxBackoff = 5 * time.Millisecond
+)
+
+// retryable reports whether a failed attempt is worth repeating: load sheds
+// and concurrency victims clear up; bad input and dead devices do not.
+func retryable(cause string) bool {
+	return cause == workload.CauseShed || cause == workload.CauseDeadline ||
+		cause == workload.CauseDeadlock
 }
 
 // Result is the measurement output of one run.
@@ -79,6 +111,14 @@ type Result struct {
 
 	MeanLatency time.Duration
 	P95Latency  time.Duration
+	P99Latency  time.Duration
+
+	// AbortCauses tallies failed transactions by the workload abort-cause
+	// taxonomy (shed / deadline / deadlock / device / input / other); empty
+	// when nothing failed. Retries counts retry attempts the clients spent
+	// under the run's RetryPolicy (zero without one).
+	AbortCauses map[string]uint64
+	Retries     uint64
 
 	// Breakdown is the normalized time breakdown (work / lock manager /
 	// lock-manager contention / DORA overhead), Figure 1b/1c and Figure 2.
@@ -251,6 +291,31 @@ func SetupDurable(driver workload.Driver, executorsPerTable int, seed int64, dur
 	return b, nil
 }
 
+// SetupOn loads the workload onto an engine the caller already built — the
+// chaos experiments use it with engine.NewWithDevice to slide a
+// wal.FaultDevice under the flusher — and (when executors > 0) binds a DORA
+// system to it. The returned Bench owns the engine: Close closes it.
+func SetupOn(e *engine.Engine, driver workload.Driver, executorsPerTable int, seed int64) (*Bench, error) {
+	if len(e.Tables()) == 0 {
+		if err := driver.CreateTables(e); err != nil {
+			return nil, err
+		}
+		if err := driver.Load(e, rand.New(rand.NewSource(seed))); err != nil {
+			return nil, err
+		}
+	}
+	b := &Bench{Driver: driver, Engine: e}
+	if executorsPerTable > 0 {
+		sys := dora.NewSystem(e, dora.Config{})
+		if err := driver.BindDORA(sys, executorsPerTable); err != nil {
+			sys.Stop()
+			return nil, err
+		}
+		b.DORA = sys
+	}
+	return b, nil
+}
+
 // Close stops the DORA executors and the engine's background resources.
 func (b *Bench) Close() {
 	if b.DORA != nil {
@@ -298,8 +363,10 @@ func (b *Bench) Run(cfg Config) Result {
 		eventsBefore = b.DORA.Balancer().EventCount()
 	}
 
-	var committed, aborted, errs atomic.Uint64
+	var committed, aborted, errs, retried atomic.Uint64
 	var busyNanos atomic.Int64
+	var causeMu sync.Mutex
+	causes := make(map[string]uint64)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -321,11 +388,43 @@ func (b *Bench) Run(cfg Config) Result {
 				}
 				kind := mix.Pick(rng)
 				t0 := time.Now()
+				// The attempt loop: with a RetryPolicy, retryable aborts
+				// (sheds, deadline misses, deadlock victims) are repeated
+				// after a capped-exponential backoff; the recorded latency is
+				// the client-perceived span across all attempts.
 				var err error
-				if cfg.System == DORA {
-					err = b.Driver.RunDORA(b.DORA, kind, rng, id)
-				} else {
-					err = b.Driver.RunBaseline(b.Engine, kind, rng, id)
+				attempts, backoff := 1, time.Duration(0)
+				if cfg.Retry != nil {
+					if attempts = cfg.Retry.MaxAttempts; attempts <= 0 {
+						attempts = DefaultRetryAttempts
+					}
+					if backoff = cfg.Retry.Backoff; backoff <= 0 {
+						backoff = DefaultRetryBackoff
+					}
+				}
+				for attempt := 1; ; attempt++ {
+					if cfg.System == DORA {
+						err = b.Driver.RunDORA(b.DORA, kind, rng, id)
+					} else {
+						err = b.Driver.RunBaseline(b.Engine, kind, rng, id)
+					}
+					if err == nil || attempt >= attempts || !retryable(workload.AbortCause(err)) {
+						break
+					}
+					retried.Add(1)
+					sleep := backoff
+					var oe *dora.OverloadError
+					if errors.As(err, &oe) && oe.RetryAfter > sleep {
+						sleep = oe.RetryAfter
+					}
+					time.Sleep(sleep)
+					maxBackoff := DefaultRetryMaxBackoff
+					if cfg.Retry.MaxBackoff > 0 {
+						maxBackoff = cfg.Retry.MaxBackoff
+					}
+					if backoff *= 2; backoff > maxBackoff {
+						backoff = maxBackoff
+					}
 				}
 				elapsed := time.Since(t0)
 				busyNanos.Add(int64(elapsed))
@@ -340,8 +439,16 @@ func (b *Bench) Run(cfg Config) Result {
 					}
 				case errors.Is(err, workload.ErrAborted):
 					aborted.Add(1)
+					cause := workload.AbortCause(err)
+					causeMu.Lock()
+					causes[cause]++
+					causeMu.Unlock()
 				default:
 					errs.Add(1)
+					cause := workload.AbortCause(err)
+					causeMu.Lock()
+					causes[cause]++
+					causeMu.Unlock()
 				}
 			}
 		}(w)
@@ -373,6 +480,9 @@ func (b *Bench) Run(cfg Config) Result {
 		Throughput:      float64(committed.Load()) / elapsed.Seconds(),
 		MeanLatency:     col.MeanLatency(),
 		P95Latency:      col.LatencyPercentile(95),
+		P99Latency:      col.LatencyPercentile(99),
+		AbortCauses:     causes,
+		Retries:         retried.Load(),
 		Breakdown:       col.Breakdown(),
 		LockMgr:         col.LockMgrBreakdown(),
 		LocksPer100Txns: col.LocksPer100Txns(),

@@ -179,6 +179,7 @@ type Collector struct {
 
 	committed atomic.Uint64
 	aborted   atomic.Uint64
+	shed      atomic.Uint64
 
 	// Pipeline-efficiency histograms: how many messages each executor queue
 	// drain served, and how many commits each log flush made durable.
@@ -440,11 +441,22 @@ func (m *Collector) TxnAborted() {
 	m.aborted.Add(1)
 }
 
+// TxnShed records a transaction refused by the admission controller.
+func (m *Collector) TxnShed() {
+	if m == nil {
+		return
+	}
+	m.shed.Add(1)
+}
+
 // Committed returns the number of committed transactions.
 func (m *Collector) Committed() uint64 { return m.committed.Load() }
 
 // Aborted returns the number of aborted transactions.
 func (m *Collector) Aborted() uint64 { return m.aborted.Load() }
+
+// Shed returns the number of transactions refused by admission control.
+func (m *Collector) Shed() uint64 { return m.shed.Load() }
 
 // Breakdown is a normalized time breakdown across components.
 type Breakdown struct {
@@ -585,6 +597,7 @@ func (m *Collector) Reset() {
 	m.releaseContNanos.Store(0)
 	m.committed.Store(0)
 	m.aborted.Store(0)
+	m.shed.Store(0)
 	m.execBatches.reset()
 	m.flushCoalesce.reset()
 	m.devWrite.reset()

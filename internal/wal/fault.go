@@ -1,0 +1,213 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Fault classification sentinels. A FaultDevice error always wraps
+// ErrInjected; permanent faults additionally wrap ErrPermanent, which tells
+// the flusher's retry loop to latch immediately instead of burning its
+// transient budget. ErrNoSpace models an out-of-space device (ENOSPC): space
+// does not come back on its own, so it is permanent.
+var (
+	// ErrInjected marks an error produced by a FaultDevice schedule.
+	ErrInjected = errors.New("wal: injected device fault")
+	// ErrPermanent marks a device error that retrying cannot cure. The
+	// flusher latches it without consuming the transient-retry budget.
+	ErrPermanent = errors.New("wal: permanent device fault")
+	// ErrNoSpace models ENOSPC from the log device.
+	ErrNoSpace = fmt.Errorf("%w: no space left on device", ErrPermanent)
+)
+
+// FaultStats counts a FaultDevice's activity.
+type FaultStats struct {
+	// Appends / Syncs are the operations forwarded to the inner device.
+	Appends uint64
+	Syncs   uint64
+	// AppendFaults / SyncFaults are the operations failed by the schedule.
+	AppendFaults uint64
+	SyncFaults   uint64
+}
+
+// FaultDevice wraps a Device and injects write, fsync, and out-of-space
+// errors by schedule — the storage-fault chaos harness. Transient faults fail
+// the operation without touching the inner device, so a flusher retry
+// succeeds cleanly; a permanent fault (FailPermanently) latches the device:
+// every later Append and Sync fails with an ErrPermanent-wrapped error.
+//
+// Schedules compose: one-shot error queues (InjectAppendErrors /
+// InjectSyncErrors) are consumed first, then the periodic every-Nth schedule
+// (FailEveryNthAppend / FailEveryNthSync) applies. All methods are safe for
+// concurrent use.
+type FaultDevice struct {
+	inner Device
+
+	mu          sync.Mutex
+	appendQueue []error // one-shot faults for upcoming Appends
+	syncQueue   []error // one-shot faults for upcoming Syncs
+	everyAppend int     // fail every Nth Append (0 disables)
+	everySync   int     // fail every Nth Sync (0 disables)
+	appendSeq   int
+	syncSeq     int
+	permanent   error // when set, every Append/Sync fails with it
+	lastFaulted bool  // the most recent Append was faulted (nothing reached inner)
+	stats       FaultStats
+}
+
+// NewFaultDevice wraps the inner device with an empty fault schedule.
+func NewFaultDevice(inner Device) *FaultDevice {
+	return &FaultDevice{inner: inner}
+}
+
+// InjectAppendErrors queues n upcoming Append calls to fail with err
+// (transient unless err wraps ErrPermanent).
+func (d *FaultDevice) InjectAppendErrors(n int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < n; i++ {
+		d.appendQueue = append(d.appendQueue, err)
+	}
+}
+
+// InjectSyncErrors queues n upcoming Sync calls to fail with err.
+func (d *FaultDevice) InjectSyncErrors(n int, err error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := 0; i < n; i++ {
+		d.syncQueue = append(d.syncQueue, err)
+	}
+}
+
+// FailEveryNthAppend fails every nth Append with a transient injected error
+// (n <= 0 disables the periodic schedule).
+func (d *FaultDevice) FailEveryNthAppend(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.everyAppend, d.appendSeq = n, 0
+}
+
+// FailEveryNthSync fails every nth Sync with a transient injected error.
+func (d *FaultDevice) FailEveryNthSync(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.everySync, d.syncSeq = n, 0
+}
+
+// FailPermanently latches the device: every subsequent Append and Sync fails
+// with err (ErrNoSpace when nil), wrapped to carry ErrPermanent so the
+// flusher latches without retrying. Reads keep working — a dead log device
+// does not lose what it already stored.
+func (d *FaultDevice) FailPermanently(err error) {
+	if err == nil {
+		err = ErrNoSpace
+	}
+	if !errors.Is(err, ErrPermanent) {
+		err = fmt.Errorf("%w: %w", ErrPermanent, err)
+	}
+	if !errors.Is(err, ErrInjected) {
+		err = fmt.Errorf("%w: %w", ErrInjected, err)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.permanent = err
+}
+
+// Stats returns a snapshot of the fault counters.
+func (d *FaultDevice) Stats() FaultStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// nextAppendFault pops the fault (if any) scheduled for this Append.
+func (d *FaultDevice) nextAppendFault() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.permanent != nil {
+		d.stats.AppendFaults++
+		d.lastFaulted = true
+		return d.permanent
+	}
+	if len(d.appendQueue) > 0 {
+		err := d.appendQueue[0]
+		d.appendQueue = d.appendQueue[1:]
+		d.stats.AppendFaults++
+		d.lastFaulted = true
+		return err
+	}
+	d.appendSeq++
+	if d.everyAppend > 0 && d.appendSeq%d.everyAppend == 0 {
+		d.stats.AppendFaults++
+		d.lastFaulted = true
+		return fmt.Errorf("%w: scheduled write fault #%d", ErrInjected, d.stats.AppendFaults)
+	}
+	d.stats.Appends++
+	d.lastFaulted = false
+	return nil
+}
+
+// nextSyncFault pops the fault (if any) scheduled for this Sync.
+func (d *FaultDevice) nextSyncFault() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.permanent != nil {
+		d.stats.SyncFaults++
+		return d.permanent
+	}
+	if len(d.syncQueue) > 0 {
+		err := d.syncQueue[0]
+		d.syncQueue = d.syncQueue[1:]
+		d.stats.SyncFaults++
+		return err
+	}
+	d.syncSeq++
+	if d.everySync > 0 && d.syncSeq%d.everySync == 0 {
+		d.stats.SyncFaults++
+		return fmt.Errorf("%w: scheduled fsync fault #%d", ErrInjected, d.stats.SyncFaults)
+	}
+	d.stats.Syncs++
+	return nil
+}
+
+// Append implements Device. A faulted Append fails before touching the inner
+// device, so the chunk is not partially written and a retry starts clean.
+func (d *FaultDevice) Append(chunk []byte, firstLSN LSN) error {
+	if err := d.nextAppendFault(); err != nil {
+		return err
+	}
+	return d.inner.Append(chunk, firstLSN)
+}
+
+// Sync implements Device. A faulted Sync leaves the inner device's contents
+// intact but unsynced, exactly like a real failed fsync.
+func (d *FaultDevice) Sync() error {
+	if err := d.nextSyncFault(); err != nil {
+		return err
+	}
+	return d.inner.Sync()
+}
+
+// Unappend implements Device. When the most recent Append was faulted (and so
+// never reached the inner device) the rollback is a no-op — forwarding it
+// would tear away the previous, successful chunk.
+func (d *FaultDevice) Unappend() error {
+	d.mu.Lock()
+	faulted := d.lastFaulted
+	d.lastFaulted = false
+	d.mu.Unlock()
+	if faulted {
+		return nil
+	}
+	return d.inner.Unappend()
+}
+
+// ReadAll implements Device; reads are never faulted.
+func (d *FaultDevice) ReadAll() (LSN, []byte, error) { return d.inner.ReadAll() }
+
+// TruncateBefore implements Device.
+func (d *FaultDevice) TruncateBefore(lsn LSN) (LSN, error) { return d.inner.TruncateBefore(lsn) }
+
+// Close implements Device.
+func (d *FaultDevice) Close() error { return d.inner.Close() }

@@ -1,0 +1,215 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+func openFaultManager(t *testing.T, fd *FaultDevice, opts Options) *Manager {
+	t.Helper()
+	opts.Device = fd
+	m, err := Open(opts)
+	if err != nil {
+		t.Fatalf("Open over fault device: %v", err)
+	}
+	return m
+}
+
+func transientFault(op string) error {
+	return fmt.Errorf("%w: transient %s", ErrInjected, op)
+}
+
+// Transient write faults are absorbed by the flusher's retry budget: the
+// commit still lands, the manager stays healthy, and the retries are counted.
+func TestTransientWriteFaultsAbsorbedByRetry(t *testing.T) {
+	fd := NewFaultDevice(NewMemDevice())
+	m := openFaultManager(t, fd, Options{Sync: SyncOnFlush, RetryBackoff: 50 * time.Microsecond})
+	defer m.Close()
+
+	fd.InjectAppendErrors(2, transientFault("write"))
+	lsn := mustAppend(t, m, &Record{Txn: 1, Type: RecCommit, After: []byte("survives faults")})
+	m.Flush(lsn)
+
+	if err := m.Err(); err != nil {
+		t.Fatalf("Err after absorbed transient faults = %v, want nil", err)
+	}
+	if m.FlushedLSN() < lsn {
+		t.Fatalf("FlushedLSN = %d, want >= %d (commit durable despite faults)", m.FlushedLSN(), lsn)
+	}
+	if got := m.FlushStats().Retries; got < 2 {
+		t.Fatalf("FlushStats().Retries = %d, want >= 2", got)
+	}
+	if st := fd.Stats(); st.AppendFaults != 2 || st.Appends == 0 {
+		t.Fatalf("fault stats = %+v, want 2 append faults and a successful append", st)
+	}
+	recs, err := m.DurableRecords()
+	if err != nil || len(recs) != 1 || string(recs[0].After) != "survives faults" {
+		t.Fatalf("DurableRecords = %v (err %v), want the retried commit", recs, err)
+	}
+}
+
+// A transient fsync fault under SyncOnFlush is retried the same way; the
+// chunk is unappended between attempts so the retry never double-writes.
+func TestTransientFsyncFaultAbsorbedByRetry(t *testing.T) {
+	fd := NewFaultDevice(NewMemDevice())
+	m := openFaultManager(t, fd, Options{Sync: SyncOnFlush, RetryBackoff: 50 * time.Microsecond})
+	defer m.Close()
+
+	fd.InjectSyncErrors(1, transientFault("fsync"))
+	lsn := mustAppend(t, m, &Record{Txn: 1, Type: RecCommit, After: []byte("x")})
+	m.Flush(lsn)
+
+	if err := m.Err(); err != nil {
+		t.Fatalf("Err after absorbed fsync fault = %v, want nil", err)
+	}
+	if m.FlushedLSN() < lsn {
+		t.Fatalf("FlushedLSN = %d, want >= %d", m.FlushedLSN(), lsn)
+	}
+	if st := fd.Stats(); st.SyncFaults != 1 {
+		t.Fatalf("fault stats = %+v, want 1 sync fault", st)
+	}
+	if recs, err := m.DurableRecords(); err != nil || len(recs) != 1 {
+		t.Fatalf("DurableRecords = %v (err %v), want exactly the one commit (no double-append)", recs, err)
+	}
+}
+
+// A permanent fault latches immediately — no retry budget is burned — and
+// every caller-visible surface carries the ErrDeviceFailed sentinel. What the
+// device already stored stays readable.
+func TestPermanentFaultLatchesWithoutRetryBudget(t *testing.T) {
+	fd := NewFaultDevice(NewMemDevice())
+	m := openFaultManager(t, fd, Options{Sync: SyncOnFlush, RetryBackoff: 50 * time.Microsecond})
+	defer m.Close()
+
+	healthy := mustAppend(t, m, &Record{Txn: 1, Type: RecCommit, After: []byte("before failure")})
+	m.Flush(healthy)
+	watermark := m.FlushedLSN()
+
+	fd.FailPermanently(nil)
+	if _, err := m.Append(&Record{Txn: 2, Type: RecCommit}); err != nil {
+		t.Fatalf("Append before the latch should still buffer: %v", err)
+	}
+	m.FlushAll()
+
+	err := m.Err()
+	if !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("Err = %v, want ErrDeviceFailed", err)
+	}
+	if !errors.Is(err, ErrNoSpace) {
+		t.Fatalf("Err = %v, want the injected ErrNoSpace cause preserved", err)
+	}
+	if got := m.FlushStats().Retries; got != 0 {
+		t.Fatalf("FlushStats().Retries = %d, want 0 (permanent faults skip the budget)", got)
+	}
+	if _, err := m.Append(&Record{Txn: 3, Type: RecBegin}); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("Append after latch = %v, want ErrDeviceFailed", err)
+	}
+	if m.FlushedLSN() != watermark {
+		t.Fatalf("FlushedLSN = %d, want %d (watermark frozen at the last good write)", m.FlushedLSN(), watermark)
+	}
+	recs, rerr := m.DurableRecords()
+	if rerr != nil || len(recs) != 1 || string(recs[0].After) != "before failure" {
+		t.Fatalf("DurableRecords = %v (err %v), want the healthy prefix still readable", recs, rerr)
+	}
+}
+
+// A faulted Append never reaches the inner device, so the flusher's
+// between-retries Unappend must be a no-op — forwarding it would tear away
+// the previous, successful chunk.
+func TestFaultedAppendRollbackPreservesPriorChunk(t *testing.T) {
+	fd := NewFaultDevice(NewMemDevice())
+	if err := fd.Append([]byte("good"), 1); err != nil {
+		t.Fatalf("healthy Append: %v", err)
+	}
+	fd.InjectAppendErrors(1, transientFault("write"))
+	if err := fd.Append([]byte("bad!"), 5); err == nil {
+		t.Fatal("faulted Append succeeded")
+	}
+	if err := fd.Unappend(); err != nil {
+		t.Fatalf("Unappend after faulted Append: %v", err)
+	}
+	if _, data, err := fd.ReadAll(); err != nil || string(data) != "good" {
+		t.Fatalf("ReadAll = %q (err %v), want the prior chunk intact", data, err)
+	}
+	// A successful Append still rolls back normally.
+	if err := fd.Append([]byte("more"), 5); err != nil {
+		t.Fatalf("second healthy Append: %v", err)
+	}
+	if err := fd.Unappend(); err != nil {
+		t.Fatalf("Unappend of healthy chunk: %v", err)
+	}
+	if _, data, err := fd.ReadAll(); err != nil || string(data) != "good" {
+		t.Fatalf("ReadAll = %q (err %v), want only the first chunk", data, err)
+	}
+}
+
+// The SyncInterval background loop tolerates transient fsync faults within
+// the retry budget: the interval is the backoff, and the loop recovers.
+func TestSyncIntervalAbsorbsTransientFsyncFaults(t *testing.T) {
+	fd := NewFaultDevice(NewMemDevice())
+	m := openFaultManager(t, fd, Options{Sync: SyncInterval, SyncEvery: 200 * time.Microsecond})
+	defer m.Close()
+
+	lsn := mustAppend(t, m, &Record{Txn: 1, Type: RecCommit})
+	m.Flush(lsn)
+	fd.InjectSyncErrors(2, transientFault("fsync"))
+
+	deadline := time.Now().Add(5 * time.Second)
+	for fd.Stats().Syncs < 3 { // the loop kept syncing after the faults
+		if time.Now().After(deadline) {
+			t.Fatalf("sync loop did not recover; stats %+v", fd.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Err(); err != nil {
+		t.Fatalf("Err = %v, want nil (2 consecutive transient faults < retry budget)", err)
+	}
+}
+
+// A permanent fsync failure latches the manager from the background sync
+// loop: Err reports ErrDeviceFailed, new appends are refused, and Close does
+// not hang.
+func TestSyncIntervalLatchesPermanentFsyncFailure(t *testing.T) {
+	fd := NewFaultDevice(NewMemDevice())
+	m := openFaultManager(t, fd, Options{Sync: SyncInterval, SyncEvery: 200 * time.Microsecond})
+
+	lsn := mustAppend(t, m, &Record{Txn: 1, Type: RecCommit})
+	m.Flush(lsn)
+	fd.FailPermanently(nil)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for m.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("sync loop never latched the permanent failure")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := m.Err(); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("Err = %v, want ErrDeviceFailed", err)
+	}
+	if _, err := m.Append(&Record{Txn: 2, Type: RecBegin}); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("Append after latch = %v, want ErrDeviceFailed", err)
+	}
+	if err := m.Close(); !errors.Is(err, ErrDeviceFailed) {
+		t.Fatalf("Close = %v, want the latched device failure", err)
+	}
+}
+
+// Close races the background sync loop and the flusher; repeated open/fault/
+// close cycles must shut down cleanly (run under -race).
+func TestSyncIntervalCloseShutdownRace(t *testing.T) {
+	for i := 0; i < 40; i++ {
+		fd := NewFaultDevice(NewMemDevice())
+		fd.FailEveryNthSync(3)
+		m := openFaultManager(t, fd, Options{Sync: SyncInterval, SyncEvery: 50 * time.Microsecond})
+		for j := 0; j < 3; j++ {
+			mustAppend(t, m, &Record{Txn: TxnID(j + 1), Type: RecCommit})
+		}
+		m.FlushAll()
+		if err := m.Close(); err != nil && !errors.Is(err, ErrInjected) {
+			t.Fatalf("iteration %d: Close = %v", i, err)
+		}
+	}
+}

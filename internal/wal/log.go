@@ -17,6 +17,14 @@ var ErrClosed = errors.New("wal: log manager closed")
 // while one is already replaying the same manager.
 var ErrRecoveryInProgress = errors.New("wal: recovery already in progress")
 
+// ErrDeviceFailed is the typed sentinel wrapped around every error surfaced
+// after the log device has failed: the flusher exhausted its transient-retry
+// budget (or hit a permanent fault) and latched the failure, and from then on
+// every Append and Err reports it. Callers use errors.Is(err, ErrDeviceFailed)
+// to distinguish fatal device loss — which the engine answers by entering
+// degraded read-only mode — from retryable transaction-level aborts.
+var ErrDeviceFailed = errors.New("wal: log device failed")
+
 // SyncPolicy selects when the log manager forces device writes to stable
 // storage.
 type SyncPolicy int
@@ -74,7 +82,25 @@ type Options struct {
 	SegmentSize int64
 	// FlushDelay models extra log-device latency per flush (for experiments).
 	FlushDelay time.Duration
+	// WriteRetries is how many times the flusher retries a failed device
+	// write or fsync (with capped exponential backoff) before latching the
+	// failure as permanent. Zero uses DefaultWriteRetries; negative disables
+	// retrying. Errors marked permanent (errors.Is(err, ErrPermanent)) skip
+	// the retry budget and latch immediately.
+	WriteRetries int
+	// RetryBackoff is the initial retry backoff, doubled per attempt and
+	// capped at MaxRetryBackoff (DefaultRetryBackoff when zero).
+	RetryBackoff time.Duration
 }
+
+// DefaultWriteRetries is the flusher's default transient-fault retry budget.
+const DefaultWriteRetries = 3
+
+// DefaultRetryBackoff is the initial flusher retry backoff.
+const DefaultRetryBackoff = time.Millisecond
+
+// MaxRetryBackoff caps the exponential flusher retry backoff.
+const MaxRetryBackoff = 20 * time.Millisecond
 
 // Manager is the log manager: it assigns LSNs, buffers log records, and makes
 // them durable through a pipelined group-commit protocol. The paper notes
@@ -117,11 +143,17 @@ type Manager struct {
 	// the paper keeps the log on an in-memory file system).
 	flushDelay time.Duration
 
+	// writeRetries / retryBackoff bound the flusher's transient-fault retry
+	// loop (see Options.WriteRetries).
+	writeRetries int
+	retryBackoff time.Duration
+
 	flushes        uint64
 	appends        uint64
 	commitsFlushed uint64
 	maxCoalesced   uint64
 	syncs          uint64
+	retries        uint64 // device write/fsync attempts retried after a transient fault
 
 	// closed rejects appends once Close has begun; devClosed marks the device
 	// itself released (no further writes possible). devErr latches the first
@@ -187,6 +219,16 @@ func Open(opts Options) (*Manager, error) {
 	}
 	if m.policy == SyncInterval && m.syncEvery <= 0 {
 		m.syncEvery = DefaultSyncInterval
+	}
+	switch {
+	case opts.WriteRetries > 0:
+		m.writeRetries = opts.WriteRetries
+	case opts.WriteRetries == 0:
+		m.writeRetries = DefaultWriteRetries
+	}
+	m.retryBackoff = opts.RetryBackoff
+	if m.retryBackoff <= 0 {
+		m.retryBackoff = DefaultRetryBackoff
 	}
 	var stream []byte
 	base := LSN(1)
@@ -276,17 +318,38 @@ func (m *Manager) Close() error {
 		if closeErr != nil && m.devErr == nil {
 			m.devErr = closeErr
 		}
-		m.closeErr = m.devErr
+		m.closeErr = wrapDevErr(m.devErr)
 		m.mu.Unlock()
 	})
 	return m.closeErr
 }
 
-// Err returns the first device error the manager has observed, if any.
+// Err returns the first device error the manager has observed, wrapped in the
+// ErrDeviceFailed sentinel (nil while the device is healthy).
 func (m *Manager) Err() error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return m.devErr
+	return wrapDevErr(m.devErr)
+}
+
+// wrapDevErr wraps a latched device error in the ErrDeviceFailed sentinel so
+// every caller-visible surface of the failure is errors.Is-able. A nil error
+// passes through; an error already carrying the sentinel is not double-wrapped.
+func wrapDevErr(err error) error {
+	if err == nil || errors.Is(err, ErrDeviceFailed) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrDeviceFailed, err)
+}
+
+// Backlog returns the number of logical log bytes appended but not yet
+// durable (buffered plus in-flight). It is the log-pressure signal admission
+// control gates on: a growing backlog means committers are outrunning the
+// device.
+func (m *Manager) Backlog() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return int64(m.nextLSN-1) - int64(m.flushedLSN)
 }
 
 // SyncPolicy returns the manager's sync policy.
@@ -321,7 +384,7 @@ func (m *Manager) Append(r *Record) (LSN, error) {
 		return NilLSN, ErrClosed
 	}
 	if m.devErr != nil {
-		return NilLSN, fmt.Errorf("wal: log device failed: %w", m.devErr)
+		return NilLSN, wrapDevErr(m.devErr)
 	}
 	r.LSN = m.nextLSN
 	if r.Txn != 0 {
@@ -408,11 +471,15 @@ func (m *Manager) flusher() {
 	}
 }
 
-// syncLoop is the SyncInterval background fsync goroutine.
+// syncLoop is the SyncInterval background fsync goroutine. A transient fsync
+// failure is retried on the next tick (the interval is the backoff); the
+// failure latches as devErr only when it persists past the retry budget or is
+// marked permanent, matching the flusher's transient-fault tolerance.
 func (m *Manager) syncLoop() {
 	defer close(m.syncExited)
 	t := time.NewTicker(m.syncEvery)
 	defer t.Stop()
+	consecutive := 0
 	for {
 		select {
 		case <-m.quit:
@@ -422,10 +489,17 @@ func (m *Manager) syncLoop() {
 			err := m.dev.Sync()
 			d := time.Since(t0)
 			m.mu.Lock()
-			if err != nil && m.devErr == nil {
-				m.devErr = err
-			}
-			if err == nil {
+			if err != nil {
+				consecutive++
+				if consecutive > m.writeRetries || errors.Is(err, ErrPermanent) {
+					if m.devErr == nil {
+						m.devErr = err
+					}
+				} else {
+					m.retries++
+				}
+			} else {
+				consecutive = 0
 				m.syncs++
 			}
 			col := m.col
@@ -476,19 +550,39 @@ func (m *Manager) flushOnce() {
 	if delay > 0 {
 		time.Sleep(delay) // the modeled extra device latency
 	}
-	t0 := time.Now()
-	err := m.dev.Append(chunk, firstLSN)
-	writeDur := time.Since(t0)
-	var syncDur time.Duration
+	// Write (and under SyncOnFlush fsync) the chunk, retrying transient
+	// failures with capped exponential backoff before giving up: a torn write
+	// is rolled back off the device between attempts so a retry never
+	// double-appends. Permanent faults skip the budget.
+	var err error
+	var writeDur, syncDur time.Duration
+	var retried uint64
 	synced := false
-	if err == nil && policy == SyncOnFlush {
-		t1 := time.Now()
-		err = m.dev.Sync()
-		syncDur = time.Since(t1)
-		synced = err == nil
+	backoff := m.retryBackoff
+	for attempt := 0; ; attempt++ {
+		t0 := time.Now()
+		err = m.dev.Append(chunk, firstLSN)
+		writeDur = time.Since(t0)
+		synced = false
+		if err == nil && policy == SyncOnFlush {
+			t1 := time.Now()
+			err = m.dev.Sync()
+			syncDur = time.Since(t1)
+			synced = err == nil
+		}
+		if err == nil || attempt >= m.writeRetries || errors.Is(err, ErrPermanent) {
+			break
+		}
+		m.dev.Unappend() //nolint:errcheck // best-effort before the retry re-appends
+		retried++
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > MaxRetryBackoff {
+			backoff = MaxRetryBackoff
+		}
 	}
 
 	m.mu.Lock()
+	m.retries += retried
 	if err != nil {
 		// The write (or its fsync) failed: the manager is now failed. Roll
 		// the chunk back off the device (best-effort) so commits reported as
@@ -668,6 +762,9 @@ type FlushStats struct {
 	CommitsFlushed uint64
 	// MaxCoalesced is the largest commit group a single flush made durable.
 	MaxCoalesced uint64
+	// Retries is the number of device write/fsync attempts retried after a
+	// transient fault (nonzero means the retry loop absorbed failures).
+	Retries uint64
 }
 
 // FlushStats returns a snapshot of the group-commit counters.
@@ -680,6 +777,7 @@ func (m *Manager) FlushStats() FlushStats {
 		Syncs:          m.syncs,
 		CommitsFlushed: m.commitsFlushed,
 		MaxCoalesced:   m.maxCoalesced,
+		Retries:        m.retries,
 	}
 }
 

@@ -276,7 +276,7 @@ func (d *Driver) RunBaseline(e *engine.Engine, kind string, rng *rand.Rand, work
 	if err != nil {
 		e.Abort(txn)
 		if errors.Is(err, engine.ErrNotFound) || errors.Is(err, engine.ErrDuplicateKey) {
-			return fmt.Errorf("%w: %v", workload.ErrAborted, err)
+			return fmt.Errorf("%w: %w", workload.ErrAborted, err)
 		}
 		return err
 	}
@@ -385,7 +385,7 @@ func (d *Driver) RunDORA(sys *dora.System, kind string, rng *rand.Rand, workerID
 		return fmt.Errorf("tm1: unknown transaction kind %q", kind)
 	}
 	if err != nil && (errors.Is(err, engine.ErrNotFound) || errors.Is(err, engine.ErrDuplicateKey)) {
-		return fmt.Errorf("%w: %v", workload.ErrAborted, err)
+		return fmt.Errorf("%w: %w", workload.ErrAborted, err)
 	}
 	return err
 }

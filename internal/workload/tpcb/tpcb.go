@@ -245,7 +245,7 @@ func (d *Driver) RunBaseline(e *engine.Engine, kind string, rng *rand.Rand, work
 	if err != nil {
 		e.Abort(txn)
 		if errors.Is(err, engine.ErrNotFound) {
-			return fmt.Errorf("%w: %v", workload.ErrAborted, err)
+			return fmt.Errorf("%w: %w", workload.ErrAborted, err)
 		}
 		return err
 	}
@@ -287,7 +287,7 @@ func (d *Driver) RunDORA(sys *dora.System, kind string, rng *rand.Rand, workerID
 	in := d.genInput(rng)
 	err := d.accountUpdateDORA(sys, in)
 	if err != nil && errors.Is(err, engine.ErrNotFound) {
-		return fmt.Errorf("%w: %v", workload.ErrAborted, err)
+		return fmt.Errorf("%w: %w", workload.ErrAborted, err)
 	}
 	return err
 }

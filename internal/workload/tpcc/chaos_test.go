@@ -1,0 +1,174 @@
+package tpcc
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"dora/internal/dora"
+	"dora/internal/engine"
+	"dora/internal/storage"
+	"dora/internal/wal"
+	"dora/internal/workload"
+)
+
+// newFaultLoaded builds the 2-warehouse TPC-C environment over a
+// fault-injecting log device so chaos tests can fail writes mid-mix.
+func newFaultLoaded(t testing.TB) (*Driver, *engine.Engine, *dora.System, *wal.FaultDevice) {
+	t.Helper()
+	d := New(2)
+	d.CustomersPerDistrict = 30
+	d.Items = 100
+	fd := wal.NewFaultDevice(wal.NewMemDevice())
+	e, err := engine.NewWithDevice(engine.Config{BufferPoolFrames: 4096, LogSync: wal.SyncOnFlush}, fd)
+	if err != nil {
+		t.Fatalf("NewWithDevice: %v", err)
+	}
+	t.Cleanup(func() { e.Close() })
+	if err := d.CreateTables(e); err != nil {
+		t.Fatalf("CreateTables: %v", err)
+	}
+	if err := d.Load(e, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	sys := dora.NewSystem(e, dora.Config{TxnTimeout: 10 * time.Second})
+	if err := d.BindDORA(sys, 2); err != nil {
+		t.Fatalf("BindDORA: %v", err)
+	}
+	t.Cleanup(sys.Stop)
+	return d, e, sys, fd
+}
+
+// TestMixUnderTransientLogFaults runs the five-transaction mix while the log
+// device fails a steady fraction of writes and fsyncs. The flusher's retry
+// budget must absorb every fault: no transaction reports a device error, the
+// engine stays healthy, and the §3.3.2 consistency invariants hold.
+func TestMixUnderTransientLogFaults(t *testing.T) {
+	d, e, sys, fd := newFaultLoaded(t)
+	fd.FailEveryNthAppend(7)
+	fd.FailEveryNthSync(5)
+
+	const workers, txnsPerWorker = 4, 150
+	var wg sync.WaitGroup
+	var commits atomic.Uint64
+	errCh := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + id)))
+			for i := 0; i < txnsPerWorker; i++ {
+				kind := d.Mix().Pick(rng)
+				switch err := d.RunDORA(sys, kind, rng, id); {
+				case err == nil:
+					commits.Add(1)
+				case errors.Is(err, workload.ErrAborted):
+					// Logical aborts (1% NewOrder rollback etc.) are fine;
+					// a device error leaking through the retry budget is not.
+					if errors.Is(err, wal.ErrDeviceFailed) {
+						errCh <- err
+						return
+					}
+				default:
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatalf("worker saw a hard error under transient faults: %v", err)
+	default:
+	}
+
+	if commits.Load() == 0 {
+		t.Fatal("no transaction committed")
+	}
+	st := fd.Stats()
+	if st.AppendFaults == 0 || st.SyncFaults == 0 {
+		t.Fatalf("fault schedule never fired: %+v", st)
+	}
+	if e.Log().FlushStats().Retries == 0 {
+		t.Fatal("no flusher retries recorded; faults were not absorbed by the retry path")
+	}
+	if err := e.Log().Err(); err != nil {
+		t.Fatalf("log latched an error under transient faults: %v", err)
+	}
+	if got := e.Health(); got != engine.HealthHealthy {
+		t.Fatalf("Health = %v, want healthy", got)
+	}
+	if err := d.Check(e); err != nil {
+		t.Fatalf("consistency check after transient-fault run: %v", err)
+	}
+}
+
+// TestMixSurvivesPermanentDeviceFailure kills the log device for good in the
+// middle of the mix. In-flight and later write transactions must abort with
+// typed errors (never panic or hang), the engine must settle in
+// degraded-read-only, snapshot scans must keep serving the committed state,
+// and that state must still pass the consistency checker.
+func TestMixSurvivesPermanentDeviceFailure(t *testing.T) {
+	d, e, sys, fd := newFaultLoaded(t)
+
+	const workers, txnsPerWorker = 4, 120
+	var wg sync.WaitGroup
+	var hardErr atomic.Value
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(200 + id)))
+			for i := 0; i < txnsPerWorker; i++ {
+				if id == 0 && i == txnsPerWorker/2 {
+					fd.FailPermanently(nil)
+				}
+				err := d.RunDORA(sys, d.Mix().Pick(rng), rng, id)
+				if err == nil || errors.Is(err, workload.ErrAborted) {
+					continue
+				}
+				// After the device dies, typed refusals are the contract.
+				if errors.Is(err, wal.ErrDeviceFailed) || errors.Is(err, engine.ErrReadOnly) ||
+					errors.Is(err, dora.ErrTxnTimeout) {
+					continue
+				}
+				hardErr.Store(err)
+				return
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, _ := hardErr.Load().(error); err != nil {
+		t.Fatalf("untyped hard error after device failure: %v", err)
+	}
+
+	if got := e.Health(); got != engine.HealthDegradedReadOnly {
+		t.Fatalf("Health = %v, want degraded-read-only", got)
+	}
+	// Snapshot reads keep serving the committed prefix.
+	rows := 0
+	if err := sys.WithSnapshot(func(s *engine.Snapshot) error {
+		return s.ScanTable("WAREHOUSE", func(storage.Tuple) bool { rows++; return true })
+	}); err != nil {
+		t.Fatalf("snapshot scan while degraded: %v", err)
+	}
+	if rows == 0 {
+		t.Fatal("snapshot scan served no rows while degraded")
+	}
+	// New writes are refused with the typed sentinel.
+	txn := e.Begin()
+	werr := e.Update(txn, "WAREHOUSE", storage.EncodeKey(storage.IntValue(1)), engine.Conventional(),
+		func(tu storage.Tuple) (storage.Tuple, error) { return tu, nil })
+	if !errors.Is(werr, engine.ErrReadOnly) {
+		t.Fatalf("write while degraded = %v, want ErrReadOnly", werr)
+	}
+	e.Abort(txn) //nolint:errcheck // nothing to undo
+	// The surviving state is consistent: every acknowledged commit is whole.
+	if err := d.Check(e); err != nil {
+		t.Fatalf("consistency check on the degraded engine: %v", err)
+	}
+}

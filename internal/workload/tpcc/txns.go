@@ -117,19 +117,22 @@ func claim(tx *dora.Transaction, table string, key storage.Key, mode dora.Mode) 
 }
 
 // abortable reports whether err is a benchmark-level abort rather than a
-// system failure: invalid input (missing record, duplicate key) or a
+// system failure: invalid input (missing record, duplicate key), a
 // concurrency-control victim (centralized deadlock/lock timeout for the
-// Baseline, local lock-wait timeout for DORA). The full five-transaction mix
-// makes both kinds routine — e.g. a Delivery and a NewOrder on the same
+// Baseline, local lock-wait timeout for DORA), an admission-control shed, or
+// a per-transaction deadline miss. The full five-transaction mix makes the
+// concurrency kinds routine — e.g. a Delivery and a NewOrder on the same
 // warehouse can deadlock across executors — and the victim's retry-style
-// abort must not fail the run. dora.ErrTxnTimeout is deliberately NOT here:
-// the lock-wait timeout is the designed deadlock victim; a transaction
-// hitting the 10s whole-transaction timeout means something is stuck and must
-// surface as an error.
+// abort must not fail the run; sheds and deadline misses are likewise the
+// designed outcome under overload, counted apart by workload.AbortCause.
+// dora.ErrTxnTimeout is deliberately NOT here: the lock-wait timeout is the
+// designed deadlock victim; a transaction hitting the 10s whole-transaction
+// timeout means something is stuck and must surface as an error.
 func abortable(err error) bool {
 	return errors.Is(err, engine.ErrNotFound) || errors.Is(err, engine.ErrDuplicateKey) ||
 		errors.Is(err, lockmgr.ErrDeadlock) || errors.Is(err, lockmgr.ErrTimeout) ||
-		errors.Is(err, dora.ErrLockWaitTimeout)
+		errors.Is(err, dora.ErrLockWaitTimeout) || errors.Is(err, dora.ErrDeadlineExceeded) ||
+		errors.Is(err, dora.ErrOverloaded)
 }
 
 // RunBaseline implements workload.Driver.
@@ -156,7 +159,7 @@ func (d *Driver) RunBaseline(e *engine.Engine, kind string, rng *rand.Rand, work
 	if err != nil {
 		e.Abort(txn)
 		if abortable(err) {
-			return fmt.Errorf("%w: %v", workload.ErrAborted, err)
+			return fmt.Errorf("%w: %w", workload.ErrAborted, err)
 		}
 		return err
 	}
@@ -182,7 +185,7 @@ func (d *Driver) RunDORA(sys *dora.System, kind string, rng *rand.Rand, workerID
 		return fmt.Errorf("tpcc: unknown transaction kind %q", kind)
 	}
 	if err != nil && abortable(err) {
-		return fmt.Errorf("%w: %v", workload.ErrAborted, err)
+		return fmt.Errorf("%w: %w", workload.ErrAborted, err)
 	}
 	return err
 }

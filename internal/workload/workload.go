@@ -5,6 +5,7 @@
 package workload
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -12,6 +13,8 @@ import (
 
 	"dora/internal/dora"
 	"dora/internal/engine"
+	"dora/internal/lockmgr"
+	"dora/internal/wal"
 )
 
 // TxnKind is one transaction type of a workload mix with its weight (relative
@@ -85,6 +88,51 @@ type Driver interface {
 // ErrAborted marks an intentional, benchmark-specified abort (for example
 // TM1's invalid-input aborts). Harnesses count these separately from errors.
 var ErrAborted = fmt.Errorf("workload: transaction aborted by input")
+
+// Abort-cause taxonomy: harness clients classify every failed transaction so
+// overload and fault experiments can tell load shedding, deadline misses,
+// deadlock victims, and device loss apart. Drivers must wrap the underlying
+// cause with %w (not %v) for the classification to see through ErrAborted.
+const (
+	// CauseShed is an admission-control refusal (dora.ErrOverloaded).
+	CauseShed = "shed"
+	// CauseDeadline is a per-transaction deadline miss
+	// (dora.ErrDeadlineExceeded).
+	CauseDeadline = "deadline"
+	// CauseDeadlock is a concurrency-control victim: a centralized deadlock
+	// or lock timeout, or DORA's local lock-wait backstop.
+	CauseDeadlock = "deadlock"
+	// CauseDevice is a log-device failure (wal.ErrDeviceFailed) or its
+	// read-only aftermath (engine.ErrReadOnly).
+	CauseDevice = "device"
+	// CauseInput is a benchmark-specified input abort (missing record,
+	// duplicate key).
+	CauseInput = "input"
+	// CauseOther is everything else.
+	CauseOther = "other"
+)
+
+// AbortCause classifies a failed transaction's error into the taxonomy above.
+// Deadline is tested before deadlock: a deadline-expired parked transaction
+// reports ErrDeadlineExceeded and must not count as a deadlock victim.
+func AbortCause(err error) string {
+	switch {
+	case errors.Is(err, dora.ErrOverloaded):
+		return CauseShed
+	case errors.Is(err, dora.ErrDeadlineExceeded):
+		return CauseDeadline
+	case errors.Is(err, lockmgr.ErrDeadlock), errors.Is(err, lockmgr.ErrTimeout),
+		errors.Is(err, dora.ErrLockWaitTimeout):
+		return CauseDeadlock
+	case errors.Is(err, wal.ErrDeviceFailed), errors.Is(err, engine.ErrReadOnly),
+		errors.Is(err, engine.ErrEngineFailed):
+		return CauseDevice
+	case errors.Is(err, engine.ErrNotFound), errors.Is(err, engine.ErrDuplicateKey):
+		return CauseInput
+	default:
+		return CauseOther
+	}
+}
 
 // Registry of available workloads, keyed by lower-case name.
 var registry = map[string]func() Driver{}
