@@ -542,7 +542,27 @@ func (t *Transaction) finalize() {
 		clear(shared)
 		sharedPool.Put(shared)
 	}
-	t.sys.eng.CommitAsync(t.txn, func(err error) {
+	// Early lock release (on unless DisableEarlyLockRelease): the completion
+	// messages that free the local locks go out as soon as the commit record
+	// has its LSN — before it is durable. Safe because the flusher makes LSNs
+	// durable strictly in order: a dependent that sees this transaction's
+	// effects commits at a higher LSN, so its client ack (still gated on
+	// durability below) cannot precede this one's record reaching the device.
+	// The state already left flowRunning (CAS above), so the broadcast cannot
+	// race a completeAbort — only one of the two paths ever runs.
+	elr := !t.sys.cfg.DisableEarlyLockRelease
+	released := false
+	var early func()
+	if elr {
+		early = func() {
+			t.broadcastCompletions()
+			if col := t.sys.collector(); col != nil {
+				col.ObserveLockHold(time.Since(t.start))
+			}
+			released = true
+		}
+	}
+	t.sys.eng.CommitAsyncEarly(t.txn, early, func(err error) {
 		if err != nil {
 			t.errMu.Lock()
 			t.err = err
@@ -551,7 +571,16 @@ func (t *Transaction) finalize() {
 			col.TxnCommitted(time.Since(t.start))
 		}
 		t.releaseAdmission()
-		t.broadcastCompletions()
+		if !released {
+			// ELR off, or the commit record was refused before an LSN was
+			// assigned: locks were held to the end.
+			t.broadcastCompletions()
+			if err == nil {
+				if col := t.sys.collector(); col != nil {
+					col.ObserveLockHold(time.Since(t.start))
+				}
+			}
+		}
 		close(t.done)
 	})
 }

@@ -76,15 +76,23 @@ func (e *Engine) readOnlyErr() error {
 	return ErrReadOnly
 }
 
-// logWrite appends a record on behalf of a state-changing operation. In a
-// degraded state the write is refused before touching the log; a device
-// failure surfaced by the append itself degrades the engine and comes back
-// as the same typed refusal, so callers see one error shape either way.
-func (e *Engine) logWrite(rec *wal.Record) (wal.LSN, error) {
+// logWrite appends a record on behalf of a state-changing operation,
+// threading t's PrevLSN chain when t is non-nil (nil for engine-level records
+// such as schema writes, which belong to no transaction). In a degraded state
+// the write is refused before touching the log; a device failure surfaced by
+// the append itself degrades the engine and comes back as the same typed
+// refusal, so callers see one error shape either way.
+func (e *Engine) logWrite(t *Txn, rec *wal.Record) (wal.LSN, error) {
 	if Health(e.health.Load()) != HealthHealthy {
 		return wal.NilLSN, e.readOnlyErr()
 	}
-	lsn, err := e.log.Append(rec)
+	var lsn wal.LSN
+	var err error
+	if t != nil {
+		lsn, err = e.appendTxn(t, rec)
+	} else {
+		lsn, err = e.log.Append(rec)
+	}
 	if err != nil {
 		e.noteLogError(err)
 		if errors.Is(err, wal.ErrDeviceFailed) {

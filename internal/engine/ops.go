@@ -167,15 +167,15 @@ func (e *Engine) updateRID(t *Txn, tbl *Table, rid storage.RID, opt AccessOption
 		return err
 	}
 	afterBytes := after.Encode(nil)
-	rec := &wal.Record{
-		Txn:     t.walID(),
-		Type:    wal.RecUpdate,
-		TableID: uint32(tbl.id),
-		RID:     rid,
-		Before:  beforeBytes,
-		After:   afterBytes,
-	}
-	if _, err := e.logWrite(rec); err != nil {
+	rec := newRecord()
+	rec.Txn = t.walID()
+	rec.Type = wal.RecUpdate
+	rec.TableID = uint32(tbl.id)
+	rec.RID = rid
+	rec.Before = beforeBytes
+	rec.After = afterBytes
+	if _, err := e.logWrite(t, rec); err != nil {
+		recycleRecord(rec)
 		return err
 	}
 	t.recordChange(rec)
@@ -246,14 +246,14 @@ func (e *Engine) Insert(t *Txn, table string, tuple storage.Tuple, opt AccessOpt
 		tbl.versions.popPending(rid, t.id)
 		return storage.InvalidRID, err
 	}
-	rec := &wal.Record{
-		Txn:     t.walID(),
-		Type:    wal.RecInsert,
-		TableID: uint32(tbl.id),
-		RID:     rid,
-		After:   data,
-	}
-	if _, err := e.logWrite(rec); err != nil {
+	rec := newRecord()
+	rec.Txn = t.walID()
+	rec.Type = wal.RecInsert
+	rec.TableID = uint32(tbl.id)
+	rec.RID = rid
+	rec.After = data
+	if _, err := e.logWrite(t, rec); err != nil {
+		recycleRecord(rec)
 		tbl.removeIndexEntries(tuple, rid)
 		tbl.heap.delete(rid)
 		tbl.versions.popPending(rid, t.id)
@@ -300,14 +300,14 @@ func (e *Engine) Delete(t *Txn, table string, pk storage.Key, opt AccessOptions)
 	if err != nil {
 		return err
 	}
-	rec := &wal.Record{
-		Txn:     t.walID(),
-		Type:    wal.RecDelete,
-		TableID: uint32(tbl.id),
-		RID:     rid,
-		Before:  beforeBytes,
-	}
-	if _, err := e.logWrite(rec); err != nil {
+	rec := newRecord()
+	rec.Txn = t.walID()
+	rec.Type = wal.RecDelete
+	rec.TableID = uint32(tbl.id)
+	rec.RID = rid
+	rec.Before = beforeBytes
+	if _, err := e.logWrite(t, rec); err != nil {
+		recycleRecord(rec)
 		return err
 	}
 	t.recordChange(rec)

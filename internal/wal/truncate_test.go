@@ -186,8 +186,7 @@ func TestCheckpointCutTracksActiveTransactions(t *testing.T) {
 func TestCheckpointCutFirstLSNsSurviveReopen(t *testing.T) {
 	dir := t.TempDir()
 	m := openFileManager(t, dir, Options{Sync: SyncOnFlush})
-	mustAppend(t, m, &Record{Txn: 7, Type: RecBegin})
-	first := m.LastLSN(7)
+	first := mustAppend(t, m, &Record{Txn: 7, Type: RecBegin})
 	mustAppend(t, m, &Record{Txn: 7, Type: RecInsert, After: []byte("y")})
 	m.FlushAll()
 	m.Close()

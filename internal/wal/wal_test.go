@@ -113,12 +113,15 @@ func TestManagerAppendAssignsMonotonicLSNs(t *testing.T) {
 	}
 }
 
-func TestManagerPrevLSNChain(t *testing.T) {
+func TestManagerPreservesCallerPrevLSNChain(t *testing.T) {
+	// The manager does not maintain PrevLSN chains — callers (the engine's
+	// Txn) own them. The manager must write exactly the chain state the
+	// records carry, interleaved transactions and all.
 	m := NewManager()
 	l1 := mustAppend(t, m, &Record{Txn: 1, Type: RecBegin})
-	l2 := mustAppend(t, m, &Record{Txn: 1, Type: RecInsert, After: []byte("a")})
-	mustAppend(t, m, &Record{Txn: 2, Type: RecBegin})
-	l4 := mustAppend(t, m, &Record{Txn: 1, Type: RecUpdate, After: []byte("b")})
+	l2 := mustAppend(t, m, &Record{Txn: 1, PrevLSN: l1, Type: RecInsert, After: []byte("a")})
+	l3 := mustAppend(t, m, &Record{Txn: 2, Type: RecBegin})
+	l4 := mustAppend(t, m, &Record{Txn: 1, PrevLSN: l2, Type: RecUpdate, After: []byte("b")})
 
 	recs, err := m.Records()
 	if err != nil {
@@ -127,16 +130,14 @@ func TestManagerPrevLSNChain(t *testing.T) {
 	if recs[1].PrevLSN != l1 {
 		t.Fatalf("record 2 PrevLSN = %d, want %d", recs[1].PrevLSN, l1)
 	}
+	if recs[2].PrevLSN != NilLSN {
+		t.Fatalf("txn 2 BEGIN PrevLSN = %d, want NilLSN", recs[2].PrevLSN)
+	}
 	if recs[3].PrevLSN != l2 {
 		t.Fatalf("record 4 PrevLSN = %d, want %d", recs[3].PrevLSN, l2)
 	}
-	if m.LastLSN(1) != l4 {
-		t.Fatalf("LastLSN(1) = %d, want %d", m.LastLSN(1), l4)
-	}
-	// End releases the transaction's chain state.
-	m.Append(&Record{Txn: 1, Type: RecEnd})
-	if m.LastLSN(1) != NilLSN {
-		t.Fatal("LastLSN after END should be NilLSN")
+	if recs[3].LSN != l4 || recs[2].LSN != l3 {
+		t.Fatalf("stored LSNs %d,%d do not match assigned %d,%d", recs[2].LSN, recs[3].LSN, l3, l4)
 	}
 }
 
@@ -415,10 +416,11 @@ func TestRecoveryRedoesWinnersAndUndoesLosers(t *testing.T) {
 	m.Append(&Record{Txn: 1, Type: RecCommit})
 	m.Append(&Record{Txn: 1, Type: RecEnd})
 
-	// Txn 2 inserts rid2 and updates rid1 but never commits (loser).
-	m.Append(&Record{Txn: 2, Type: RecBegin})
-	m.Append(&Record{Txn: 2, Type: RecInsert, TableID: 1, RID: rid2, After: []byte("uncommitted")})
-	m.Append(&Record{Txn: 2, Type: RecUpdate, TableID: 1, RID: rid1,
+	// Txn 2 inserts rid2 and updates rid1 but never commits (loser). The
+	// caller owns the PrevLSN chain the undo walk follows.
+	lb := mustAppend(t, m, &Record{Txn: 2, Type: RecBegin})
+	li := mustAppend(t, m, &Record{Txn: 2, PrevLSN: lb, Type: RecInsert, TableID: 1, RID: rid2, After: []byte("uncommitted")})
+	m.Append(&Record{Txn: 2, PrevLSN: li, Type: RecUpdate, TableID: 1, RID: rid1,
 		Before: []byte("committed"), After: []byte("dirty")})
 	m.FlushAll()
 
@@ -469,8 +471,8 @@ func TestRecoveryUndoesDeletes(t *testing.T) {
 	m.Append(&Record{Txn: 1, Type: RecInsert, TableID: 1, RID: rid, After: []byte("keep me")})
 	m.Append(&Record{Txn: 1, Type: RecCommit})
 	m.Append(&Record{Txn: 1, Type: RecEnd})
-	m.Append(&Record{Txn: 2, Type: RecBegin})
-	m.Append(&Record{Txn: 2, Type: RecDelete, TableID: 1, RID: rid, Before: []byte("keep me")})
+	lb := mustAppend(t, m, &Record{Txn: 2, Type: RecBegin})
+	m.Append(&Record{Txn: 2, PrevLSN: lb, Type: RecDelete, TableID: 1, RID: rid, Before: []byte("keep me")})
 	m.FlushAll()
 
 	a := newMemApplier()
